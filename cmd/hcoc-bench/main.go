@@ -1,0 +1,97 @@
+// Command hcoc-bench regenerates the tables and figures of the paper's
+// evaluation (Section 6) on the bundled synthetic workloads.
+//
+// Usage:
+//
+//	hcoc-bench -experiment all
+//	hcoc-bench -experiment fig5 -scale 0.5 -runs 10 -k 100000
+//
+// Experiments: stats, naive, bu, fig1, fig4, fig5, fig6, races, ablation, timing, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hcoc/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: stats|naive|bu|fig1|fig4|fig5|fig6|all")
+		scale      = flag.Float64("scale", 0.1, "dataset scale multiplier (1.0 ~ 200k-group housing data; the paper is ~1000x)")
+		runs       = flag.Int("runs", 3, "repetitions per point (the paper uses 10)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		k          = flag.Int("k", 0, "public max group size K (0 = harness default of 20000; the paper uses 100000)")
+		format     = flag.String("format", "text", "output format: text|csv")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Scale: *scale, Runs: *runs, Seed: *seed, K: *k}
+	if err := run(os.Stdout, *experiment, cfg, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "hcoc-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, experiment string, cfg experiments.Config, format string) error {
+	if format != "text" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want text|csv)", format)
+	}
+	type tableFn func(experiments.Config) (experiments.Table, error)
+	type seriesFn func(experiments.Config) ([]experiments.Series, error)
+	tables := map[string]tableFn{
+		"stats":    experiments.DatasetStats,
+		"naive":    experiments.NaiveTable,
+		"bu":       experiments.BottomUpTable,
+		"ablation": experiments.AblationTable,
+		"timing":   experiments.TimingTable,
+		"races":    experiments.RaceTable,
+	}
+	series := map[string]struct {
+		title string
+		fn    seriesFn
+	}{
+		"fig1": {"Figure 1: error location by cumulative group count (x=true cumulative count, y=signed error)", experiments.Fig1},
+		"fig4": {"Figure 4: weighted vs plain averaging (x=eps/level, y=mean emd/node)", experiments.Fig4},
+		"fig5": {"Figure 5: 2-level consistency (x=eps/level, y=mean emd/node)", experiments.Fig5},
+		"fig6": {"Figure 6: 3-level consistency (x=eps/level, y=mean emd/node)", experiments.Fig6},
+	}
+	order := []string{"stats", "naive", "bu", "fig1", "fig4", "fig5", "fig6", "races", "ablation", "timing"}
+
+	runOne := func(name string) error {
+		if fn, ok := tables[name]; ok {
+			t, err := fn(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if format == "csv" {
+				return t.RenderCSV(w)
+			}
+			return t.Render(w)
+		}
+		if s, ok := series[name]; ok {
+			out, err := s.fn(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if format == "csv" {
+				return experiments.RenderSeriesCSV(w, out)
+			}
+			return experiments.RenderSeries(w, s.title, out)
+		}
+		return fmt.Errorf("unknown experiment %q (want stats|naive|bu|fig1|fig4|fig5|fig6|races|ablation|timing|all)", name)
+	}
+
+	if experiment == "all" {
+		for _, name := range order {
+			if err := runOne(name); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	return runOne(experiment)
+}

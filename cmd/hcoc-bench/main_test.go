@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hcoc/internal/experiments"
+)
+
+func tinyCfg() experiments.Config {
+	return experiments.Config{Scale: 0.01, Runs: 1, Seed: 1, K: 300}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, name := range []string{"stats", "naive", "fig1"} {
+		var sb strings.Builder
+		if err := run(&sb, name, tinyCfg(), "text"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%s: no output", name)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nope", tinyCfg(), "text"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunStatsOutputShape(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "stats", tinyCfg(), "text"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Synthetic", "Taxi", "# groups"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command hcoc-gen writes one of the bundled synthetic workloads
+// (Section 6.1 stand-ins) to CSV, for use with hcoc-release or external
+// tools.
+//
+// Usage:
+//
+//	hcoc-gen -dataset housing -scale 0.1 -levels 3 -o housing.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hcoc/internal/dataset"
+)
+
+func main() {
+	var (
+		name      = flag.String("dataset", "housing", "workload: housing|taxi|white|hawaiian")
+		scale     = flag.Float64("scale", 0.1, "scale multiplier")
+		levels    = flag.Int("levels", 2, "hierarchy levels below the root plus the root: 2 or 3")
+		westCoast = flag.Bool("westcoast", false, "restrict census-like data to CA/OR/WA")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("o", "-", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*name, *scale, *levels, *westCoast, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "hcoc-gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+var kinds = map[string]dataset.Kind{
+	"housing":  dataset.Housing,
+	"taxi":     dataset.Taxi,
+	"white":    dataset.RaceWhite,
+	"hawaiian": dataset.RaceHawaiian,
+}
+
+func run(name string, scale float64, levels int, westCoast bool, seed int64, out string) error {
+	kind, ok := kinds[name]
+	if !ok {
+		return fmt.Errorf("unknown dataset %q (want housing|taxi|white|hawaiian)", name)
+	}
+	groups, err := dataset.Generate(kind, dataset.Config{
+		Seed: seed, Scale: scale, Levels: levels, WestCoast: westCoast,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dataset.WriteGroups(w, groups)
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcoc/internal/dataset"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "groups.csv")
+	if err := run("hawaiian", 0.01, 2, false, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	groups, err := dataset.ReadGroups(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Error("no groups written")
+	}
+}
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	if err := run("nope", 1, 2, false, 1, "-"); err == nil ||
+		!strings.Contains(err.Error(), "unknown dataset") {
+		t.Errorf("unknown dataset accepted: %v", err)
+	}
+}
+
+func TestRunAllKindsAndOptions(t *testing.T) {
+	dir := t.TempDir()
+	for name := range kinds {
+		out := filepath.Join(dir, name+".csv")
+		if err := run(name, 0.01, 3, true, 2, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

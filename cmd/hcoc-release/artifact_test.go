@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcoc"
+)
+
+func TestRunWritesArtifact(t *testing.T) {
+	in := writeTestCSV(t)
+	artifact := filepath.Join(t.TempDir(), "release.json")
+	var sb strings.Builder
+	if err := run(&sb, in, "US", 1.0, 500, "hc", "weighted", 1, 10, artifact); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rel, eps, err := hcoc.ReadRelease(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 1.0 {
+		t.Errorf("epsilon = %f, want 1", eps)
+	}
+	if _, ok := rel["US"]; !ok {
+		t.Error("artifact missing root node")
+	}
+}

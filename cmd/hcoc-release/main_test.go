@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcoc/internal/dataset"
+)
+
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	groups, err := dataset.Generate(dataset.RaceHawaiian, dataset.Config{Seed: 1, Scale: 0.01, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "groups.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteGroups(f, groups); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := writeTestCSV(t)
+	var sb strings.Builder
+	if err := run(&sb, in, "US", 1.0, 500, "hc", "weighted", 1, 10, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "all constraints verified") {
+		t.Errorf("missing verification line:\n%s", out)
+	}
+	if !strings.Contains(out, "US:") {
+		t.Errorf("missing root output:\n%s", out)
+	}
+}
+
+func TestRunPerLevelMethods(t *testing.T) {
+	in := writeTestCSV(t)
+	var sb strings.Builder
+	if err := run(&sb, in, "US", 1.0, 500, "hg,hc", "average", 1, 5, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeTestCSV(t)
+	var sb strings.Builder
+	if err := run(&sb, "", "US", 1, 500, "hc", "weighted", 1, 5, ""); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(&sb, in, "US", 1, 500, "bogus", "weighted", 1, 5, ""); err == nil {
+		t.Error("bogus method accepted")
+	}
+	if err := run(&sb, in, "US", 1, 500, "hc", "bogus", 1, 5, ""); err == nil {
+		t.Error("bogus merge accepted")
+	}
+	if err := run(&sb, "/nonexistent/file.csv", "US", 1, 500, "hc", "weighted", 1, 5, ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(&sb, in, "US", 1, 500, "hc,hc,hc", "weighted", 1, 5, ""); err == nil {
+		t.Error("method count mismatch accepted")
+	}
+}
+
+func TestParseMethods(t *testing.T) {
+	ms, err := parseMethods("hc, hg ,naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("parsed %d methods, want 3", len(ms))
+	}
+	if _, err := parseMethods(""); err == nil {
+		t.Error("empty method accepted")
+	}
+}

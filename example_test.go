@@ -1,0 +1,72 @@
+package hcoc_test
+
+import (
+	"fmt"
+
+	"hcoc"
+)
+
+// ExampleRelease demonstrates a full hierarchical release: build the
+// tree from group records, release all levels under one budget, and read
+// consistent histograms back.
+func ExampleRelease() {
+	groups := []hcoc.Group{
+		{Path: []string{"a"}, Size: 4},
+		{Path: []string{"b"}, Size: 2},
+		{Path: []string{"a"}, Size: 1},
+		{Path: []string{"b"}, Size: 1},
+	}
+	tree, err := hcoc.BuildHierarchy("top", groups)
+	if err != nil {
+		panic(err)
+	}
+	rel, err := hcoc.Release(tree, hcoc.Options{Epsilon: 100, K: 10, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// At a huge epsilon the release reproduces the truth exactly; the
+	// root histogram is the paper's running example Htop = [2,1,0,1]
+	// (2 groups of size 1, 1 of size 2, 1 of size 4).
+	fmt.Println(rel["top"][1:])
+	fmt.Println(rel["top/a"].Groups(), rel["top/b"].Groups())
+	// Output:
+	// [2 1 0 1]
+	// 2 2
+}
+
+// ExampleReleaseSingle privatizes one histogram without a hierarchy.
+func ExampleReleaseSingle() {
+	truth := hcoc.Histogram{0, 40, 25, 10}
+	est, err := hcoc.ReleaseSingle(truth, hcoc.MethodHc, hcoc.Options{
+		Epsilon: 1, K: 100, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(est.Groups() == truth.Groups())
+	// Output:
+	// true
+}
+
+// ExampleEMD shows why earthmover's distance is the right metric: both
+// estimates move every group the same L1/L2 amount, but one moves each
+// group much further.
+func ExampleEMD() {
+	truth := hcoc.Histogram{0, 100}    // 100 groups of size 1
+	close := hcoc.Histogram{0, 0, 100} // all groups size 2
+	far := hcoc.Histogram{0, 0, 0, 0, 0, 100}
+	fmt.Println(hcoc.EMD(truth, close), hcoc.EMD(truth, far))
+	// Output:
+	// 100 400
+}
+
+// ExampleKthLargest answers an order-statistic query from a released
+// histogram.
+func ExampleKthLargest() {
+	h := hcoc.Histogram{0, 2, 1, 2} // sizes 1,1,2,3,3
+	largest, _ := hcoc.KthLargest(h, 1)
+	second, _ := hcoc.KthLargest(h, 2)
+	fmt.Println(largest, second)
+	// Output:
+	// 3 3
+}

@@ -1,0 +1,45 @@
+// Quickstart: release a single differentially private count-of-counts
+// histogram and compare it with the truth.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hcoc"
+)
+
+func main() {
+	// The true data: 40 groups of size 1, 25 of size 2, 10 of size 3,
+	// none of size 4, 3 of size 5 (think: households by size in one
+	// town).
+	truth := hcoc.Histogram{0, 40, 25, 10, 0, 3}
+	fmt.Printf("true histogram:     %v  (%d groups, %d people)\n",
+		truth, truth.Groups(), truth.People())
+
+	// Release it with the paper's recommended cumulative-histogram (Hc)
+	// method at epsilon = 1.
+	est, err := hcoc.ReleaseSingle(truth, hcoc.MethodHc, hcoc.Options{
+		Epsilon: 1.0,
+		K:       1000, // public upper bound on group size
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("private histogram:  %v  (%d groups, %d people)\n",
+		est, est.Groups(), est.People())
+
+	// The earthmover's distance counts how many people would have to
+	// move between groups to reconcile the two.
+	fmt.Printf("earthmover error:   %d people\n", hcoc.EMD(truth, est))
+
+	// The release always preserves the public number of groups and is
+	// integral and nonnegative — only the sizes are perturbed.
+	if est.Groups() != truth.Groups() {
+		log.Fatal("group count was not preserved (bug)")
+	}
+	fmt.Println("group count preserved: yes")
+}

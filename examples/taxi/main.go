@@ -1,0 +1,69 @@
+// Taxi: skewness of pickups per taxi over the Manhattan geography
+// (Section 6.1's NYC taxi workload).
+//
+// Each medallion (taxi) is a group whose size is its number of pickups
+// in a neighborhood; the hierarchy is Manhattan / upper-lower /
+// neighborhoods. The example releases the hierarchy and answers two
+// skewness queries from the private data: the median and the 99th
+// percentile pickup count.
+//
+// Run with: go run ./examples/taxi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hcoc"
+)
+
+func main() {
+	tree, err := hcoc.SyntheticTree(hcoc.DatasetTaxi, hcoc.DatasetConfig{
+		Seed:   11,
+		Scale:  0.1,
+		Levels: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manhattan: %d medallion-regions, %d pickups, %d neighborhoods\n",
+		tree.Root.G(), tree.Root.Hist.People(), len(tree.Leaves()))
+
+	rel, err := hcoc.Release(tree, hcoc.Options{
+		Epsilon: 0.5,
+		Seed:    11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hcoc.Check(tree, rel); err != nil {
+		log.Fatal(err)
+	}
+
+	// Count-of-counts histograms answer quantile-of-group-size queries:
+	// "how many pickups does the median taxi get?"
+	top := rel[tree.Root.Path]
+	trueMed, _ := hcoc.Median(tree.Root.Hist)
+	relMed, _ := hcoc.Median(top)
+	trueP99, _ := hcoc.Quantile(tree.Root.Hist, 0.99)
+	relP99, _ := hcoc.Quantile(top, 0.99)
+	fmt.Printf("pickups per taxi (true -> released): median %d -> %d, p99 %d -> %d\n",
+		trueMed, relMed, trueP99, relP99)
+
+	// Skewness: how unevenly are pickups spread across taxis?
+	fmt.Printf("gini coefficient (true -> released): %.3f -> %.3f\n",
+		hcoc.Gini(tree.Root.Hist), hcoc.Gini(top))
+	busiest, _ := hcoc.KthLargest(top, 1)
+	fmt.Printf("busiest taxi (released): %d pickups\n", busiest)
+
+	// Per-neighborhood totals stay consistent with the borough halves.
+	for _, half := range tree.ByLevel[1] {
+		var sum int64
+		for _, hood := range half.Children {
+			sum += rel[hood.Path].Groups()
+		}
+		fmt.Printf("%s: %d taxis across %d neighborhoods (consistent: %v)\n",
+			half.Path, rel[half.Path].Groups(), len(half.Children),
+			sum == rel[half.Path].Groups())
+	}
+}

@@ -1,0 +1,192 @@
+// Package hcoc releases differentially private hierarchical
+// count-of-counts histograms, implementing "Differentially Private
+// Hierarchical Count-of-Counts Histograms" (Kuo, Chiu, Kifer, Hay,
+// Machanavajjhala; PVLDB 11(12), 2018).
+//
+// A count-of-counts histogram H reports, for every integer j, the number
+// of groups (households, taxis, census blocks, ...) of size j. Given a
+// region hierarchy in which every group lives in exactly one leaf, this
+// package releases an estimate of H for every hierarchy node under
+// epsilon-differential privacy at the entity level, guaranteeing that
+// every released count is a nonnegative integer, that each node's counts
+// sum to its public group count, and that each parent's histogram equals
+// the sum of its children's.
+//
+// Basic use:
+//
+//	tree, err := hcoc.BuildHierarchy("US", groups)
+//	rel, err := hcoc.Release(tree, hcoc.Options{Epsilon: 1.0})
+//	national := rel[tree.Root.Path]
+//
+// The error metric throughout is the earthmover's distance (EMD): the
+// number of entities that must move to turn one histogram into another.
+package hcoc
+
+import (
+	"fmt"
+
+	"hcoc/internal/consistency"
+	"hcoc/internal/dataset"
+	"hcoc/internal/estimator"
+	"hcoc/internal/hierarchy"
+	"hcoc/internal/histogram"
+	"hcoc/internal/noise"
+)
+
+// Histogram is a count-of-counts histogram: Histogram[i] is the number
+// of groups of size i.
+type Histogram = histogram.Hist
+
+// Group is one group record: its size and the path of region names
+// (below the root) of the leaf it belongs to.
+type Group = hierarchy.Group
+
+// Tree is a region hierarchy annotated with true histograms; build one
+// with BuildHierarchy.
+type Tree = hierarchy.Tree
+
+// Node is one region in a Tree.
+type Node = hierarchy.Node
+
+// Method selects the single-node estimation strategy of Section 4.
+type Method = estimator.Method
+
+// Estimation methods. MethodHc is the paper's recommended default.
+const (
+	MethodHc    = estimator.MethodHc
+	MethodHg    = estimator.MethodHg
+	MethodNaive = estimator.MethodNaive
+	MethodHcL2  = estimator.MethodHcL2
+)
+
+// MergeStrategy selects how matched parent/child size estimates are
+// reconciled during hierarchical consistency (Section 5.3).
+type MergeStrategy = consistency.MergeStrategy
+
+// Merge strategies. MergeWeighted (variance-weighted averaging) is the
+// paper's recommended default.
+const (
+	MergeWeighted = consistency.MergeWeighted
+	MergeAverage  = consistency.MergeAverage
+)
+
+// DefaultK is the default public upper bound on group size, the value
+// used in the paper's experiments.
+const DefaultK = 100000
+
+// Options configures a hierarchical release.
+type Options struct {
+	// Epsilon is the total privacy-loss budget; it is split evenly
+	// across hierarchy levels. Required.
+	Epsilon float64
+	// K is the public upper bound on group size; defaults to DefaultK.
+	K int
+	// Methods gives the estimation method per level; a single entry is
+	// broadcast. Defaults to MethodHc everywhere.
+	Methods []Method
+	// Merge defaults to MergeWeighted.
+	Merge MergeStrategy
+	// Seed makes the release reproducible; releases with the same seed,
+	// data and options are identical.
+	Seed int64
+}
+
+func (o Options) internal() consistency.Options {
+	k := o.K
+	if k == 0 {
+		k = DefaultK
+	}
+	return consistency.Options{
+		Epsilon: o.Epsilon,
+		K:       k,
+		Methods: o.Methods,
+		Merge:   o.Merge,
+		Seed:    o.Seed,
+	}
+}
+
+// Histograms maps hierarchy node paths (Node.Path) to released
+// histograms; it is the result type of a hierarchical release.
+type Histograms = consistency.Release
+
+// BuildHierarchy builds the region tree from group records. Every group
+// must carry a path of the same depth; the root histogram and every
+// intermediate histogram are derived automatically.
+func BuildHierarchy(rootName string, groups []Group) (*Tree, error) {
+	return hierarchy.BuildTree(rootName, groups)
+}
+
+// ReleaseHierarchy runs the paper's top-down consistency algorithm
+// (Algorithm 1) and returns a consistent private release for every node.
+func ReleaseHierarchy(tree *Tree, opts Options) (Histograms, error) {
+	return consistency.TopDown(tree, opts.internal())
+}
+
+// Release is shorthand for ReleaseHierarchy.
+func Release(tree *Tree, opts Options) (Histograms, error) {
+	return ReleaseHierarchy(tree, opts)
+}
+
+// ReleaseBottomUp runs the bottom-up baseline: all budget at the leaves,
+// parents as sums. It satisfies the same four output requirements but
+// typically has much higher error at upper levels (Section 6.2.2).
+func ReleaseBottomUp(tree *Tree, opts Options) (Histograms, error) {
+	return consistency.BottomUp(tree, opts.internal())
+}
+
+// ReleaseSingle estimates a single (non-hierarchical) count-of-counts
+// histogram with the given method — the Section 4 problem.
+func ReleaseSingle(h Histogram, method Method, opts Options) (Histogram, error) {
+	if opts.Epsilon <= 0 {
+		return nil, fmt.Errorf("hcoc: epsilon must be positive, got %g", opts.Epsilon)
+	}
+	k := opts.K
+	if k == 0 {
+		k = DefaultK
+	}
+	res, err := estimator.Estimate(method, h, estimator.Params{Epsilon: opts.Epsilon, K: k}, noise.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return res.Hist, nil
+}
+
+// Check verifies the four release requirements (integrality,
+// nonnegativity, group-size totals, hierarchical consistency) against
+// the tree's public structure.
+func Check(tree *Tree, rel Histograms) error {
+	return rel.Check(tree)
+}
+
+// EMD computes the earthmover's distance between two count-of-counts
+// histograms: the minimum number of entities to add or remove across
+// groups to transform one into the other (the paper's error metric).
+func EMD(a, b Histogram) int64 {
+	return histogram.EMD(a, b)
+}
+
+// DatasetKind identifies one of the synthetic evaluation workloads
+// bundled with the library (stand-ins for the paper's datasets).
+type DatasetKind = dataset.Kind
+
+// Synthetic workloads mirroring Section 6.1.
+const (
+	DatasetHousing      = dataset.Housing
+	DatasetTaxi         = dataset.Taxi
+	DatasetRaceWhite    = dataset.RaceWhite
+	DatasetRaceHawaiian = dataset.RaceHawaiian
+)
+
+// DatasetConfig configures synthetic workload generation.
+type DatasetConfig = dataset.Config
+
+// SyntheticGroups generates one of the bundled synthetic workloads.
+func SyntheticGroups(kind DatasetKind, cfg DatasetConfig) ([]Group, error) {
+	return dataset.Generate(kind, cfg)
+}
+
+// SyntheticTree generates a workload and builds its hierarchy in one
+// step.
+func SyntheticTree(kind DatasetKind, cfg DatasetConfig) (*Tree, error) {
+	return dataset.Tree(kind, cfg)
+}

@@ -1,0 +1,276 @@
+package hcoc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hcoc/internal/histogram"
+	"hcoc/internal/noise"
+)
+
+// TestEndToEndAllWorkloads releases every bundled workload at several
+// configurations and checks the output constraints and sanity of the
+// error.
+func TestEndToEndAllWorkloads(t *testing.T) {
+	for _, kind := range []DatasetKind{DatasetHousing, DatasetTaxi, DatasetRaceWhite, DatasetRaceHawaiian} {
+		for _, levels := range []int{2, 3} {
+			tree, err := SyntheticTree(kind, DatasetConfig{
+				Seed: 1, Scale: 0.02, Levels: levels, WestCoast: levels == 3 && kind != DatasetTaxi,
+			})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", kind, levels, err)
+			}
+			for _, methods := range [][]Method{{MethodHc}, {MethodHg}} {
+				rel, err := Release(tree, Options{
+					Epsilon: 1, K: 30000, Methods: methods, Seed: 3,
+				})
+				if err != nil {
+					t.Fatalf("%v/%d/%v: %v", kind, levels, methods[0], err)
+				}
+				if err := Check(tree, rel); err != nil {
+					t.Fatalf("%v/%d/%v: %v", kind, levels, methods[0], err)
+				}
+				// Error sanity: not absurd relative to total people.
+				root := tree.Root.Hist
+				if e := EMD(root, rel[tree.Root.Path]); e > root.People() {
+					t.Errorf("%v/%d/%v: root EMD %d exceeds total people %d",
+						kind, levels, methods[0], e, root.People())
+				}
+			}
+		}
+	}
+}
+
+// neighbor produces a histogram differing from h by one entity added to
+// or removed from one group (the paper's adjacency).
+func neighbor(r *rand.Rand, h histogram.Hist) histogram.Hist {
+	g := h.GroupSizes()
+	if len(g) == 0 {
+		return h.Clone()
+	}
+	i := r.Intn(len(g))
+	out := g.Clone()
+	if r.Intn(2) == 0 || out[i] == 0 {
+		out[i]++ // add one person
+	} else {
+		out[i]-- // remove one person
+	}
+	return out.Hist()
+}
+
+// TestSensitivityLemma3 checks empirically that the truncated histogram
+// H' has L1 sensitivity at most 2 under entity adjacency.
+func TestSensitivityLemma3(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sizes := make([]int64, 1+r.Intn(40))
+		for i := range sizes {
+			sizes[i] = int64(r.Intn(15))
+		}
+		h1 := histogram.FromSizes(sizes)
+		h2 := neighbor(r, h1)
+		k := 1 + r.Intn(20)
+		a, b := h1.Truncate(k), h2.Truncate(k)
+		var l1 int64
+		for i := range a {
+			d := a[i] - b[i]
+			if d < 0 {
+				d = -d
+			}
+			l1 += d
+		}
+		return l1 <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSensitivityLemma4 checks that the cumulative histogram has L1
+// sensitivity at most 1 (Lemma 4), and likewise the unattributed
+// histogram (Hay et al., used in Section 4.2).
+func TestSensitivityLemma4AndHg(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sizes := make([]int64, 1+r.Intn(40))
+		for i := range sizes {
+			sizes[i] = int64(r.Intn(15))
+		}
+		h1 := histogram.FromSizes(sizes)
+		h2 := neighbor(r, h1)
+		k := 20
+		c1, c2 := h1.Truncate(k).Cumulative(), h2.Truncate(k).Cumulative()
+		var l1 int64
+		for i := range c1 {
+			d := c1[i] - c2[i]
+			if d < 0 {
+				d = -d
+			}
+			l1 += d
+		}
+		if l1 > 1 {
+			return false
+		}
+		// Hg sensitivity: same group count, sorted sizes differ by 1 in
+		// total.
+		g1, g2 := h1.GroupSizes(), h2.GroupSizes()
+		return histogram.EMDGroupSizes(g1, g2) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeometricMechanismDPInequality samples the geometric mechanism on
+// two adjacent counts and verifies the epsilon-DP inequality
+// P(M(D1)=k) <= e^eps * P(M(D2)=k) empirically (with sampling slack).
+func TestGeometricMechanismDPInequality(t *testing.T) {
+	const (
+		eps     = 1.0
+		samples = 400000
+		c1, c2  = 10, 11 // adjacent counts, sensitivity 1
+	)
+	count1 := map[int64]float64{}
+	count2 := map[int64]float64{}
+	gen := noise.New(123)
+	for i := 0; i < samples; i++ {
+		count1[int64(c1)+gen.DoubleGeometric(1/eps)]++
+		count2[int64(c2)+gen.DoubleGeometric(1/eps)]++
+	}
+	bound := math.Exp(eps)
+	for k := int64(5); k <= 16; k++ {
+		p1 := count1[k] / samples
+		p2 := count2[k] / samples
+		if p1 < 0.001 || p2 < 0.001 {
+			continue // too rare to test reliably
+		}
+		if ratio := p1 / p2; ratio > bound*1.15 {
+			t.Errorf("output %d: ratio %.3f exceeds e^eps = %.3f", k, ratio, bound)
+		}
+		if ratio := p2 / p1; ratio > bound*1.15 {
+			t.Errorf("output %d: inverse ratio %.3f exceeds e^eps = %.3f", k, ratio, bound)
+		}
+	}
+}
+
+// TestBudgetSplitMatchesDepth indirectly verifies the composition
+// accounting: a 3-level release at total epsilon 3 should have accuracy
+// comparable to a single-level release at epsilon 1 (each node
+// effectively sees eps=1).
+func TestBudgetSplitMatchesDepth(t *testing.T) {
+	tree, err := SyntheticTree(DatasetRaceWhite, DatasetConfig{
+		Seed: 5, Scale: 0.05, Levels: 3, WestCoast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var threeLevel, single float64
+	const runs = 5
+	for i := int64(0); i < runs; i++ {
+		rel, err := Release(tree, Options{Epsilon: 3, K: 20000, Seed: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		threeLevel += float64(EMD(tree.Root.Hist, rel[tree.Root.Path]))
+		est, err := ReleaseSingle(tree.Root.Hist, MethodHc, Options{Epsilon: 1, K: 20000, Seed: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		single += float64(EMD(tree.Root.Hist, est))
+	}
+	// The hierarchical release merges information downward, so the root
+	// should be no worse than ~2x a direct eps=1 estimate.
+	if threeLevel > 2.5*single {
+		t.Errorf("3-level root error %f too far above single-node eps=1 error %f", threeLevel, single)
+	}
+}
+
+// TestFailureInjectionCorruptRelease verifies Check rejects every kind
+// of constraint violation.
+func TestFailureInjectionCorruptRelease(t *testing.T) {
+	tree, err := BuildHierarchy("US", smallGroups(9, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() Histograms {
+		rel, err := Release(tree, Options{Epsilon: 1, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	leaf := tree.Leaves()[0].Path
+
+	corruptions := map[string]func(Histograms){
+		"negative cell": func(rel Histograms) {
+			h := rel[leaf].Clone()
+			h = h.Pad(2)
+			h[0]++
+			h[1]--
+			rel[leaf] = h
+		},
+		"wrong total": func(rel Histograms) {
+			rel[leaf] = rel[leaf].Add(Histogram{1})
+		},
+		"broken consistency": func(rel Histograms) {
+			h := rel[leaf].Clone().Pad(3)
+			// Move one group between sizes only at the leaf, so the
+			// parent no longer matches.
+			if h[1] > 0 {
+				h[1]--
+				h[2]++
+			} else {
+				h[2]--
+				h[1]++
+			}
+			rel[leaf] = h
+		},
+		"missing node": func(rel Histograms) {
+			delete(rel, leaf)
+		},
+	}
+	for name, corrupt := range corruptions {
+		rel := fresh()
+		if err := Check(tree, rel); err != nil {
+			t.Fatalf("%s: fresh release failed check: %v", name, err)
+		}
+		corrupt(rel)
+		if err := Check(tree, rel); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+// TestLargeScaleRelease exercises the full pipeline at a few hundred
+// thousand groups — the algorithmic regime the paper targets (all
+// stages are O(G log G) or better). Skipped with -short.
+func TestLargeScaleRelease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale release skipped in -short mode")
+	}
+	tree, err := SyntheticTree(DatasetHousing, DatasetConfig{
+		Seed: 1, Scale: 2.0, Levels: 3, // ~400k groups over 51 states x ~40 counties
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := tree.Root.G(); g < 300000 {
+		t.Fatalf("expected a large instance, got %d groups", g)
+	}
+	rel, err := Release(tree, Options{Epsilon: 1, K: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(tree, rel); err != nil {
+		t.Fatal(err)
+	}
+	// The root estimate should be within a small multiple of the
+	// omniscient yardstick (distinct sizes x sqrt(2)*3/eps).
+	distinct := float64(tree.Root.Hist.DistinctSizes())
+	yardstick := distinct * 1.4142 * 3
+	if e := float64(EMD(tree.Root.Hist, rel[tree.Root.Path])); e > 50*yardstick {
+		t.Errorf("root EMD %.0f too far above omniscient yardstick %.0f", e, yardstick)
+	}
+}

@@ -1,0 +1,162 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hcoc/internal/estimator"
+	"hcoc/internal/hierarchy"
+	"hcoc/internal/histogram"
+)
+
+// TestTopDownDeepHierarchy exercises a 5-level tree; the paper's
+// algorithm generalizes to any L, and the budget split and matching must
+// hold at every level.
+func TestTopDownDeepHierarchy(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	var groups []hierarchy.Group
+	for i := 0; i < 800; i++ {
+		groups = append(groups, hierarchy.Group{
+			Path: []string{
+				fmt.Sprintf("r%d", r.Intn(2)),
+				fmt.Sprintf("s%d", r.Intn(2)),
+				fmt.Sprintf("t%d", r.Intn(2)),
+				fmt.Sprintf("u%d", r.Intn(2)),
+			},
+			Size: int64(r.Intn(15)),
+		})
+	}
+	tree, err := hierarchy.BuildTree("root", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 5 {
+		t.Fatalf("depth = %d, want 5", tree.Depth())
+	}
+	rel, err := TopDown(tree, defaultOpts(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Check(tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopDownUnbalancedFanout covers one-child chains and wide nodes in
+// the same tree.
+func TestTopDownUnbalancedFanout(t *testing.T) {
+	var groups []hierarchy.Group
+	// State A has one county; state B has twelve.
+	for i := 0; i < 40; i++ {
+		groups = append(groups, hierarchy.Group{Path: []string{"A", "only"}, Size: int64(i % 5)})
+	}
+	for c := 0; c < 12; c++ {
+		for i := 0; i < 5; i++ {
+			groups = append(groups, hierarchy.Group{
+				Path: []string{"B", fmt.Sprintf("c%02d", c)}, Size: int64(i),
+			})
+		}
+	}
+	tree, err := hierarchy.BuildTree("US", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := TopDown(tree, defaultOpts(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Check(tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopDownAllZeroSizes covers data where every group is empty (e.g.
+// a race absent from every block): the release must be exactly the truth
+// since the only consistent nonnegative histogram with G groups of total
+// size 0 is all-zeros... after noise it must still produce G groups.
+func TestTopDownAllZeroSizes(t *testing.T) {
+	var groups []hierarchy.Group
+	for i := 0; i < 60; i++ {
+		groups = append(groups, hierarchy.Group{Path: []string{string(rune('A' + i%3))}, Size: 0})
+	}
+	tree, err := hierarchy.BuildTree("US", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []estimator.Method{estimator.MethodHc, estimator.MethodHg} {
+		opts := defaultOpts(43)
+		opts.Methods = []estimator.Method{m}
+		rel, err := TopDown(tree, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rel.Check(tree); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+// TestTopDownSingleHugeGroup covers the opposite extreme: one group
+// holding everything (a single dormitory).
+func TestTopDownSingleHugeGroup(t *testing.T) {
+	groups := []hierarchy.Group{
+		{Path: []string{"A"}, Size: 5000},
+		{Path: []string{"B"}, Size: 1},
+	}
+	tree, err := hierarchy.BuildTree("US", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := defaultOpts(44)
+	opts.K = 10000
+	opts.Epsilon = 2
+	rel, err := TopDown(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Check(tree); err != nil {
+		t.Fatal(err)
+	}
+	// The Hg-style strength: the huge group survives approximately.
+	sizes := rel[tree.Root.Path].GroupSizes()
+	if largest := sizes[len(sizes)-1]; largest < 4000 {
+		t.Errorf("largest released group = %d, want near 5000", largest)
+	}
+}
+
+// TestTopDownManyEmptyLeaves covers leaves that hold zero groups next to
+// populated siblings.
+func TestTopDownManyEmptyLeaves(t *testing.T) {
+	groups := []hierarchy.Group{
+		{Path: []string{"A", "a"}, Size: 2},
+		{Path: []string{"A", "a"}, Size: 3},
+		{Path: []string{"B", "b"}, Size: 1},
+	}
+	// Note: leaves "A/b" etc. simply do not exist; but a leaf with zero
+	// groups can arise via dataset construction. Build one explicitly.
+	tree, err := hierarchy.BuildTree("US", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject an empty leaf under B.
+	b := tree.ByLevel[1][1]
+	empty := &hierarchy.Node{
+		Name: "z", Path: b.Path + "/z", Level: 2, Parent: b, Hist: histogram.Hist{},
+	}
+	b.Children = append(b.Children, empty)
+	tree.ByLevel[2] = append(tree.ByLevel[2], empty)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := TopDown(tree, defaultOpts(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Check(tree); err != nil {
+		t.Fatal(err)
+	}
+	if rel[empty.Path].Groups() != 0 {
+		t.Errorf("empty leaf released %d groups", rel[empty.Path].Groups())
+	}
+}

@@ -1,0 +1,83 @@
+package consistency
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"hcoc/internal/estimator"
+	"hcoc/internal/hierarchy"
+	"hcoc/internal/noise"
+)
+
+// nodeSeed derives a per-node noise seed from the release seed and the
+// node's path, so that per-node estimation is order-independent (and
+// therefore parallelizable) while remaining fully reproducible.
+func nodeSeed(seed int64, path string) int64 {
+	h := fnv.New64a()
+	// FNV over the path, mixed with the release seed.
+	_, _ = h.Write([]byte(path))
+	return seed ^ int64(h.Sum64())
+}
+
+// estimateAll runs the Section 4 estimator on every node of the tree
+// (lines 1-7 of Algorithm 1), fanning out across opts.Workers
+// goroutines.
+func estimateAll(tree *hierarchy.Tree, opts Options, epsLevel float64) (map[string]*nodeState, error) {
+	type job struct {
+		node   *hierarchy.Node
+		method estimator.Method
+	}
+	var jobs []job
+	for level, nodes := range tree.ByLevel {
+		m := opts.methodFor(level)
+		for _, n := range nodes {
+			jobs = append(jobs, job{node: n, method: m})
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	states := make([]*nodeState, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				gen := noise.New(nodeSeed(opts.Seed, j.node.Path))
+				res, err := estimator.Estimate(j.method, j.node.Hist,
+					estimator.Params{Epsilon: epsLevel, K: opts.K}, gen)
+				if err != nil {
+					errs[i] = fmt.Errorf("consistency: node %q: %w", j.node.Path, err)
+					continue
+				}
+				states[i] = &nodeState{hg: res.Hist.GroupSizes(), vg: res.GroupVar}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	out := make(map[string]*nodeState, len(jobs))
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[j.node.Path] = states[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hcoc/internal/hierarchy"
+)
+
+func TestPrivateGroupCountsStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randomTree(r, 2+r.Intn(2))
+		counts, err := PrivateGroupCounts(tree, 1.0, seed)
+		if err != nil {
+			return false
+		}
+		return CheckGroupCounts(tree, counts) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrivateGroupCountsAccuracyAtHighEpsilon(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	tree := randomTree(r, 3)
+	counts, err := PrivateGroupCounts(tree, 5000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(n *hierarchy.Node) {
+		diff := counts[n.Path] - n.G()
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 2 {
+			t.Errorf("node %q: count %d vs true %d at eps=5000", n.Path, counts[n.Path], n.G())
+		}
+	})
+}
+
+func TestPrivateGroupCountsRejectsBadEpsilon(t *testing.T) {
+	r := rand.New(rand.NewSource(18))
+	tree := randomTree(r, 2)
+	if _, err := PrivateGroupCounts(tree, 0, 1); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func TestCheckGroupCountsCatchesViolations(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	tree := randomTree(r, 2)
+	counts, err := PrivateGroupCounts(tree, 1, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing node.
+	if CheckGroupCounts(tree, map[string]int64{}) == nil {
+		t.Error("missing counts accepted")
+	}
+	// Broken additivity.
+	counts[tree.Root.Path] += 3
+	if CheckGroupCounts(tree, counts) == nil {
+		t.Error("inconsistent counts accepted")
+	}
+	// Negative count.
+	counts[tree.Root.Path] -= 3
+	leaf := tree.Leaves()[0]
+	counts[leaf.Path] = -1
+	if CheckGroupCounts(tree, counts) == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestPrivateGroupCountsDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	tree := randomTree(r, 3)
+	a, err := PrivateGroupCounts(tree, 0.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrivateGroupCounts(tree, 0.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, c := range a {
+		if b[path] != c {
+			t.Fatalf("node %q differs across identical seeds", path)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package consistency
+
+import (
+	"fmt"
+
+	"hcoc/internal/hierarchy"
+	"hcoc/internal/noise"
+)
+
+// MeanConsistency implements the Hay et al. style consistency
+// post-processing that Section 5 argues is unsuitable for
+// count-of-counts histograms: given independent noisy vectors per node,
+// it returns the least-squares consistent estimates (parent = sum of
+// children) via the classic two-phase algorithm for trees with uniform
+// fanout and uniform noise variance.
+//
+// It is retained purely as the negative baseline: its output is
+// real-valued and can be negative (the "subtraction step" — see the
+// demonstration test), violating the integrality and nonnegativity
+// requirements of Problem 1, which is exactly why the paper develops the
+// matching-based algorithm instead.
+//
+// noisy maps node paths to per-cell noisy counts; every vector must have
+// the same length. The tree must have uniform fanout per level for the
+// two-phase formulas to be the exact OLS solution.
+func MeanConsistency(tree *hierarchy.Tree, noisy map[string][]float64) (map[string][]float64, error) {
+	width := -1
+	for _, v := range noisy {
+		if width == -1 {
+			width = len(v)
+		} else if len(v) != width {
+			return nil, fmt.Errorf("consistency: mean-consistency requires equal-length vectors")
+		}
+	}
+	depth := tree.Depth()
+	// fanout[l] is the children count of nodes at level l.
+	fanout := make([]int, depth)
+	for l := 0; l < depth-1; l++ {
+		f := -1
+		for _, n := range tree.ByLevel[l] {
+			if f == -1 {
+				f = len(n.Children)
+			} else if f != len(n.Children) {
+				return nil, fmt.Errorf("consistency: mean-consistency requires uniform fanout at level %d", l)
+			}
+		}
+		if f < 2 {
+			return nil, fmt.Errorf("consistency: mean-consistency requires fanout >= 2 at level %d, got %d", l, f)
+		}
+		fanout[l] = f
+	}
+
+	// Phase 1 (bottom-up weighted averaging): for a node at height h
+	// with fanout f,
+	//   z_v = (f^h - f^(h-1))/(f^h - 1) * y_v
+	//       + (f^(h-1) - 1)/(f^h - 1) * sum_c z_c
+	// (leaves: z_v = y_v).
+	z := make(map[string][]float64, len(noisy))
+	for level := depth - 1; level >= 0; level-- {
+		for _, n := range tree.ByLevel[level] {
+			y := noisy[n.Path]
+			if y == nil {
+				return nil, fmt.Errorf("consistency: missing noisy vector for %q", n.Path)
+			}
+			if n.IsLeaf() {
+				z[n.Path] = append([]float64(nil), y...)
+				continue
+			}
+			h := depth - 1 - level // height above leaves
+			f := float64(fanout[level])
+			fh := pow(f, h)
+			fh1 := pow(f, h-1)
+			a := (fh - fh1) / (fh - 1)
+			b := (fh1 - 1) / (fh - 1)
+			out := make([]float64, width)
+			for i := range out {
+				var childSum float64
+				for _, c := range n.Children {
+					childSum += z[c.Path][i]
+				}
+				out[i] = a*y[i] + b*childSum
+			}
+			z[n.Path] = out
+		}
+	}
+
+	// Phase 2 (top-down subtraction): the root keeps z; each child is
+	// adjusted by an equal share of its parent's residual:
+	//   hbar_c = z_c + (hbar_v - sum_w z_w) / f.
+	out := make(map[string][]float64, len(noisy))
+	out[tree.Root.Path] = z[tree.Root.Path]
+	for level := 0; level < depth-1; level++ {
+		for _, n := range tree.ByLevel[level] {
+			f := float64(len(n.Children))
+			parent := out[n.Path]
+			for i := range parent {
+				var childSum float64
+				for _, c := range n.Children {
+					childSum += z[c.Path][i]
+				}
+				adj := (parent[i] - childSum) / f
+				for _, c := range n.Children {
+					if out[c.Path] == nil {
+						out[c.Path] = make([]float64, width)
+						copy(out[c.Path], z[c.Path])
+					}
+					out[c.Path][i] = z[c.Path][i] + adj
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func pow(f float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= f
+	}
+	return out
+}
+
+// NoisyVectors produces the per-node noisy histograms that
+// MeanConsistency consumes: each node's true histogram padded to a
+// common width with double-geometric noise of the given per-level
+// epsilon added to every cell (sensitivity 2 as in the naive method).
+func NoisyVectors(tree *hierarchy.Tree, width int, epsilon float64, gen *noise.Gen) map[string][]float64 {
+	out := make(map[string][]float64)
+	tree.Walk(func(n *hierarchy.Node) {
+		padded := n.Hist.Pad(width)[:width]
+		noisy := gen.AddDoubleGeometric(padded, 2/epsilon)
+		v := make([]float64, width)
+		for i, x := range noisy {
+			v[i] = float64(x)
+		}
+		out[n.Path] = v
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package consistency
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hcoc/internal/hierarchy"
+	"hcoc/internal/noise"
+)
+
+// regularTree builds a tree with uniform fanout per level.
+func regularTree(t *testing.T, fanout, leavesPerChild int) *hierarchy.Tree {
+	t.Helper()
+	r := rand.New(rand.NewSource(21))
+	var groups []hierarchy.Group
+	for s := 0; s < fanout; s++ {
+		for c := 0; c < leavesPerChild; c++ {
+			// Small counts at the children make the subtraction step
+			// go negative with realistic noise.
+			n := 1 + r.Intn(3)
+			for g := 0; g < n; g++ {
+				groups = append(groups, hierarchy.Group{
+					Path: []string{string(rune('A' + s)), string(rune('a' + c))},
+					Size: int64(r.Intn(4)),
+				})
+			}
+		}
+	}
+	tree, err := hierarchy.BuildTree("root", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestMeanConsistencyEnforcesAdditivity(t *testing.T) {
+	tree := regularTree(t, 3, 2)
+	gen := noise.New(5)
+	noisy := NoisyVectors(tree, 8, 1.0, gen)
+	fixed, err := MeanConsistency(tree, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(n *hierarchy.Node) {
+		if n.IsLeaf() {
+			return
+		}
+		for i := 0; i < 8; i++ {
+			var sum float64
+			for _, c := range n.Children {
+				sum += fixed[c.Path][i]
+			}
+			if math.Abs(sum-fixed[n.Path][i]) > 1e-6 {
+				t.Fatalf("node %q cell %d: children sum %f != parent %f", n.Path, i, sum, fixed[n.Path][i])
+			}
+		}
+	})
+}
+
+func TestMeanConsistencyProducesInvalidOutputs(t *testing.T) {
+	// The reason the paper rejects mean-consistency (Section 5): its
+	// output violates integrality and nonnegativity. With enough seeds
+	// we must observe both violations.
+	tree := regularTree(t, 3, 2)
+	sawNegative, sawFractional := false, false
+	for seed := int64(0); seed < 50 && !(sawNegative && sawFractional); seed++ {
+		gen := noise.New(seed)
+		noisy := NoisyVectors(tree, 8, 1.0, gen)
+		fixed, err := MeanConsistency(tree, noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range fixed {
+			for _, x := range v {
+				if x < 0 {
+					sawNegative = true
+				}
+				if x != math.Trunc(x) {
+					sawFractional = true
+				}
+			}
+		}
+	}
+	if !sawNegative {
+		t.Error("mean-consistency never produced a negative cell; the paper's motivation expects it")
+	}
+	if !sawFractional {
+		t.Error("mean-consistency never produced a fractional cell")
+	}
+}
+
+func TestMeanConsistencyImprovesOverRawNoise(t *testing.T) {
+	// Consistency post-processing should reduce squared error on
+	// average (it is a projection toward the truth-containing subspace).
+	tree := regularTree(t, 4, 3)
+	var rawErr, fixedErr float64
+	for seed := int64(0); seed < 20; seed++ {
+		gen := noise.New(seed)
+		noisy := NoisyVectors(tree, 8, 1.0, gen)
+		fixed, err := MeanConsistency(tree, noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree.Walk(func(n *hierarchy.Node) {
+			truth := n.Hist.Pad(8)
+			for i := 0; i < 8; i++ {
+				dr := noisy[n.Path][i] - float64(truth[i])
+				df := fixed[n.Path][i] - float64(truth[i])
+				rawErr += dr * dr
+				fixedErr += df * df
+			}
+		})
+	}
+	if fixedErr >= rawErr {
+		t.Errorf("mean-consistency error %f should be below raw %f", fixedErr, rawErr)
+	}
+}
+
+func TestMeanConsistencyRejectsIrregularTrees(t *testing.T) {
+	groups := []hierarchy.Group{
+		{Path: []string{"A", "a"}, Size: 1},
+		{Path: []string{"A", "b"}, Size: 1},
+		{Path: []string{"B", "a"}, Size: 1},
+	}
+	tree, err := hierarchy.BuildTree("root", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := noise.New(1)
+	noisy := NoisyVectors(tree, 4, 1.0, gen)
+	if _, err := MeanConsistency(tree, noisy); err == nil {
+		t.Error("irregular fanout accepted")
+	}
+}
+
+func TestMeanConsistencyRejectsBadVectors(t *testing.T) {
+	tree := regularTree(t, 2, 2)
+	gen := noise.New(1)
+	noisy := NoisyVectors(tree, 4, 1.0, gen)
+	noisy[tree.Root.Path] = []float64{1, 2} // wrong width
+	if _, err := MeanConsistency(tree, noisy); err == nil {
+		t.Error("mismatched widths accepted")
+	}
+}

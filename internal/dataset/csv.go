@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hcoc/internal/hierarchy"
+)
+
+// WriteGroups writes group records as CSV with a header row. Columns are
+// size followed by one column per hierarchy level below the root. All
+// groups must have the same path depth.
+func WriteGroups(w io.Writer, groups []hierarchy.Group) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("dataset: no groups to write")
+	}
+	depth := len(groups[0].Path)
+	cw := csv.NewWriter(w)
+	header := []string{"size"}
+	for i := 0; i < depth; i++ {
+		header = append(header, fmt.Sprintf("level%d", i+1))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, depth+1)
+	for _, g := range groups {
+		if len(g.Path) != depth {
+			return fmt.Errorf("dataset: mixed path depths (%d and %d)", depth, len(g.Path))
+		}
+		row[0] = strconv.FormatInt(g.Size, 10)
+		copy(row[1:], g.Path)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadGroups parses CSV produced by WriteGroups.
+func ReadGroups(r io.Reader) ([]hierarchy.Group, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "size" {
+		return nil, fmt.Errorf("dataset: unexpected header %v", header)
+	}
+	var out []hierarchy.Group
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		size, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad size %q: %w", line, rec[0], err)
+		}
+		if size < 0 {
+			return nil, fmt.Errorf("dataset: line %d: negative size %d", line, size)
+		}
+		path := make([]string, len(rec)-1)
+		copy(path, rec[1:])
+		out = append(out, hierarchy.Group{Path: path, Size: size})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dataset: no group rows")
+	}
+	return out, nil
+}

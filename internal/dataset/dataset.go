@@ -1,0 +1,441 @@
+// Package dataset generates the synthetic workloads that stand in for
+// the four evaluation datasets of Section 6.1. The real inputs (2010
+// Census Summary File 1, the 2013 NYC taxi trips) are not
+// redistributable, so each generator reproduces the statistical shape
+// the paper's evaluation depends on:
+//
+//   - Housing: the partially-synthetic housing data — household sizes
+//     1..7 from a census-like distribution, a geometric heavy tail for
+//     group-quarters sizes >= 8 extended per state by the H[7]/H[6]
+//     ratio, and 50 uniform outliers up to size 10000. Sparse at the
+//     national level with long gaps between large sizes.
+//   - Taxi: Manhattan taxi pickups per medallion — dense, large group
+//     sizes, 3-level geography Manhattan / upper-lower / neighborhoods.
+//   - RaceWhite: dense per-block race counts (many distinct sizes).
+//   - RaceHawaiian: sparse per-block counts (mostly 0..3, few distinct
+//     sizes).
+//
+// All generators are deterministic under a seed and expose a Scale knob
+// so the same shapes can be produced at laptop- or paper-scale.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hcoc/internal/hierarchy"
+)
+
+// Kind identifies one of the four evaluation datasets.
+type Kind int
+
+const (
+	Housing Kind = iota
+	Taxi
+	RaceWhite
+	RaceHawaiian
+	RaceBlack
+	RaceAsian
+	RaceAmericanIndian
+	RaceOther
+)
+
+// String returns the dataset name used in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case Housing:
+		return "Synthetic"
+	case Taxi:
+		return "Taxi"
+	case RaceWhite:
+		return "White"
+	case RaceHawaiian:
+		return "Hawaiian"
+	case RaceBlack:
+		return "Black"
+	case RaceAsian:
+		return "Asian"
+	case RaceAmericanIndian:
+		return "AmericanIndian"
+	case RaceOther:
+		return "Other"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists the four datasets of the paper's main tables.
+var Kinds = []Kind{Housing, RaceWhite, RaceHawaiian, Taxi}
+
+// RaceKinds lists all six major race categories of the 2010 Census; the
+// paper evaluated all six but printed only White and Hawaiian "due to
+// space restrictions".
+var RaceKinds = []Kind{
+	RaceWhite, RaceBlack, RaceAsian, RaceAmericanIndian, RaceHawaiian, RaceOther,
+}
+
+// raceProfile parameterizes the per-block count distribution of one race
+// category: the share of blocks with zero members, and the lognormal
+// parameters of the nonzero counts.
+type raceProfile struct {
+	zeroShare float64
+	mu, sigma float64
+}
+
+// raceProfiles approximate the 2010 prevalence ordering: White is the
+// dense extreme, Hawaiian the sparse extreme, the others in between.
+var raceProfiles = map[Kind]raceProfile{
+	RaceWhite:          {zeroShare: 0.08, mu: 3.5, sigma: 1.2},
+	RaceBlack:          {zeroShare: 0.45, mu: 2.6, sigma: 1.3},
+	RaceAsian:          {zeroShare: 0.60, mu: 2.0, sigma: 1.2},
+	RaceAmericanIndian: {zeroShare: 0.80, mu: 1.0, sigma: 1.0},
+	RaceOther:          {zeroShare: 0.55, mu: 1.8, sigma: 1.2},
+}
+
+// Config controls generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Scale multiplies the default number of groups (1.0 gives a
+	// laptop-sized instance; the paper's instances are ~1000x larger).
+	Scale float64
+	// Levels selects the hierarchy depth: 2 (national/state) or
+	// 3 (national/state/county). For Taxi the levels are
+	// Manhattan/neighborhood (2) or Manhattan/half/neighborhood (3).
+	Levels int
+	// WestCoast restricts census-like datasets to CA/OR/WA, mirroring
+	// the paper's 3-level experiments ("for computational reasons we
+	// limit the hierarchy to the west coast").
+	WestCoast bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Levels == 0 {
+		c.Levels = 2
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Scale < 0 {
+		return fmt.Errorf("dataset: negative scale %f", c.Scale)
+	}
+	if c.Levels != 2 && c.Levels != 3 {
+		return fmt.Errorf("dataset: levels must be 2 or 3, got %d", c.Levels)
+	}
+	return nil
+}
+
+// stateNames are the 50 states plus PR and DC, as in the paper.
+var stateNames = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+	"HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+	"MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+	"NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+	"SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+	"PR", "DC",
+}
+
+var westCoastNames = []string{"CA", "OR", "WA"}
+
+// stateWeights gives unequal state sizes (Zipf-like by list order after
+// a deterministic shuffle so large states are spread alphabetically).
+func stateWeights(names []string) []float64 {
+	w := make([]float64, len(names))
+	var total float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i%17+1), 0.8)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// householdProbs is a census-like household size distribution for sizes
+// 1..7 (index 0 unused).
+var householdProbs = []float64{0, 0.27, 0.34, 0.16, 0.14, 0.06, 0.02, 0.01}
+
+// Generate produces the group records for the given dataset.
+func Generate(kind Kind, cfg Config) ([]hierarchy.Group, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	switch kind {
+	case Housing:
+		return generateHousing(r, cfg), nil
+	case Taxi:
+		return generateTaxi(r, cfg), nil
+	case RaceWhite, RaceHawaiian, RaceBlack, RaceAsian, RaceAmericanIndian, RaceOther:
+		return generateRace(r, cfg, kind), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown kind %d", int(kind))
+	}
+}
+
+// Tree generates the dataset and builds its hierarchy (root name is the
+// dataset-appropriate national/top region).
+func Tree(kind Kind, cfg Config) (*hierarchy.Tree, error) {
+	groups, err := Generate(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	root := "US"
+	if kind == Taxi {
+		root = "Manhattan"
+	}
+	return hierarchy.BuildTree(root, groups)
+}
+
+func activeStates(cfg Config) []string {
+	if cfg.WestCoast {
+		return westCoastNames
+	}
+	return stateNames
+}
+
+// counties returns deterministic county names and weights for a state.
+func counties(r *rand.Rand, state string) ([]string, []float64) {
+	n := 20 + int(state[0]+state[1])%40 // 20..59 counties, stable per state (CA has 58)
+	names := make([]string, n)
+	w := make([]float64, n)
+	var total float64
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-c%02d", state, i)
+		w[i] = 0.2 + r.Float64()
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return names, w
+}
+
+// pickWeighted samples an index proportionally to the weights.
+func pickWeighted(r *rand.Rand, w []float64) int {
+	x := r.Float64()
+	var cum float64
+	for i, wi := range w {
+		cum += wi
+		if x < cum {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// path assembles a group path for cfg.Levels levels below the root.
+func path(r *rand.Rand, cfg Config, state string, countyNames []string, countyWeights []float64) []string {
+	if cfg.Levels == 2 {
+		return []string{state}
+	}
+	return []string{state, countyNames[pickWeighted(r, countyWeights)]}
+}
+
+// generateHousing mirrors the paper's partially-synthetic housing
+// construction (Section 6.1).
+func generateHousing(r *rand.Rand, cfg Config) []hierarchy.Group {
+	const baseGroups = 200000
+	total := int(float64(baseGroups) * cfg.Scale)
+	states := activeStates(cfg)
+	weights := stateWeights(states)
+	var out []hierarchy.Group
+	for si, state := range states {
+		nState := int(float64(total) * weights[si])
+		if nState == 0 {
+			continue
+		}
+		cNames, cWeights := counties(r, state)
+		// Households of sizes 1..7.
+		var count6, count7 int
+		for i := 0; i < nState; i++ {
+			size := 1 + pickWeighted(r, householdProbs[1:])
+			switch size {
+			case 6:
+				count6++
+			case 7:
+				count7++
+			}
+			out = append(out, hierarchy.Group{
+				Path: path(r, cfg, state, cNames, cWeights),
+				Size: int64(size),
+			})
+		}
+		// Heavy tail for sizes >= 8: expected count of size k keeps the
+		// ratio count7/count6 between neighboring sizes, sampled
+		// binomially as in the paper.
+		if count6 == 0 || count7 == 0 {
+			continue
+		}
+		ratio := float64(count7) / float64(count6)
+		// Small states can sample count7 >= count6; an unclamped ratio
+		// >= 1 would make the tail expectation grow without bound.
+		if ratio > 0.75 {
+			ratio = 0.75
+		}
+		expected := float64(count7) * ratio
+		for k := int64(8); expected > 0.01 && k < 10000; k++ {
+			n := binomial(r, int(2*expected+1), expected/float64(int(2*expected+1)))
+			for i := 0; i < n; i++ {
+				out = append(out, hierarchy.Group{
+					Path: path(r, cfg, state, cNames, cWeights),
+					Size: k,
+				})
+			}
+			expected *= ratio
+		}
+	}
+	// 50 outlier group-quarters facilities with sizes uniform in
+	// [1, 10000], placed in random states.
+	nOutliers := 50
+	if cfg.Scale < 0.2 {
+		nOutliers = int(50 * cfg.Scale * 5) // keep a few at tiny scales
+	}
+	for i := 0; i < nOutliers; i++ {
+		si := pickWeighted(r, weights)
+		cNames, cWeights := counties(r, states[si])
+		out = append(out, hierarchy.Group{
+			Path: path(r, cfg, states[si], cNames, cWeights),
+			Size: 1 + int64(r.Intn(10000)),
+		})
+	}
+	return out
+}
+
+// generateTaxi mirrors the NYC taxi workload: medallions as groups,
+// pickups as entities, geography Manhattan / upper,lower / neighborhoods.
+func generateTaxi(r *rand.Rand, cfg Config) []hierarchy.Group {
+	const baseGroups = 40000
+	total := int(float64(baseGroups) * cfg.Scale)
+	// 28 neighborhoods split between upper and lower Manhattan.
+	type hood struct {
+		half string
+		name string
+		w    float64
+	}
+	hoods := make([]hood, 28)
+	var wTotal float64
+	for i := range hoods {
+		half := "lower"
+		if i >= 14 {
+			half = "upper"
+		}
+		w := 0.3 + r.Float64()
+		hoods[i] = hood{half: half, name: fmt.Sprintf("nta%02d", i), w: w}
+		wTotal += w
+	}
+	out := make([]hierarchy.Group, 0, total)
+	for _, h := range hoods {
+		n := int(float64(total) * h.w / wTotal)
+		for i := 0; i < n; i++ {
+			// Pickup counts are dense and large: lognormal around
+			// e^5.5 ~ 245 pickups per medallion per neighborhood.
+			size := int64(math.Exp(r.NormFloat64()*1.0 + 5.5))
+			p := []string{h.half, h.name}
+			if cfg.Levels == 2 {
+				p = []string{h.name} // Manhattan / neighborhood only
+			}
+			out = append(out, hierarchy.Group{Path: p, Size: size})
+		}
+	}
+	return out
+}
+
+// generateRace mirrors the per-block race counts: blocks are groups and
+// the block's count of the given race is the group size. The six race
+// categories span the density spectrum, from White (dense: many distinct
+// sizes up to the thousands) to Hawaiian (sparse: mostly zeros, few
+// distinct sizes).
+func generateRace(r *rand.Rand, cfg Config, kind Kind) []hierarchy.Group {
+	const baseBlocks = 60000
+	total := int(float64(baseBlocks) * cfg.Scale)
+	states := activeStates(cfg)
+	weights := stateWeights(states)
+	var out []hierarchy.Group
+	for si, state := range states {
+		n := int(float64(total) * weights[si])
+		cNames, cWeights := counties(r, state)
+		for i := 0; i < n; i++ {
+			out = append(out, hierarchy.Group{
+				Path: path(r, cfg, state, cNames, cWeights),
+				Size: raceBlockCount(r, kind),
+			})
+		}
+	}
+	return out
+}
+
+// raceBlockCount samples one block's count of the given race.
+func raceBlockCount(r *rand.Rand, kind Kind) int64 {
+	if kind == RaceHawaiian {
+		// The sparse extreme: 93% zeros, small counts otherwise, rare
+		// group-quarters-style outliers.
+		switch x := r.Float64(); {
+		case x < 0.93:
+			return 0
+		case x < 0.995:
+			return 1 + int64(geometric(r, 0.5))
+		default:
+			return 10 + int64(r.Intn(200))
+		}
+	}
+	p := raceProfiles[kind]
+	if r.Float64() < p.zeroShare {
+		return 0
+	}
+	return int64(math.Exp(r.NormFloat64()*p.sigma + p.mu))
+}
+
+// binomial samples Binomial(n, p) directly; n is small here (tail
+// counts), so the O(n) loop is fine.
+func binomial(r *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			count++
+		}
+	}
+	return count
+}
+
+// geometric samples the number of failures before a success with
+// success probability p.
+func geometric(r *rand.Rand, p float64) int {
+	count := 0
+	for r.Float64() >= p && count < 1000 {
+		count++
+	}
+	return count
+}
+
+// Stats summarizes a dataset as in the paper's Section 6.1 table.
+type Stats struct {
+	Groups        int64
+	People        int64
+	DistinctSizes int
+	MaxSize       int
+}
+
+// Summarize computes dataset statistics from the tree root.
+func Summarize(tree *hierarchy.Tree) Stats {
+	h := tree.Root.Hist
+	return Stats{
+		Groups:        h.Groups(),
+		People:        h.People(),
+		DistinctSizes: h.DistinctSizes(),
+		MaxSize:       h.MaxSize(),
+	}
+}

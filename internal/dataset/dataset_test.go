@@ -1,0 +1,269 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"hcoc/internal/hierarchy"
+)
+
+func smallCfg() Config { return Config{Seed: 1, Scale: 0.05, Levels: 2} }
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range Kinds {
+		groups, err := Generate(kind, smallCfg())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(groups) == 0 {
+			t.Fatalf("%v: no groups", kind)
+		}
+		for _, g := range groups {
+			if g.Size < 0 {
+				t.Fatalf("%v: negative size", kind)
+			}
+		}
+	}
+}
+
+func TestTreeBuildsAndValidates(t *testing.T) {
+	for _, kind := range Kinds {
+		tree, err := Tree(kind, smallCfg())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a, err := Generate(Housing, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Housing, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Size != b[i].Size || a[i].Path[0] != b[i].Path[0] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}
+
+func TestHousingShape(t *testing.T) {
+	tree, err := Tree(Housing, Config{Seed: 2, Scale: 0.2, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tree.Root.Hist
+	// Household sizes 1..7 dominate.
+	var small, large int64
+	for size, count := range h {
+		if size >= 1 && size <= 7 {
+			small += count
+		}
+		if size >= 100 {
+			large += count
+		}
+	}
+	if small < h.Groups()*9/10 {
+		t.Errorf("sizes 1..7 hold %d of %d groups, want >= 90%%", small, h.Groups())
+	}
+	// The outliers create a sparse heavy tail.
+	if large == 0 {
+		t.Error("no outlier groups >= 100")
+	}
+	if h.MaxSize() < 1000 {
+		t.Errorf("max size %d, want >= 1000 (outliers up to 10000)", h.MaxSize())
+	}
+	// Size-2 households are the most common bucket, as in census data.
+	if h[2] < h[1] || h[2] < h[3] {
+		t.Errorf("expected size-2 mode: H[1..3] = %v", h[1:4])
+	}
+}
+
+func TestTaxiShape(t *testing.T) {
+	tree, err := Tree(Taxi, Config{Seed: 3, Scale: 0.1, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 3 {
+		t.Fatalf("taxi depth = %d, want 3 (Manhattan/half/neighborhood)", tree.Depth())
+	}
+	if n := len(tree.ByLevel[1]); n != 2 {
+		t.Errorf("level 1 nodes = %d, want 2 (upper/lower)", n)
+	}
+	if n := len(tree.ByLevel[2]); n != 28 {
+		t.Errorf("level 2 nodes = %d, want 28 neighborhoods", n)
+	}
+	stats := Summarize(tree)
+	avg := float64(stats.People) / float64(stats.Groups)
+	if avg < 50 {
+		t.Errorf("average pickups per medallion %f, want large (dense data)", avg)
+	}
+	if stats.DistinctSizes < 200 {
+		t.Errorf("distinct sizes = %d, want many (dense data)", stats.DistinctSizes)
+	}
+}
+
+func TestRaceContrast(t *testing.T) {
+	cfg := Config{Seed: 4, Scale: 0.2, Levels: 2}
+	white, err := Tree(RaceWhite, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hawaiian, err := Tree(RaceHawaiian, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, hs := Summarize(white), Summarize(hawaiian)
+	// Same block universe, very different densities (paper: 226M whites
+	// vs 540k Hawaiians over the same 11M blocks).
+	if ws.People < hs.People*20 {
+		t.Errorf("white population %d should dwarf hawaiian %d", ws.People, hs.People)
+	}
+	if ws.DistinctSizes < hs.DistinctSizes*3 {
+		t.Errorf("white distinct sizes %d should dwarf hawaiian %d", ws.DistinctSizes, hs.DistinctSizes)
+	}
+	// Hawaiian data is mostly zero blocks.
+	if hawaiian.Root.Hist[0] < hs.Groups*8/10 {
+		t.Errorf("hawaiian zero blocks = %d of %d, want >= 80%%", hawaiian.Root.Hist[0], hs.Groups)
+	}
+}
+
+func TestWestCoastRestriction(t *testing.T) {
+	cfg := Config{Seed: 5, Scale: 0.1, Levels: 3, WestCoast: true}
+	tree, err := Tree(Housing, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", tree.Depth())
+	}
+	if n := len(tree.ByLevel[1]); n != 3 {
+		t.Errorf("states = %d, want 3 (CA/OR/WA)", n)
+	}
+	for _, n := range tree.ByLevel[1] {
+		if n.Name != "CA" && n.Name != "OR" && n.Name != "WA" {
+			t.Errorf("unexpected state %q", n.Name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Generate(Housing, Config{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := Generate(Housing, Config{Levels: 5}); err == nil {
+		t.Error("levels 5 accepted")
+	}
+	if _, err := Generate(Kind(99), smallCfg()); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	groups, err := Generate(RaceHawaiian, Config{Seed: 6, Scale: 0.01, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGroups(&buf, groups); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGroups(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(groups) {
+		t.Fatalf("round trip length %d != %d", len(back), len(groups))
+	}
+	for i := range groups {
+		if groups[i].Size != back[i].Size {
+			t.Fatalf("row %d size %d != %d", i, back[i].Size, groups[i].Size)
+		}
+		for j := range groups[i].Path {
+			if groups[i].Path[j] != back[i].Path[j] {
+				t.Fatalf("row %d path differs", i)
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGroups(&buf, nil); err == nil {
+		t.Error("empty groups accepted")
+	}
+	if err := WriteGroups(&buf, []hierarchy.Group{
+		{Path: []string{"a"}, Size: 1},
+		{Path: []string{"a", "b"}, Size: 1},
+	}); err == nil {
+		t.Error("mixed depths accepted")
+	}
+	for _, bad := range []string{
+		"",
+		"wrong,header\n1,a\n",
+		"size,level1\nnotanum,a\n",
+		"size,level1\n-3,a\n",
+		"size,level1\n",
+	} {
+		if _, err := ReadGroups(bytes.NewBufferString(bad)); err == nil {
+			t.Errorf("bad CSV %q accepted", bad)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Housing: "Synthetic", Taxi: "Taxi", RaceWhite: "White", RaceHawaiian: "Hawaiian"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestAllRaceCategoriesDensityOrdering(t *testing.T) {
+	// The six categories must span the density spectrum: White densest,
+	// Hawaiian and AmericanIndian sparsest.
+	cfg := Config{Seed: 8, Scale: 0.1, Levels: 2}
+	people := map[Kind]int64{}
+	for _, kind := range RaceKinds {
+		tree, err := Tree(kind, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		people[kind] = tree.Root.Hist.People()
+	}
+	if people[RaceWhite] <= people[RaceBlack] {
+		t.Errorf("White population %d should exceed Black %d", people[RaceWhite], people[RaceBlack])
+	}
+	if people[RaceBlack] <= people[RaceHawaiian] {
+		t.Errorf("Black population %d should exceed Hawaiian %d", people[RaceBlack], people[RaceHawaiian])
+	}
+	if people[RaceAsian] <= people[RaceHawaiian] {
+		t.Errorf("Asian population %d should exceed Hawaiian %d", people[RaceAsian], people[RaceHawaiian])
+	}
+}
+
+func TestRaceKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		RaceBlack: "Black", RaceAsian: "Asian",
+		RaceAmericanIndian: "AmericanIndian", RaceOther: "Other",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

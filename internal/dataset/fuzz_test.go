@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadGroups feeds arbitrary bytes to the CSV parser; it must never
+// panic, and anything it accepts must round-trip through WriteGroups.
+func FuzzReadGroups(f *testing.F) {
+	f.Add([]byte("size,level1\n3,CA\n1,WA\n"))
+	f.Add([]byte("size,level1,level2\n0,CA,a\n"))
+	f.Add([]byte("size\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("size,level1\n-1,CA\n"))
+	f.Add([]byte("size,level1\nxyz,CA\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		groups, err := ReadGroups(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be well-formed and re-serializable when
+		// the paths are uniform depth.
+		depth := len(groups[0].Path)
+		uniform := true
+		for _, g := range groups {
+			if g.Size < 0 {
+				t.Fatalf("parser accepted negative size %d", g.Size)
+			}
+			if len(g.Path) != depth {
+				uniform = false
+			}
+		}
+		if !uniform {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGroups(&buf, groups); err != nil {
+			t.Fatalf("round trip write failed: %v", err)
+		}
+		back, err := ReadGroups(&buf)
+		if err != nil {
+			t.Fatalf("round trip read failed: %v", err)
+		}
+		if len(back) != len(groups) {
+			t.Fatalf("round trip changed length: %d != %d", len(back), len(groups))
+		}
+	})
+}

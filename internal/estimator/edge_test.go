@@ -1,0 +1,90 @@
+package estimator
+
+import (
+	"testing"
+
+	"hcoc/internal/histogram"
+	"hcoc/internal/noise"
+)
+
+func TestEstimateAllZeroSizes(t *testing.T) {
+	// 50 groups, all of size zero.
+	h := histogram.Hist{50}
+	for _, m := range allMethods {
+		res, err := Estimate(m, h, Params{Epsilon: 1, K: 10}, noise.New(1))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Hist.Groups() != 50 {
+			t.Errorf("%v: groups = %d, want 50", m, res.Hist.Groups())
+		}
+		if res.Hist.Validate() != nil {
+			t.Errorf("%v: invalid output", m)
+		}
+	}
+}
+
+func TestEstimateSingleGroup(t *testing.T) {
+	h := histogram.FromSizes([]int64{7})
+	for _, m := range allMethods {
+		res, err := Estimate(m, h, Params{Epsilon: 2, K: 100}, noise.New(2))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Hist.Groups() != 1 {
+			t.Errorf("%v: groups = %d, want 1", m, res.Hist.Groups())
+		}
+	}
+}
+
+func TestEstimateKSmallerThanData(t *testing.T) {
+	// Groups larger than K are recorded at K; the estimate must still
+	// be valid with the correct group count (this is the truncation
+	// bias regime, not an error).
+	h := histogram.FromSizes([]int64{1, 2, 500, 900})
+	for _, m := range allMethods {
+		res, err := Estimate(m, h, Params{Epsilon: 5, K: 100}, noise.New(3))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Hist.Groups() != 4 {
+			t.Errorf("%v: groups = %d, want 4", m, res.Hist.Groups())
+		}
+		if got := res.Hist.MaxSize(); m != MethodHg && got > 100 {
+			t.Errorf("%v: max size %d exceeds K=100", m, got)
+		}
+	}
+}
+
+func TestEstimateHugeEpsilonExactOnGaps(t *testing.T) {
+	// Sparse histogram with big gaps — the housing regime.
+	h := histogram.Hist{}
+	h = h.Pad(5001)
+	h[1] = 1000
+	h[2] = 500
+	h[5000] = 3
+	for _, m := range []Method{MethodHc, MethodHg, MethodHcL2} {
+		res, err := Estimate(m, h, Params{Epsilon: 500, K: 10000}, noise.New(4))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if d := histogram.EMD(h, res.Hist); d > 5 {
+			t.Errorf("%v: EMD %d at eps=500, want ~0", m, d)
+		}
+	}
+}
+
+func TestVarianceAlignsWithSortedSizes(t *testing.T) {
+	// GroupVar must be indexed by the rank of the group in the sorted
+	// size order of the OUTPUT histogram.
+	h := histogram.Hist{0, 10, 0, 5}
+	for _, m := range []Method{MethodHc, MethodHg} {
+		res, err := Estimate(m, h, Params{Epsilon: 1, K: 50}, noise.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(res.GroupVar)) != res.Hist.Groups() {
+			t.Fatalf("%v: GroupVar length %d != groups %d", m, len(res.GroupVar), res.Hist.Groups())
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package estimator implements the three single-node differentially
+// private count-of-counts estimators of Section 4:
+//
+//   - Naive: double-geometric noise (scale 2/eps) on every cell of the
+//     truncated histogram H', then projection onto {x >= 0, sum = G}
+//     with largest-remainder rounding.
+//   - Hg method: noise (scale 1/eps) on the unattributed histogram,
+//     L2 isotonic regression, rounding.
+//   - Hc method: noise (scale 1/eps) on the cumulative histogram,
+//     L1 (default) or L2 isotonic regression with the boundary
+//     constraint Hc[K] = G, rounding.
+//
+// Every estimator also produces the per-group variance estimates of
+// Section 5.1, which the hierarchical consistency step consumes.
+package estimator
+
+import (
+	"fmt"
+
+	"hcoc/internal/histogram"
+	"hcoc/internal/isotonic"
+	"hcoc/internal/noise"
+	"hcoc/internal/simplex"
+)
+
+// Method selects a single-node estimation strategy.
+type Method int
+
+const (
+	// MethodHc is the cumulative-histogram method of Section 4.3 (with
+	// L1 isotonic regression, the paper's preferred configuration).
+	MethodHc Method = iota
+	// MethodHg is the unattributed-histogram method of Section 4.2.
+	MethodHg
+	// MethodNaive is the per-cell noise method of Section 4.1, kept as
+	// the straw-man baseline of Section 6.2.1.
+	MethodNaive
+	// MethodHcL2 is the cumulative-histogram method with L2 isotonic
+	// regression, kept for the ablation of the paper's L1-vs-L2 remark.
+	MethodHcL2
+)
+
+// String returns the name used in the paper's method-combination
+// notation (e.g. "Hc x Hg").
+func (m Method) String() string {
+	switch m {
+	case MethodHc:
+		return "Hc"
+	case MethodHg:
+		return "Hg"
+	case MethodNaive:
+		return "Naive"
+	case MethodHcL2:
+		return "Hc(L2)"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Result is a differentially private estimate of one node's
+// count-of-counts histogram.
+type Result struct {
+	// Hist is the integral, nonnegative estimate with
+	// Hist.Groups() equal to the public group count.
+	Hist histogram.Hist
+	// GroupVar[i] is the estimated variance of the size of the i-th
+	// smallest group (aligned with Hist.GroupSizes()).
+	GroupVar []float64
+}
+
+// Params bundles the public inputs of an estimate.
+type Params struct {
+	// Epsilon is the privacy-loss budget for this node.
+	Epsilon float64
+	// K is the public upper bound on group size used by the Naive and
+	// Hc methods (Section 4.1; the paper uses 100000).
+	K int
+}
+
+func (p Params) validate() error {
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("estimator: epsilon must be positive, got %g", p.Epsilon)
+	}
+	if p.K < 1 {
+		return fmt.Errorf("estimator: K must be at least 1, got %d", p.K)
+	}
+	return nil
+}
+
+// Estimate runs the selected method on the true histogram h, spending
+// p.Epsilon of privacy budget, drawing noise from gen.
+func Estimate(m Method, h histogram.Hist, p Params, gen *noise.Gen) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	g := h.Groups()
+	if g == 0 {
+		return Result{Hist: histogram.Hist{}}, nil
+	}
+	switch m {
+	case MethodNaive:
+		return estimateNaive(h, g, p, gen), nil
+	case MethodHg:
+		return estimateHg(h, g, p, gen), nil
+	case MethodHc:
+		return estimateHc(h, g, p, gen, true), nil
+	case MethodHcL2:
+		return estimateHc(h, g, p, gen, false), nil
+	default:
+		return Result{}, fmt.Errorf("estimator: unknown method %d", int(m))
+	}
+}
+
+// estimateNaive adds double-geometric noise with scale 2/eps to every
+// cell of the truncated histogram (sensitivity 2, Lemma 3), then projects
+// onto the scaled simplex and rounds. The per-group variance is the flat
+// noise variance heuristic; the naive method is not used inside the
+// consistency algorithm in the paper.
+func estimateNaive(h histogram.Hist, g int64, p Params, gen *noise.Gen) Result {
+	truncated := h.Truncate(p.K)
+	noisy := gen.AddDoubleGeometric(truncated, 2/p.Epsilon)
+	asFloat := make([]float64, len(noisy))
+	for i, v := range noisy {
+		asFloat[i] = float64(v)
+	}
+	est := histogram.Hist(simplex.ProjectAndRound(asFloat, g))
+	groupVar := make([]float64, g)
+	flat := noise.LaplaceVariance(2 / p.Epsilon)
+	for i := range groupVar {
+		groupVar[i] = flat
+	}
+	return Result{Hist: est.Trim(), GroupVar: groupVar}
+}
+
+// estimateHg adds double-geometric noise with scale 1/eps to every cell
+// of the unattributed histogram (sensitivity 1), applies L2 isotonic
+// regression clamped below at zero, and rounds each entry to the nearest
+// integer. Per Section 5.1.1 the variance of group i is 2/(S_i eps^2)
+// where S_i is the size of the isotonic solution block containing i.
+func estimateHg(h histogram.Hist, g int64, p Params, gen *noise.Gen) Result {
+	hg := h.GroupSizes()
+	noisy := gen.AddDoubleGeometric(hg, 1/p.Epsilon)
+	ys := make([]float64, len(noisy))
+	for i, v := range noisy {
+		ys[i] = float64(v)
+	}
+	fit := isotonic.FitL2(ys)
+	isotonic.ClampBox(fit, 0, maxFloat)
+	blockSizes := isotonic.BlockSizes(fit)
+	est := make(histogram.GroupSizes, len(fit))
+	groupVar := make([]float64, len(fit))
+	perCell := noise.LaplaceVariance(1 / p.Epsilon)
+	for i, z := range fit {
+		est[i] = int64(z + 0.5) // z >= 0, so this is round-to-nearest
+		groupVar[i] = perCell / float64(blockSizes[i])
+	}
+	return Result{Hist: est.Hist(), GroupVar: groupVar}
+}
+
+// estimateHc adds double-geometric noise with scale 1/eps to the
+// cumulative histogram of the K-truncated data (sensitivity 1, Lemma 4),
+// fits isotonic regression (L1 by default per the paper's finding, L2
+// for the ablation) under the boundary condition Hc[K] = G, clamps into
+// [0, G], and rounds. The final cell is pinned to the public G, so its
+// noisy value is discarded; the remaining cells' constrained optimum is
+// exactly the box-clamped unconstrained fit.
+//
+// Per Section 5.1.2 the variance of a group with estimated size j is
+// 4/(eps^2 * (number of estimated groups of size j)).
+func estimateHc(h histogram.Hist, g int64, p Params, gen *noise.Gen, l1 bool) Result {
+	hc := h.Truncate(p.K).Cumulative()
+	noisy := gen.AddDoubleGeometric(hc, 1/p.Epsilon)
+	ys := make([]float64, len(noisy)-1) // cell K is pinned to G
+	for i := range ys {
+		ys[i] = float64(noisy[i])
+	}
+	var fit []float64
+	if l1 {
+		fit = isotonic.FitL1(ys)
+	} else {
+		fit = isotonic.FitL2(ys)
+	}
+	isotonic.ClampBox(fit, 0, float64(g))
+	est := make(histogram.Cumulative, len(fit)+1)
+	for i, z := range fit {
+		est[i] = int64(z + 0.5)
+	}
+	est[len(est)-1] = g
+	hEst := est.Hist().Trim()
+
+	// Variance per group, aligned with hEst.GroupSizes(): all groups of
+	// estimated size j share variance 4/(eps^2 * hEst[j]).
+	groupVar := make([]float64, 0, g)
+	perCell := 2 * noise.LaplaceVariance(1/p.Epsilon) // 4/eps^2
+	for _, count := range hEst {
+		for k := int64(0); k < count; k++ {
+			groupVar = append(groupVar, perCell/float64(count))
+		}
+	}
+	return Result{Hist: hEst, GroupVar: groupVar}
+}
+
+// maxFloat is a clamp upper bound meaning "no upper bound".
+const maxFloat = 1e308

@@ -1,0 +1,73 @@
+package estimator
+
+import (
+	"testing"
+
+	"hcoc/internal/histogram"
+	"hcoc/internal/noise"
+)
+
+func TestEstimateKCoversTrueMax(t *testing.T) {
+	// With 5-sigma padding, P(K >= X) > 0.9995; over 200 trials we
+	// should essentially never undershoot.
+	h := histogram.FromSizes([]int64{1, 2, 3, 500})
+	under := 0
+	for seed := int64(0); seed < 200; seed++ {
+		k, err := EstimateK(h, 0.1, noise.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k < 500 {
+			under++
+		}
+	}
+	if under > 2 {
+		t.Errorf("K undershot the true max %d/200 times, want <= 2", under)
+	}
+}
+
+func TestEstimateKScalesWithBudget(t *testing.T) {
+	// Smaller epsilon means more padding (the paper suggests 1e-4,
+	// giving a huge but harmless K).
+	h := histogram.FromSizes([]int64{10})
+	kTight, err := EstimateK(h, 1.0, noise.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kLoose, err := EstimateK(h, 1e-4, noise.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kLoose <= kTight {
+		t.Errorf("K at eps=1e-4 (%d) should exceed K at eps=1 (%d)", kLoose, kTight)
+	}
+	// The 5-sigma padding alone is 5*sqrt(2)*1e4 ~ 70711.
+	if kLoose < 50000 {
+		t.Errorf("K at eps=1e-4 = %d, want large padding", kLoose)
+	}
+}
+
+func TestEstimateKEdgeCases(t *testing.T) {
+	if _, err := EstimateK(histogram.Hist{}, 0, noise.New(1)); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	k, err := EstimateK(histogram.Hist{}, 1, noise.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 {
+		t.Errorf("empty-data K = %d, want >= 1", k)
+	}
+}
+
+func TestEstimateKUsableAsParams(t *testing.T) {
+	h := histogram.FromSizes([]int64{3, 7, 2, 9})
+	gen := noise.New(5)
+	k, err := EstimateK(h, 0.5, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(MethodHc, h, Params{Epsilon: 1, K: k}, gen); err != nil {
+		t.Fatalf("estimated K unusable: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationTable(t *testing.T) {
+	tbl, err := AblationTable(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (isotonic norm, merge, noise)", len(tbl.Rows))
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"L1:", "L2:", "weighted:", "average:", "geometric:", "laplace:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	tbl, err := TimingTable(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 datasets", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if !strings.HasSuffix(row[3], "s") { // e.g. "12ms", "1.2s"
+			t.Errorf("unexpected duration cell %q", row[3])
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := Table{
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if sb.String() != want {
+		t.Errorf("RenderCSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRenderSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	err := RenderSeriesCSV(&sb, []Series{
+		{Name: "s", X: []float64{0.5}, Y: []float64{10}, Std: []float64{1.5}},
+		{Name: "t", X: []float64{1}, Y: []float64{20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "series,x,y,std\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "s,0.5,10,1.5\n") || !strings.Contains(out, "t,1,20,0\n") {
+		t.Errorf("missing rows: %q", out)
+	}
+}

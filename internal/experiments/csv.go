@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// RenderCSV writes the table as CSV (header row then data rows), for
+// plotting with external tools.
+func (t Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderSeriesCSV writes series in long form: series,x,y,std — one row
+// per point, ready for any plotting library.
+func RenderSeriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y", "std"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			std := 0.0
+			if s.Std != nil {
+				std = s.Std[i]
+			}
+			err := cw.Write([]string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+				strconv.FormatFloat(std, 'g', -1, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hcoc/internal/consistency"
+	"hcoc/internal/dataset"
+	"hcoc/internal/estimator"
+)
+
+// testCfg is small and fast: experiment structure, not statistical
+// power, is what unit tests check. Larger runs live in the benchmarks.
+func testCfg() Config {
+	return Config{Scale: 0.02, Runs: 2, Seed: 1, K: 500}
+}
+
+func TestDatasetStatsTable(t *testing.T) {
+	tbl, err := DatasetStats(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(dataset.Kinds) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(dataset.Kinds))
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"Synthetic", "White", "Hawaiian", "Taxi"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("rendered table missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestNaiveTableShowsNaiveLosing(t *testing.T) {
+	tbl, err := NaiveTable(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		// Column 3 is the Naive/Hc ratio like "123.4x".
+		ratio := row[3]
+		if !strings.HasSuffix(ratio, "x") {
+			t.Fatalf("unexpected ratio cell %q", ratio)
+		}
+		if strings.HasPrefix(ratio, "0.") || ratio == "1.0x" {
+			t.Errorf("dataset %s: naive should lose clearly, ratio %s", row[0], ratio)
+		}
+	}
+}
+
+func TestBottomUpVersusTopDownLevels(t *testing.T) {
+	// Level 0: top-down must beat bottom-up. Deepest level: bottom-up
+	// must win. This is the core claim of Section 6.2.2.
+	cfg := testCfg()
+	cfg.Runs = 3
+	cfg.Scale = 0.05
+	cfg.K = 20000 // K must exceed the true max size or the shared truncation bias masks the gap
+	tree, err := treeFor(dataset.RaceWhite, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := runBottomUp(tree, cfg, estimator.MethodHc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := runTopDown(tree, cfg, []estimator.Method{estimator.MethodHc}, consistency.MergeWeighted, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bu[0].Mean() <= td[0].Mean() {
+		t.Errorf("level 0: BU %.1f should exceed TopDown %.1f", bu[0].Mean(), td[0].Mean())
+	}
+	if bu[2].Mean() >= td[2].Mean() {
+		t.Errorf("level 2: BU %.1f should be below TopDown %.1f", bu[2].Mean(), td[2].Mean())
+	}
+}
+
+func TestBottomUpTableStructure(t *testing.T) {
+	tbl, err := BottomUpTable(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 3 levels x {BU, Hc}
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	if len(tbl.Columns) != 2+len(dataset.Kinds) {
+		t.Fatalf("columns = %d, want %d", len(tbl.Columns), 2+len(dataset.Kinds))
+	}
+}
+
+func TestFig1SeriesShape(t *testing.T) {
+	series, err := Fig1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2 (Hg, Hc)", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %q has %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	if series[0].Name != "Hg" || series[1].Name != "Hc" {
+		t.Errorf("series names = %q, %q", series[0].Name, series[1].Name)
+	}
+}
+
+func TestFig4SeriesShape(t *testing.T) {
+	series, err := Fig4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets x 3 combos x 2 merges x 2 levels.
+	want := 3 * 3 * 2 * 2
+	if len(series) != want {
+		t.Fatalf("series = %d, want %d", len(series), want)
+	}
+	for _, s := range series {
+		if len(s.X) != len(EpsSweep) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.X), len(EpsSweep))
+		}
+	}
+}
+
+func TestFig5And6SeriesShape(t *testing.T) {
+	s5, err := Fig5(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per dataset: 2 methods x 2 levels + 2 omniscient = 6.
+	if want := len(dataset.Kinds) * 6; len(s5) != want {
+		t.Fatalf("fig5 series = %d, want %d", len(s5), want)
+	}
+	s6, err := Fig6(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per dataset: 2 methods x 3 levels + 3 omniscient = 9.
+	if want := len(dataset.Kinds) * 9; len(s6) != want {
+		t.Fatalf("fig6 series = %d, want %d", len(s6), want)
+	}
+}
+
+func TestErrorShrinksWithEpsilonInFig5(t *testing.T) {
+	series, err := Fig5(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each non-omniscient series, the eps=1.0 point should not be
+	// larger than the eps=0.01 point (averaged over the few runs this
+	// holds robustly).
+	for _, s := range series {
+		if strings.Contains(s.Name, "omniscient") {
+			continue
+		}
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last > first {
+			t.Errorf("series %q: error grew with epsilon (%.1f -> %.1f)", s.Name, first, last)
+		}
+	}
+}
+
+func TestStatMoments(t *testing.T) {
+	var s Stat
+	if s.Mean() != 0 || s.StdErr() != 0 {
+		t.Error("empty stat should be zero")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Add(x)
+	}
+	if s.N() != 4 {
+		t.Errorf("N = %d, want 4", s.N())
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %f, want 2.5", s.Mean())
+	}
+	// Population std of {1,2,3,4} is sqrt(1.25); stderr = that / 2.
+	if got, want := s.StdErr(), 0.5590169943749475; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("StdErr = %f, want %f", got, want)
+	}
+}
+
+func TestOmniscientErrorFormula(t *testing.T) {
+	// The paper's example: 2352 distinct sizes at eps 0.1 per level is
+	// about 3.3e4.
+	got := OmniscientError(2352, 0.1, 1)
+	if got < 3.2e4 || got > 3.4e4 {
+		t.Errorf("OmniscientError = %f, want ~3.3e4", got)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var sb strings.Builder
+	err := RenderSeries(&sb, "title", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}, Std: []float64{0.5, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "a:") ||
+		!strings.Contains(out, "±") {
+		t.Errorf("unexpected render output: %s", out)
+	}
+}
+
+func TestRaceTableCoversSixCategories(t *testing.T) {
+	tbl, err := RaceTable(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 race categories", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "Hc" && row[5] != "Hg" {
+			t.Errorf("race %s: winner %q, want Hc or Hg", row[0], row[5])
+		}
+	}
+}

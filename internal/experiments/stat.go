@@ -1,0 +1,60 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6) on the synthetic stand-in datasets: the dataset
+// statistics table, the naive-method table (6.2.1), the bottom-up
+// comparison (6.2.2), the error-location visualization (Figure 1), the
+// merge-strategy comparison (Figure 4), and the 2-level and 3-level
+// consistency results (Figures 5 and 6).
+//
+// Each experiment returns structured Tables/Series and can render itself
+// as text; cmd/hcoc-bench and the root bench_test.go drive them.
+package experiments
+
+import "math"
+
+// Stat accumulates a sample mean and its standard error, matching the
+// paper's reporting ("the standard deviation of the average is the
+// empirical standard deviation divided by sqrt(runs)").
+type Stat struct {
+	n            int
+	sum, sumSqrd float64
+}
+
+// Add records one observation.
+func (s *Stat) Add(x float64) {
+	s.n++
+	s.sum += x
+	s.sumSqrd += x * x
+}
+
+// N returns the number of observations.
+func (s *Stat) N() int { return s.n }
+
+// Mean returns the sample mean (0 for no observations).
+func (s *Stat) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// StdErr returns the standard error of the mean: the empirical standard
+// deviation divided by sqrt(n).
+func (s *Stat) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	variance := s.sumSqrd/float64(s.n) - m*m
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance / float64(s.n))
+}
+
+// OmniscientError is the paper's yardstick (Section 6.2 "Interpreting
+// error"): an algorithm that knows which group sizes exist and only has
+// to estimate their counts with Laplace noise would incur expected error
+// about distinctSizes * sqrt(2)/epsPerLevel * levels.
+func OmniscientError(distinctSizes int, epsPerLevel float64, levels int) float64 {
+	return float64(distinctSizes) * math.Sqrt2 / epsPerLevel * float64(levels)
+}

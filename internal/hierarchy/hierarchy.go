@@ -1,0 +1,232 @@
+// Package hierarchy models the region hierarchy of Section 3: a tree of
+// regions (level 0 is the root; level i+1 subdivides level i) where every
+// group lives in exactly one leaf region, and every node carries the true
+// count-of-counts histogram of the groups under it.
+//
+// The Hierarchy and Groups tables are public; only the group sizes
+// (derived from the private Entities table) are private. Accordingly a
+// Node exposes its group count G() as public knowledge while its Hist is
+// the sensitive input consumed by the estimators.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"hcoc/internal/histogram"
+)
+
+// Node is one region in the hierarchy.
+type Node struct {
+	// Name is the region's name within its parent (e.g. "CA").
+	Name string
+	// Path is the full slash-separated path from the root (e.g.
+	// "US/CA/Alameda"), unique within a tree.
+	Path string
+	// Level is the depth: 0 for the root.
+	Level int
+	// Parent is nil for the root.
+	Parent *Node
+	// Children are ordered by name for deterministic traversal.
+	Children []*Node
+	// Hist is the true (private) count-of-counts histogram of the
+	// groups in this region.
+	Hist histogram.Hist
+}
+
+// G returns the public number of groups in the node's region.
+func (n *Node) G() int64 { return n.Hist.Groups() }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is a region hierarchy with per-level node indexes.
+type Tree struct {
+	Root *Node
+	// ByLevel[l] lists the nodes at level l in deterministic
+	// (path-sorted) order. ByLevel[0] is [Root].
+	ByLevel [][]*Node
+}
+
+// Depth returns the number of levels, including the root level.
+func (t *Tree) Depth() int { return len(t.ByLevel) }
+
+// Leaves returns the nodes at the deepest level.
+func (t *Tree) Leaves() []*Node { return t.ByLevel[t.Depth()-1] }
+
+// Nodes returns all nodes in level order.
+func (t *Tree) Nodes() []*Node {
+	var out []*Node
+	for _, level := range t.ByLevel {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// Walk visits every node in level order (root first).
+func (t *Tree) Walk(fn func(*Node)) {
+	for _, level := range t.ByLevel {
+		for _, n := range level {
+			fn(n)
+		}
+	}
+}
+
+// Validate checks the structural invariants: every internal node's
+// histogram equals the sum of its children's histograms, levels are
+// consistent, and paths are unique.
+func (t *Tree) Validate() error {
+	seen := make(map[string]bool)
+	var err error
+	t.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		if seen[n.Path] {
+			err = fmt.Errorf("hierarchy: duplicate path %q", n.Path)
+			return
+		}
+		seen[n.Path] = true
+		if n.Parent != nil && n.Level != n.Parent.Level+1 {
+			err = fmt.Errorf("hierarchy: node %q level %d under parent level %d", n.Path, n.Level, n.Parent.Level)
+			return
+		}
+		if e := n.Hist.Validate(); e != nil {
+			err = fmt.Errorf("hierarchy: node %q: %w", n.Path, e)
+			return
+		}
+		if !n.IsLeaf() {
+			var sum histogram.Hist
+			for _, c := range n.Children {
+				sum = sum.Add(c.Hist)
+			}
+			if !n.Hist.Equal(sum) {
+				err = fmt.Errorf("hierarchy: node %q histogram is not the sum of its children", n.Path)
+			}
+		}
+	})
+	return err
+}
+
+// Builder incrementally constructs a Tree from group records. All leaf
+// paths must have the same depth; Build reports an error otherwise.
+type Builder struct {
+	rootName string
+	root     *node
+}
+
+type node struct {
+	name     string
+	children map[string]*node
+	hist     histogram.Hist
+}
+
+// NewBuilder creates a builder whose root region has the given name
+// (e.g. "US" or "Manhattan").
+func NewBuilder(rootName string) *Builder {
+	return &Builder{
+		rootName: rootName,
+		root:     &node{name: rootName, children: map[string]*node{}},
+	}
+}
+
+// AddGroup records one group of the given size located at the leaf
+// identified by path (region names below the root, one per level).
+// Size must be nonnegative.
+func (b *Builder) AddGroup(path []string, size int64) {
+	if size < 0 {
+		panic(fmt.Sprintf("hierarchy: negative group size %d", size))
+	}
+	cur := b.root
+	cur.addSize(size)
+	for _, name := range path {
+		child, ok := cur.children[name]
+		if !ok {
+			child = &node{name: name, children: map[string]*node{}}
+			cur.children[name] = child
+		}
+		cur = child
+		cur.addSize(size)
+	}
+}
+
+func (n *node) addSize(size int64) {
+	for int64(len(n.hist)) <= size {
+		n.hist = append(n.hist, 0)
+	}
+	n.hist[size]++
+}
+
+// Build finalizes the tree. It returns an error if leaves are at mixed
+// depths (a group would span levels) or no groups were added.
+func (b *Builder) Build() (*Tree, error) {
+	if b.root.hist.Groups() == 0 {
+		return nil, fmt.Errorf("hierarchy: no groups added")
+	}
+	root := convert(b.root, nil, b.rootName, 0)
+	tree := &Tree{Root: root}
+	depth := -1
+	// Collect levels breadth-first.
+	frontier := []*Node{root}
+	for level := 0; len(frontier) > 0; level++ {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i].Path < frontier[j].Path })
+		tree.ByLevel = append(tree.ByLevel, frontier)
+		var next []*Node
+		for _, n := range frontier {
+			if n.IsLeaf() {
+				if depth == -1 {
+					depth = n.Level
+				} else if depth != n.Level {
+					return nil, fmt.Errorf("hierarchy: leaf %q at level %d, expected %d", n.Path, n.Level, depth)
+				}
+				continue
+			}
+			next = append(next, n.Children...)
+		}
+		frontier = next
+	}
+	// A group recorded at an internal node (e.g. AddGroup with a path
+	// that is a prefix of another group's path) breaks additivity;
+	// Validate catches it.
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+func convert(src *node, parent *Node, path string, level int) *Node {
+	n := &Node{
+		Name:   src.name,
+		Path:   path,
+		Level:  level,
+		Parent: parent,
+		Hist:   src.hist,
+	}
+	names := make([]string, 0, len(src.children))
+	for name := range src.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n.Children = append(n.Children, convert(src.children[name], n, path+"/"+name, level+1))
+	}
+	return n
+}
+
+// FromGroups builds a tree directly from a list of (path, size) records.
+type Group struct {
+	// Path holds the region names below the root, outermost first.
+	Path []string
+	// Size is the number of entities in the group.
+	Size int64
+}
+
+// BuildTree constructs a tree from group records under the given root
+// name.
+func BuildTree(rootName string, groups []Group) (*Tree, error) {
+	b := NewBuilder(rootName)
+	for _, g := range groups {
+		b.AddGroup(g.Path, g.Size)
+	}
+	return b.Build()
+}

@@ -1,0 +1,143 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"hcoc/internal/histogram"
+)
+
+// paperIntroTree builds the running example from the paper's
+// introduction: groups of sizes 4 and 1 at node a, 2 and 1 at node b.
+func paperIntroTree(t *testing.T) *Tree {
+	t.Helper()
+	tree, err := BuildTree("top", []Group{
+		{Path: []string{"a"}, Size: 4},
+		{Path: []string{"b"}, Size: 2},
+		{Path: []string{"a"}, Size: 1},
+		{Path: []string{"b"}, Size: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestPaperIntroExample(t *testing.T) {
+	tree := paperIntroTree(t)
+	if got := tree.Depth(); got != 2 {
+		t.Fatalf("Depth = %d, want 2", got)
+	}
+	// Htop = [2, 1, 0, 1] (using indices 0..4 with H[0]=0).
+	wantTop := histogram.Hist{0, 2, 1, 0, 1}
+	if !tree.Root.Hist.Equal(wantTop) {
+		t.Errorf("root hist = %v, want %v", tree.Root.Hist, wantTop)
+	}
+	if g := tree.Root.G(); g != 4 {
+		t.Errorf("root G = %d, want 4", g)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %d, want 2", len(leaves))
+	}
+	a, b := leaves[0], leaves[1]
+	if a.Name != "a" || b.Name != "b" {
+		t.Fatalf("leaves not sorted by path: %q, %q", a.Path, b.Path)
+	}
+	if !a.Hist.Equal(histogram.Hist{0, 1, 0, 0, 1}) {
+		t.Errorf("a hist = %v, want [0 1 0 0 1]", a.Hist)
+	}
+	if !b.Hist.Equal(histogram.Hist{0, 1, 1}) {
+		t.Errorf("b hist = %v, want [0 1 1]", b.Hist)
+	}
+	// Unattributed representations from the paper: Hag=[1,4], Hbg=[1,2].
+	ag := a.Hist.GroupSizes()
+	if len(ag) != 2 || ag[0] != 1 || ag[1] != 4 {
+		t.Errorf("a group sizes = %v, want [1 4]", ag)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderRejectsEmptyAndMixedDepth(t *testing.T) {
+	if _, err := NewBuilder("x").Build(); err == nil {
+		t.Error("empty tree accepted")
+	}
+	b := NewBuilder("x")
+	b.AddGroup([]string{"a"}, 1)
+	b.AddGroup([]string{"a", "deep"}, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("mixed-depth leaves accepted")
+	}
+}
+
+func TestAddGroupPanicsOnNegativeSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size accepted")
+		}
+	}()
+	NewBuilder("x").AddGroup([]string{"a"}, -1)
+}
+
+func TestThreeLevelTreeStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var groups []Group
+	states := []string{"CA", "OR", "WA"}
+	for i := 0; i < 500; i++ {
+		st := states[r.Intn(len(states))]
+		county := string(rune('a' + r.Intn(4)))
+		groups = append(groups, Group{Path: []string{st, county}, Size: int64(r.Intn(10))})
+	}
+	tree, err := BuildTree("US", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", tree.Depth())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Root.G(); got != 500 {
+		t.Errorf("root groups = %d, want 500", got)
+	}
+	// Level sums must reproduce the root count.
+	for l := 0; l < tree.Depth(); l++ {
+		var sum int64
+		for _, n := range tree.ByLevel[l] {
+			sum += n.G()
+		}
+		if sum != 500 {
+			t.Errorf("level %d group total = %d, want 500", l, sum)
+		}
+	}
+	// Parent pointers and levels line up.
+	tree.Walk(func(n *Node) {
+		for _, c := range n.Children {
+			if c.Parent != n {
+				t.Errorf("child %q has wrong parent", c.Path)
+			}
+		}
+	})
+}
+
+func TestNodesAndWalkOrderDeterministic(t *testing.T) {
+	tree := paperIntroTree(t)
+	nodes := tree.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("Nodes = %d, want 3", len(nodes))
+	}
+	if nodes[0] != tree.Root || nodes[1].Name != "a" || nodes[2].Name != "b" {
+		t.Error("Nodes not in deterministic level order")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tree := paperIntroTree(t)
+	tree.Root.Hist[1] += 5 // break additivity
+	if err := tree.Validate(); err == nil {
+		t.Error("corrupted tree passed validation")
+	}
+}

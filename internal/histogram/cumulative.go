@@ -1,0 +1,68 @@
+package histogram
+
+import "fmt"
+
+// Cumulative is the cumulative-sum representation Hc of a count-of-counts
+// histogram: Cumulative[i] is the number of groups of size <= i. It is
+// non-decreasing and its last element equals the total number of groups.
+type Cumulative []int64
+
+// Cumulative converts a count-of-counts histogram into its cumulative
+// representation.
+func (h Hist) Cumulative() Cumulative {
+	out := make(Cumulative, len(h))
+	var run int64
+	for i, v := range h {
+		run += v
+		out[i] = run
+	}
+	return out
+}
+
+// Hist converts a cumulative histogram back to the count-of-counts
+// representation. It panics if c is not non-decreasing, because that
+// indicates the caller skipped the required isotonic post-processing.
+func (c Cumulative) Hist() Hist {
+	out := make(Hist, len(c))
+	var prev int64
+	for i, v := range c {
+		if v < prev {
+			panic(fmt.Sprintf("histogram: cumulative not non-decreasing at %d (%d < %d)", i, v, prev))
+		}
+		out[i] = v - prev
+		prev = v
+	}
+	return out
+}
+
+// Groups returns the total number of groups (the last cell), or 0 for an
+// empty histogram.
+func (c Cumulative) Groups() int64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1]
+}
+
+// Validate reports an error if c is negative anywhere or not
+// non-decreasing.
+func (c Cumulative) Validate() error {
+	var prev int64
+	for i, v := range c {
+		if v < 0 {
+			return fmt.Errorf("histogram: negative cumulative count %d at size %d", v, i)
+		}
+		if v < prev {
+			return fmt.Errorf("histogram: cumulative decreases at size %d (%d -> %d)", i, prev, v)
+		}
+		prev = v
+	}
+	return nil
+}
+
+// Clone returns a copy of c.
+func (c Cumulative) Clone() Cumulative {
+	out := make(Cumulative, len(c))
+	copy(out, c)
+	return out
+}

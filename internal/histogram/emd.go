@@ -1,0 +1,50 @@
+package histogram
+
+// EMD computes the earthmover's distance between two count-of-counts
+// histograms: the minimum number of entities that must be added to or
+// removed from groups of a to obtain b. By Lemma 1 of the paper it equals
+// the L1 distance between the cumulative histograms (the shorter input is
+// implicitly padded with trailing zeros, under which its cumulative sum
+// stays constant).
+func EMD(a, b Hist) int64 {
+	var (
+		dist       int64
+		cumA, cumB int64
+	)
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if i < len(a) {
+			cumA += a[i]
+		}
+		if i < len(b) {
+			cumB += b[i]
+		}
+		dist += abs64(cumA - cumB)
+	}
+	return dist
+}
+
+// EMDGroupSizes computes the earthmover's distance between two
+// unattributed histograms with the same number of groups: the L1 distance
+// between the sorted size lists. It panics if the group counts differ,
+// because the L1-of-Hg identity only holds for a fixed number of groups.
+func EMDGroupSizes(a, b GroupSizes) int64 {
+	if len(a) != len(b) {
+		panic("histogram: EMDGroupSizes requires equal group counts")
+	}
+	var dist int64
+	for i := range a {
+		dist += abs64(a[i] - b[i])
+	}
+	return dist
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

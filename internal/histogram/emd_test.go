@@ -1,0 +1,112 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEMDPaperExample(t *testing.T) {
+	// Section 3.1: H = 100 groups of size 1. H1 = all size 2, H2 = all
+	// size 5. L1/L2 cannot distinguish them, EMD must: 100 vs 400.
+	h := Hist{0, 100}
+	h1 := Hist{0, 0, 100}
+	h2 := Hist{0, 0, 0, 0, 0, 100}
+	if got := EMD(h, h1); got != 100 {
+		t.Errorf("EMD(h, h1) = %d, want 100", got)
+	}
+	if got := EMD(h, h2); got != 400 {
+		t.Errorf("EMD(h, h2) = %d, want 400", got)
+	}
+}
+
+func TestEMDIdentityAndSymmetry(t *testing.T) {
+	a := Hist{0, 2, 1, 2}
+	b := Hist{1, 1, 1, 1, 1}
+	if got := EMD(a, a); got != 0 {
+		t.Errorf("EMD(a, a) = %d, want 0", got)
+	}
+	if EMD(a, b) != EMD(b, a) {
+		t.Error("EMD not symmetric")
+	}
+}
+
+func TestEMDDifferentLengths(t *testing.T) {
+	a := Hist{0, 3}
+	b := Hist{0, 3, 0, 0, 0}
+	if got := EMD(a, b); got != 0 {
+		t.Errorf("EMD with trailing zeros = %d, want 0", got)
+	}
+}
+
+func TestEMDGroupSizesMatchesCumulative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build two histograms over the same number of groups by
+		// shuffling sizes.
+		n := 1 + r.Intn(30)
+		sa := make([]int64, n)
+		sb := make([]int64, n)
+		for i := 0; i < n; i++ {
+			sa[i] = int64(r.Intn(10))
+			sb[i] = int64(r.Intn(10))
+		}
+		a, b := FromSizes(sa), FromSizes(sb)
+		ga, gb := a.GroupSizes(), b.GroupSizes()
+		return EMD(a, b) == EMDGroupSizes(ga, gb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEMDTriangleInequality(t *testing.T) {
+	// EMD is a metric over histograms with the same number of groups
+	// (with unequal totals the truncated cumulative sums are not
+	// comparable, which is why the paper fixes the group count).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		mk := func() Hist {
+			sizes := make([]int64, n)
+			for i := range sizes {
+				sizes[i] = int64(r.Intn(10))
+			}
+			return FromSizes(sizes)
+		}
+		a, b, c := mk(), mk(), mk()
+		return EMD(a, c) <= EMD(a, b)+EMD(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEMDGroupSizesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EMDGroupSizes accepted mismatched lengths")
+		}
+	}()
+	EMDGroupSizes(GroupSizes{1}, GroupSizes{1, 2})
+}
+
+func TestPropEMDAdditiveUnderPersonMoves(t *testing.T) {
+	// Adding one person to one group changes EMD from the original by
+	// exactly 1 (the minimal move).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHist(r, 20, 4)
+		if h.Groups() == 0 {
+			return true
+		}
+		g := h.GroupSizes()
+		i := r.Intn(len(g))
+		g2 := g.Clone()
+		g2[i]++
+		return EMD(h, g2.Hist()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

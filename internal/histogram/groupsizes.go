@@ -1,0 +1,74 @@
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupSizes is the unattributed-histogram representation Hg: a
+// non-decreasing slice where GroupSizes[k] is the size of the k-th
+// smallest group. Its length is the number of groups.
+type GroupSizes []int64
+
+// GroupSizes converts a count-of-counts histogram into the unattributed
+// representation. The result has length h.Groups().
+func (h Hist) GroupSizes() GroupSizes {
+	out := make(GroupSizes, 0, h.Groups())
+	for size, count := range h {
+		for j := int64(0); j < count; j++ {
+			out = append(out, int64(size))
+		}
+	}
+	return out
+}
+
+// Hist converts group sizes back into a count-of-counts histogram. The
+// input need not be sorted. It panics on negative sizes.
+func (g GroupSizes) Hist() Hist {
+	return FromSizes(g)
+}
+
+// Groups returns the number of groups (the length of g).
+func (g GroupSizes) Groups() int64 { return int64(len(g)) }
+
+// People returns the total number of entities, i.e. the sum of sizes.
+func (g GroupSizes) People() int64 {
+	var n int64
+	for _, s := range g {
+		n += s
+	}
+	return n
+}
+
+// IsSorted reports whether g is non-decreasing.
+func (g GroupSizes) IsSorted() bool {
+	return sort.SliceIsSorted(g, func(i, j int) bool { return g[i] < g[j] })
+}
+
+// Sort sorts g in place into non-decreasing order.
+func (g GroupSizes) Sort() {
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+}
+
+// Validate reports an error if g contains a negative size or is not
+// non-decreasing.
+func (g GroupSizes) Validate() error {
+	var prev int64
+	for i, s := range g {
+		if s < 0 {
+			return fmt.Errorf("histogram: negative group size %d at index %d", s, i)
+		}
+		if s < prev {
+			return fmt.Errorf("histogram: group sizes decrease at index %d (%d -> %d)", i, prev, s)
+		}
+		prev = s
+	}
+	return nil
+}
+
+// Clone returns a copy of g.
+func (g GroupSizes) Clone() GroupSizes {
+	out := make(GroupSizes, len(g))
+	copy(out, g)
+	return out
+}

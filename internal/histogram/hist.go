@@ -1,0 +1,171 @@
+// Package histogram provides the three representations of a
+// count-of-counts histogram used throughout the paper:
+//
+//   - Hist (H): H[i] is the number of groups of size i.
+//   - Cumulative (Hc): Hc[i] is the number of groups of size <= i.
+//   - GroupSizes (Hg): the "unattributed histogram", a non-decreasing
+//     list of group sizes; Hg[k] is the size of the k-th smallest group.
+//
+// Conversions between the representations are lossless. The error metric
+// between two count-of-counts histograms is the earthmover's distance,
+// which equals the L1 distance between cumulative histograms (Lemma 1 of
+// the paper) and the L1 distance between the GroupSizes representations
+// when the number of groups is equal.
+package histogram
+
+import "fmt"
+
+// Hist is a count-of-counts histogram: Hist[i] is the number of groups
+// that contain exactly i entities. Index 0 is meaningful (groups that
+// currently contain no entities, e.g. census blocks with zero members of
+// a given race).
+type Hist []int64
+
+// Groups returns the total number of groups, i.e. the sum of all cells.
+func (h Hist) Groups() int64 {
+	var n int64
+	for _, v := range h {
+		n += v
+	}
+	return n
+}
+
+// People returns the total number of entities across all groups,
+// i.e. sum_i i*H[i].
+func (h Hist) People() int64 {
+	var n int64
+	for i, v := range h {
+		n += int64(i) * v
+	}
+	return n
+}
+
+// DistinctSizes returns the number of distinct group sizes present,
+// i.e. the number of cells with a nonzero count.
+func (h Hist) DistinctSizes() int {
+	n := 0
+	for _, v := range h {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxSize returns the largest group size with a nonzero count, or -1 if
+// the histogram is empty (no groups).
+func (h Hist) MaxSize() int {
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate reports an error if any cell is negative.
+func (h Hist) Validate() error {
+	for i, v := range h {
+		if v < 0 {
+			return fmt.Errorf("histogram: negative count %d at size %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Clone returns a copy of h.
+func (h Hist) Clone() Hist {
+	out := make(Hist, len(h))
+	copy(out, h)
+	return out
+}
+
+// Trim removes trailing zero cells, returning a histogram whose length is
+// MaxSize()+1 (or zero length if there are no groups).
+func (h Hist) Trim() Hist {
+	return h[:h.MaxSize()+1]
+}
+
+// Pad returns a histogram of length at least n, extending with zeros.
+// If h is already long enough it is returned unchanged.
+func (h Hist) Pad(n int) Hist {
+	if len(h) >= n {
+		return h
+	}
+	out := make(Hist, n)
+	copy(out, h)
+	return out
+}
+
+// Truncate returns a histogram of length exactly k+1 in which every group
+// of size greater than k is recorded as having size k. This is the H'
+// construction of Section 4.1, used when a public upper bound K on the
+// group size must be imposed.
+func (h Hist) Truncate(k int) Hist {
+	out := make(Hist, k+1)
+	for i, v := range h {
+		if i >= k {
+			out[k] += v
+		} else {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// Add returns the cell-wise sum of h and other, padded to the longer of
+// the two lengths. Neither input is modified.
+func (h Hist) Add(other Hist) Hist {
+	n := len(h)
+	if len(other) > n {
+		n = len(other)
+	}
+	out := make(Hist, n)
+	copy(out, h)
+	for i, v := range other {
+		out[i] += v
+	}
+	return out
+}
+
+// Equal reports whether h and other describe the same histogram,
+// ignoring trailing zeros.
+func (h Hist) Equal(other Hist) bool {
+	n := len(h)
+	if len(other) > n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		var a, b int64
+		if i < len(h) {
+			a = h[i]
+		}
+		if i < len(other) {
+			b = other[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// FromSizes builds a count-of-counts histogram from a list of group
+// sizes. Sizes must be nonnegative; it panics otherwise, because a
+// negative group size indicates a programming error upstream.
+func FromSizes(sizes []int64) Hist {
+	var maxSize int64 = -1
+	for _, s := range sizes {
+		if s < 0 {
+			panic(fmt.Sprintf("histogram: negative group size %d", s))
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	h := make(Hist, maxSize+1)
+	for _, s := range sizes {
+		h[s]++
+	}
+	return h
+}

@@ -1,0 +1,222 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistGroupsPeople(t *testing.T) {
+	h := Hist{0, 2, 1, 2} // paper's running example
+	if got := h.Groups(); got != 5 {
+		t.Errorf("Groups() = %d, want 5", got)
+	}
+	if got := h.People(); got != 10 {
+		t.Errorf("People() = %d, want 10 (2*1 + 1*2 + 2*3)", got)
+	}
+}
+
+func TestHistDistinctSizes(t *testing.T) {
+	tests := []struct {
+		h    Hist
+		want int
+	}{
+		{Hist{}, 0},
+		{Hist{0, 0, 0}, 0},
+		{Hist{5}, 1},
+		{Hist{0, 2, 1, 2}, 3},
+		{Hist{1, 0, 3}, 2},
+	}
+	for _, tc := range tests {
+		if got := tc.h.DistinctSizes(); got != tc.want {
+			t.Errorf("DistinctSizes(%v) = %d, want %d", tc.h, got, tc.want)
+		}
+	}
+}
+
+func TestHistMaxSize(t *testing.T) {
+	tests := []struct {
+		h    Hist
+		want int
+	}{
+		{Hist{}, -1},
+		{Hist{0, 0}, -1},
+		{Hist{3}, 0},
+		{Hist{0, 2, 1, 2}, 3},
+		{Hist{0, 1, 0, 0}, 1},
+	}
+	for _, tc := range tests {
+		if got := tc.h.MaxSize(); got != tc.want {
+			t.Errorf("MaxSize(%v) = %d, want %d", tc.h, got, tc.want)
+		}
+	}
+}
+
+func TestHistValidate(t *testing.T) {
+	if err := (Hist{0, 2, 1}).Validate(); err != nil {
+		t.Errorf("valid histogram rejected: %v", err)
+	}
+	if err := (Hist{0, -1, 1}).Validate(); err == nil {
+		t.Error("negative histogram accepted")
+	}
+}
+
+func TestHistTruncate(t *testing.T) {
+	h := Hist{1, 2, 3, 4, 5}
+	got := h.Truncate(2)
+	want := Hist{1, 2, 12} // groups of sizes 2,3,4 all recorded at 2
+	if !got.Equal(want) {
+		t.Errorf("Truncate(2) = %v, want %v", got, want)
+	}
+	if got.Groups() != h.Groups() {
+		t.Errorf("Truncate changed group count: %d != %d", got.Groups(), h.Groups())
+	}
+	// Truncating above the max size only pads.
+	got = h.Truncate(10)
+	if !got.Equal(h) {
+		t.Errorf("Truncate(10) = %v, want %v", got, h)
+	}
+	if len(got) != 11 {
+		t.Errorf("Truncate(10) length = %d, want 11", len(got))
+	}
+}
+
+func TestHistAddEqual(t *testing.T) {
+	a := Hist{1, 2}
+	b := Hist{0, 1, 5}
+	sum := a.Add(b)
+	if !sum.Equal(Hist{1, 3, 5}) {
+		t.Errorf("Add = %v, want [1 3 5]", sum)
+	}
+	if !a.Equal(Hist{1, 2, 0, 0}) {
+		t.Error("Equal should ignore trailing zeros")
+	}
+	if a.Equal(b) {
+		t.Error("distinct histograms reported equal")
+	}
+}
+
+func TestHistTrimPad(t *testing.T) {
+	h := Hist{0, 1, 0, 0}
+	if got := h.Trim(); len(got) != 2 {
+		t.Errorf("Trim length = %d, want 2", len(got))
+	}
+	if got := h.Pad(6); len(got) != 6 || !got.Equal(h) {
+		t.Errorf("Pad(6) = %v, want padded copy of %v", got, h)
+	}
+	if got := h.Pad(2); len(got) != 4 {
+		t.Errorf("Pad(2) should leave length 4, got %d", len(got))
+	}
+}
+
+func TestFromSizes(t *testing.T) {
+	h := FromSizes([]int64{1, 1, 2, 3, 3})
+	want := Hist{0, 2, 1, 2}
+	if !h.Equal(want) {
+		t.Errorf("FromSizes = %v, want %v", h, want)
+	}
+	if got := FromSizes(nil); len(got) != 0 {
+		t.Errorf("FromSizes(nil) = %v, want empty", got)
+	}
+}
+
+func TestFromSizesPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSizes accepted a negative size")
+		}
+	}()
+	FromSizes([]int64{1, -1})
+}
+
+func TestConversionsRunningExample(t *testing.T) {
+	// Paper Section 3: H = [0,2,1,2] -> Hc = [0,2,3,5], Hg = [1,1,2,3,3].
+	h := Hist{0, 2, 1, 2}
+	c := h.Cumulative()
+	wantC := Cumulative{0, 2, 3, 5}
+	for i := range wantC {
+		if c[i] != wantC[i] {
+			t.Fatalf("Cumulative = %v, want %v", c, wantC)
+		}
+	}
+	g := h.GroupSizes()
+	wantG := GroupSizes{1, 1, 2, 3, 3}
+	if len(g) != len(wantG) {
+		t.Fatalf("GroupSizes = %v, want %v", g, wantG)
+	}
+	for i := range wantG {
+		if g[i] != wantG[i] {
+			t.Fatalf("GroupSizes = %v, want %v", g, wantG)
+		}
+	}
+}
+
+// randomHist generates a random histogram for property tests.
+func randomHist(r *rand.Rand, maxLen, maxCount int) Hist {
+	n := r.Intn(maxLen)
+	h := make(Hist, n)
+	for i := range h {
+		h[i] = int64(r.Intn(maxCount))
+	}
+	return h
+}
+
+func TestPropConversionRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHist(r, 40, 5)
+		if !h.Cumulative().Hist().Equal(h) {
+			return false
+		}
+		if !h.GroupSizes().Hist().Equal(h) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCumulativeMonotoneAndTotals(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHist(r, 40, 5)
+		c := h.Cumulative()
+		if c.Validate() != nil {
+			return false
+		}
+		return c.Groups() == h.Groups()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGroupSizesSortedAndTotals(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHist(r, 40, 5)
+		g := h.GroupSizes()
+		if !g.IsSorted() || g.Validate() != nil {
+			return false
+		}
+		return g.Groups() == h.Groups() && g.People() == h.People()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTruncatePreservesGroups(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHist(r, 40, 5)
+		k := 1 + r.Intn(50)
+		tr := h.Truncate(k)
+		return tr.Groups() == h.Groups() && len(tr) == k+1 && tr.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,27 @@
+package isotonic_test
+
+import (
+	"fmt"
+
+	"hcoc/internal/isotonic"
+)
+
+// The Figure 2 example from the paper: L2 isotonic regression turns the
+// noisy non-monotone array [0,4,2,4,5,3] into [0,3,3,4,4,4] by pooling
+// adjacent violators and averaging within each pool.
+func ExampleFitL2() {
+	fit := isotonic.FitL2([]float64{0, 4, 2, 4, 5, 3})
+	fmt.Println(fit)
+	fmt.Println(isotonic.Blocks(fit))
+	// Output:
+	// [0 3 3 4 4 4]
+	// [[0 1] [1 3] [3 6]]
+}
+
+func ExampleFitL1() {
+	// L1 isotonic regression fits medians instead of means; on integer
+	// inputs the fit stays integral (no rounding step needed).
+	fmt.Println(isotonic.FitL1([]float64{5, 1, 2, 8, 6}))
+	// Output:
+	// [1 1 2 6 6]
+}

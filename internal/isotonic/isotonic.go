@@ -1,0 +1,215 @@
+// Package isotonic implements isotonic regression: given a sequence of
+// noisy values, find the non-decreasing sequence minimizing the L2 or L1
+// distance to it. The paper post-processes every noisy Hg and Hc
+// histogram this way (Sections 4.2 and 4.3), solving L2 with
+// pool-adjacent-violators (PAV) and L1 with what a commercial solver
+// would do; here the L1 problem is solved exactly with the slope-trick
+// algorithm in O(n log n).
+//
+// Both fits return piecewise-constant solutions; Blocks recovers the
+// solution partition, which Section 5.1 uses for variance estimation.
+package isotonic
+
+// FitL2 returns the non-decreasing sequence minimizing sum (z_i - y_i)^2
+// using pool-adjacent-violators in O(n). Within each pooled block the
+// fitted value is the block mean.
+func FitL2(ys []float64) []float64 {
+	return FitL2Weighted(ys, nil)
+}
+
+// FitL2Weighted is FitL2 with per-element positive weights; nil weights
+// mean all ones. It panics on non-positive weights or mismatched lengths.
+func FitL2Weighted(ys, ws []float64) []float64 {
+	if ws != nil && len(ws) != len(ys) {
+		panic("isotonic: weights length mismatch")
+	}
+	type block struct {
+		sum, weight float64
+		count       int
+	}
+	blocks := make([]block, 0, len(ys))
+	for i, y := range ys {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+			if w <= 0 {
+				panic("isotonic: non-positive weight")
+			}
+		}
+		blocks = append(blocks, block{sum: y * w, weight: w, count: 1})
+		// Merge while the previous block mean exceeds the current one.
+		for len(blocks) > 1 {
+			a, b := blocks[len(blocks)-2], blocks[len(blocks)-1]
+			if a.sum/a.weight <= b.sum/b.weight {
+				break
+			}
+			blocks = blocks[:len(blocks)-1]
+			blocks[len(blocks)-1] = block{
+				sum:    a.sum + b.sum,
+				weight: a.weight + b.weight,
+				count:  a.count + b.count,
+			}
+		}
+	}
+	out := make([]float64, 0, len(ys))
+	for _, b := range blocks {
+		v := b.sum / b.weight
+		for i := 0; i < b.count; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FitL1 returns a non-decreasing sequence minimizing sum |z_i - y_i|
+// in O(n log n) using the slope-trick algorithm: a max-heap of
+// left-slope breakpoints is maintained; the recorded heap tops, scanned
+// backwards under a running minimum, form an optimal fit. When the
+// optimum is not unique this returns the pointwise-smallest optimal
+// solution whose values are all drawn from the input values; in
+// particular, integer inputs yield an integer fit (the property the
+// paper relies on when it notes the L1 version "mostly returns
+// integers").
+func FitL1(ys []float64) []float64 {
+	n := len(ys)
+	if n == 0 {
+		return nil
+	}
+	h := make(maxHeap, 0, n)
+	tops := make([]float64, n)
+	for i, y := range ys {
+		h.push(y)
+		if h[0] > y {
+			h.pop()
+			h.push(y)
+		}
+		tops[i] = h[0]
+	}
+	out := make([]float64, n)
+	run := tops[n-1]
+	for i := n - 1; i >= 0; i-- {
+		if tops[i] < run {
+			run = tops[i]
+		}
+		out[i] = run
+	}
+	return out
+}
+
+// CostL2 returns sum (z_i - y_i)^2.
+func CostL2(ys, zs []float64) float64 {
+	var c float64
+	for i := range ys {
+		d := zs[i] - ys[i]
+		c += d * d
+	}
+	return c
+}
+
+// CostL1 returns sum |z_i - y_i|.
+func CostL1(ys, zs []float64) float64 {
+	var c float64
+	for i := range ys {
+		d := zs[i] - ys[i]
+		if d < 0 {
+			d = -d
+		}
+		c += d
+	}
+	return c
+}
+
+// ClampBox clamps each fitted value into [lo, hi] in place and returns
+// the slice. Clamping a monotone sequence preserves monotonicity, and
+// for separable convex isotonic problems the clamped unconstrained
+// solution is optimal for the box-constrained problem.
+func ClampBox(zs []float64, lo, hi float64) []float64 {
+	for i, z := range zs {
+		if z < lo {
+			zs[i] = lo
+		} else if z > hi {
+			zs[i] = hi
+		}
+	}
+	return zs
+}
+
+// Blocks returns the maximal runs of equal values in a fitted solution as
+// (start, end) half-open index pairs. Section 5.1 estimates the variance
+// of a fitted cell as noiseVar/len(block containing it).
+func Blocks(zs []float64) [][2]int {
+	var out [][2]int
+	for i := 0; i < len(zs); {
+		j := i + 1
+		for j < len(zs) && zs[j] == zs[i] {
+			j++
+		}
+		out = append(out, [2]int{i, j})
+		i = j
+	}
+	return out
+}
+
+// BlockSizes returns, for every index i, the size of the maximal
+// equal-value run containing i in the fitted solution.
+func BlockSizes(zs []float64) []int {
+	out := make([]int, len(zs))
+	for _, b := range Blocks(zs) {
+		n := b[1] - b[0]
+		for i := b[0]; i < b[1]; i++ {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// IsMonotone reports whether zs is non-decreasing.
+func IsMonotone(zs []float64) bool {
+	for i := 1; i < len(zs); i++ {
+		if zs[i] < zs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxHeap is a simple float64 max-heap (avoiding container/heap's
+// interface boxing on this hot path).
+type maxHeap []float64
+
+func (h *maxHeap) push(x float64) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] >= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *maxHeap) pop() float64 {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(*h) && (*h)[l] > (*h)[largest] {
+			largest = l
+		}
+		if r < len(*h) && (*h)[r] > (*h)[largest] {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+	return top
+}

@@ -1,0 +1,51 @@
+package isotonic
+
+import "sort"
+
+// FitL1PAV solves the same L1 isotonic regression problem as FitL1 using
+// the classical pool-adjacent-violators scheme with block medians
+// (Robertson et al., the algorithm the paper cites for "L1 ... with a
+// commercial optimizer"). Blocks keep their values sorted, so merging is
+// O(block) and the worst case is O(n^2); FitL1 (slope trick,
+// O(n log n)) is the production path, and this implementation exists as
+// an independent oracle for cross-validation and for callers that want
+// the canonical block-median solution.
+func FitL1PAV(ys []float64) []float64 {
+	if len(ys) == 0 {
+		return nil
+	}
+	type block struct {
+		vals []float64 // sorted
+	}
+	median := func(b block) float64 {
+		n := len(b.vals)
+		if n%2 == 1 {
+			return b.vals[n/2]
+		}
+		return (b.vals[n/2-1] + b.vals[n/2]) / 2
+	}
+	blocks := make([]block, 0, len(ys))
+	for _, y := range ys {
+		blocks = append(blocks, block{vals: []float64{y}})
+		for len(blocks) > 1 {
+			a, b := blocks[len(blocks)-2], blocks[len(blocks)-1]
+			if median(a) <= median(b) {
+				break
+			}
+			merged := make([]float64, 0, len(a.vals)+len(b.vals))
+			merged = append(merged, a.vals...)
+			merged = append(merged, b.vals...)
+			sort.Float64s(merged)
+			blocks = blocks[:len(blocks)-1]
+			blocks[len(blocks)-1] = block{vals: merged}
+		}
+	}
+	out := make([]float64, 0, len(ys))
+	for _, b := range blocks {
+		m := median(b)
+		for range b.vals {
+			out = append(out, m)
+		}
+	}
+	return out
+}

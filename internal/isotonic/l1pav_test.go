@@ -1,0 +1,58 @@
+package isotonic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitL1PAVBasics(t *testing.T) {
+	if FitL1PAV(nil) != nil {
+		t.Error("FitL1PAV(nil) should be nil")
+	}
+	got := FitL1PAV([]float64{3, 1})
+	// Block median of {1,3} is 2.
+	if got[0] != 2 || got[1] != 2 {
+		t.Errorf("FitL1PAV([3,1]) = %v, want [2 2]", got)
+	}
+}
+
+func TestFitL1PAVMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(7)
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = float64(r.Intn(10))
+		}
+		got := FitL1PAV(ys)
+		if !IsMonotone(got) {
+			t.Fatalf("FitL1PAV(%v) = %v not monotone", ys, got)
+		}
+		want := bruteForceIso(ys, true)
+		if gotCost := CostL1(ys, got); math.Abs(gotCost-want) > 1e-9 {
+			t.Fatalf("FitL1PAV(%v) cost %f, brute force %f", ys, gotCost, want)
+		}
+	}
+}
+
+// TestL1SolversAgree cross-validates the two independent L1 algorithms:
+// the slope-trick solver (production) and median-PAV (oracle) must have
+// identical objective values on every input.
+func TestL1SolversAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = r.NormFloat64() * 20
+		}
+		a := CostL1(ys, FitL1(ys))
+		b := CostL1(ys, FitL1PAV(ys))
+		return math.Abs(a-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"hcoc/internal/histogram"
+	"hcoc/internal/matching"
+)
+
+// A parent node estimated groups of sizes [1 2 9]; its two children
+// estimated [1 8] and [3]. Algorithm 2 matches each child group to the
+// parent group of closest size, optimally, in O(G log G).
+func ExampleCompute() {
+	parent := histogram.GroupSizes{1, 2, 9}
+	children := []histogram.GroupSizes{{1, 8}, {3}}
+	ms, err := matching.Compute(parent, children)
+	if err != nil {
+		panic(err)
+	}
+	for ci, m := range ms {
+		for j, p := range m.ParentIndex {
+			fmt.Printf("child %d group (size %d) <-> parent group (size %d)\n",
+				ci, children[ci][j], parent[p])
+		}
+	}
+	fmt.Println("total cost:", matching.Cost(parent, children, ms))
+	// Output:
+	// child 0 group (size 1) <-> parent group (size 1)
+	// child 0 group (size 8) <-> parent group (size 9)
+	// child 1 group (size 3) <-> parent group (size 2)
+	// total cost: 2
+}

@@ -1,0 +1,69 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"hcoc/internal/histogram"
+)
+
+// Greedy2Approx is the well-known 2-approximation the paper mentions and
+// rejects for scale: add edges in order of increasing weight, keeping
+// those whose endpoints are both unmatched. On our bipartite instance it
+// materializes all parent x child edges, so it is O(G^2 log G) time and
+// O(G^2) memory — usable only on small instances. It exists to
+// demonstrate (in tests and benchmarks) that Algorithm 2 is both optimal
+// and asymptotically faster.
+func Greedy2Approx(parent histogram.GroupSizes, children []histogram.GroupSizes) ([]Match, error) {
+	var flat []int64
+	var owner []int // child index of each flattened group
+	var local []int // index within its child
+	for ci, c := range children {
+		for j, s := range c {
+			flat = append(flat, s)
+			owner = append(owner, ci)
+			local = append(local, j)
+		}
+	}
+	if len(flat) != len(parent) {
+		return nil, fmt.Errorf("matching: children hold %d groups, parent holds %d", len(flat), len(parent))
+	}
+	type edge struct {
+		w    int64
+		p, f int
+	}
+	edges := make([]edge, 0, len(parent)*len(flat))
+	for p, ps := range parent {
+		for f, fs := range flat {
+			w := ps - fs
+			if w < 0 {
+				w = -w
+			}
+			edges = append(edges, edge{w: w, p: p, f: f})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+
+	out := make([]Match, len(children))
+	for i, c := range children {
+		out[i].ParentIndex = make([]int, len(c))
+		for j := range out[i].ParentIndex {
+			out[i].ParentIndex[j] = -1
+		}
+	}
+	usedP := make([]bool, len(parent))
+	usedF := make([]bool, len(flat))
+	matched := 0
+	for _, e := range edges {
+		if matched == len(flat) {
+			break
+		}
+		if usedP[e.p] || usedF[e.f] {
+			continue
+		}
+		usedP[e.p], usedF[e.f] = true, true
+		out[owner[e.f]].ParentIndex[local[e.f]] = e.p
+		matched++
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hcoc/internal/histogram"
+)
+
+func TestGreedy2ApproxIsPerfectMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		children := []histogram.GroupSizes{
+			sortedSizes(r, 1+r.Intn(10), 8),
+			sortedSizes(r, 1+r.Intn(10), 8),
+		}
+		total := len(children[0]) + len(children[1])
+		parent := sortedSizes(r, total, 8)
+		ms, err := Greedy2Approx(parent, children)
+		if err != nil {
+			return false
+		}
+		used := make([]bool, len(parent))
+		for ci := range children {
+			for _, p := range ms[ci].ParentIndex {
+				if p < 0 || used[p] {
+					return false
+				}
+				used[p] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedy2ApproxRejectsMismatch(t *testing.T) {
+	if _, err := Greedy2Approx(histogram.GroupSizes{1, 2}, []histogram.GroupSizes{{1}}); err == nil {
+		t.Error("mismatched totals accepted")
+	}
+}
+
+// TestAlgorithm2NeverWorseThanGreedy is the point of Lemma 5: the
+// specialized sweep is optimal, so it can never lose to the generic
+// 2-approximation.
+func TestAlgorithm2NeverWorseThanGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nChildren := 1 + r.Intn(3)
+		children := make([]histogram.GroupSizes, nChildren)
+		total := 0
+		for i := range children {
+			n := 1 + r.Intn(8)
+			children[i] = sortedSizes(r, n, 10)
+			total += n
+		}
+		parent := sortedSizes(r, total, 10)
+		opt, err := Compute(parent, children)
+		if err != nil {
+			return false
+		}
+		greedy, err := Greedy2Approx(parent, children)
+		if err != nil {
+			return false
+		}
+		return Cost(parent, children, opt) <= Cost(parent, children, greedy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package matching implements Algorithm 2 of the paper: the optimal
+// least-cost perfect matching between the groups of a parent node and the
+// groups of its children, where the cost of matching parent group i to
+// child group j is |parentSizes[i] - childSizes[j]|.
+//
+// Because both sides are sorted and the weights have this absolute-
+// difference structure, a greedy smallest-vs-smallest sweep is optimal
+// (Lemma 5) and runs in O(G log G) — versus O(G^3) for a generic
+// assignment solver. Ties across children are split proportionally to
+// the number of tied groups each child holds, with fractional shares
+// resolved by largest-remainder rounding (footnote 10).
+package matching
+
+import (
+	"fmt"
+
+	"hcoc/internal/histogram"
+	"hcoc/internal/simplex"
+)
+
+// Match describes the assignment for one child: ParentIndex[j] is the
+// index (into the parent's sorted group-size array) of the parent group
+// matched to the child's j-th smallest group.
+type Match struct {
+	ParentIndex []int
+}
+
+// Compute finds the optimal matching between the parent's sorted group
+// sizes and the children's sorted group sizes. The total number of
+// groups must agree (the group counts are public and consistent).
+// Inputs must be sorted non-decreasing; they are not modified.
+func Compute(parent histogram.GroupSizes, children []histogram.GroupSizes) ([]Match, error) {
+	var childTotal int64
+	for _, c := range children {
+		childTotal += c.Groups()
+	}
+	if childTotal != parent.Groups() {
+		return nil, fmt.Errorf("matching: children hold %d groups, parent holds %d", childTotal, parent.Groups())
+	}
+	out := make([]Match, len(children))
+	cursors := make([]int, len(children)) // next unmatched index per child
+	for i, c := range children {
+		out[i].ParentIndex = make([]int, len(c))
+		// Initialize to -1 so a missed assignment is detectable.
+		for j := range out[i].ParentIndex {
+			out[i].ParentIndex[j] = -1
+		}
+	}
+
+	pi := 0 // next unmatched parent index
+	for pi < len(parent) {
+		// Gt: the run of parent groups with the minimal unmatched size.
+		st := parent[pi]
+		pEnd := pi + 1
+		for pEnd < len(parent) && parent[pEnd] == st {
+			pEnd++
+		}
+		nTop := pEnd - pi
+
+		// Gb: across children, the groups with the minimal unmatched
+		// size sb.
+		var sb int64
+		first := true
+		for ci, c := range children {
+			if cursors[ci] < len(c) {
+				if first || c[cursors[ci]] < sb {
+					sb = c[cursors[ci]]
+					first = false
+				}
+			}
+		}
+		if first {
+			return nil, fmt.Errorf("matching: ran out of child groups with %d parent groups left", len(parent)-pi)
+		}
+		// num[ci]: how many minimal-size groups child ci contributes.
+		num := make([]int, len(children))
+		nBot := 0
+		for ci, c := range children {
+			j := cursors[ci]
+			for j < len(c) && c[j] == sb {
+				j++
+			}
+			num[ci] = j - cursors[ci]
+			nBot += num[ci]
+		}
+
+		if nTop >= nBot {
+			// Every bottom group in Gb is matched now.
+			idx := pi
+			for ci := range children {
+				for k := 0; k < num[ci]; k++ {
+					out[ci].ParentIndex[cursors[ci]] = idx
+					cursors[ci]++
+					idx++
+				}
+			}
+			pi += nBot
+		} else {
+			// Split the nTop parent groups across children
+			// proportionally to num[ci] (footnote 10 rounding).
+			quotas := make([]float64, len(children))
+			for ci := range children {
+				quotas[ci] = float64(nTop) * float64(num[ci]) / float64(nBot)
+			}
+			take := simplex.RoundPreservingSum(quotas, int64(nTop))
+			idx := pi
+			for ci := range children {
+				for k := int64(0); k < take[ci]; k++ {
+					out[ci].ParentIndex[cursors[ci]] = idx
+					cursors[ci]++
+					idx++
+				}
+			}
+			pi = pEnd
+		}
+	}
+
+	// Every child group must have been matched.
+	for ci := range children {
+		for j, p := range out[ci].ParentIndex {
+			if p < 0 {
+				return nil, fmt.Errorf("matching: child %d group %d unmatched", ci, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Cost returns the total weight of a matching: the sum over all child
+// groups of |parent size - child size|.
+func Cost(parent histogram.GroupSizes, children []histogram.GroupSizes, ms []Match) int64 {
+	var total int64
+	for ci, c := range children {
+		for j, p := range ms[ci].ParentIndex {
+			d := parent[p] - c[j]
+			if d < 0 {
+				d = -d
+			}
+			total += d
+		}
+	}
+	return total
+}

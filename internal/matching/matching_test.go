@@ -1,0 +1,252 @@
+package matching
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hcoc/internal/histogram"
+)
+
+// bruteForceCost computes the optimal assignment cost by bitmask DP over
+// parent groups (exponential; only for small instances).
+func bruteForceCost(parent histogram.GroupSizes, children []histogram.GroupSizes) int64 {
+	var flat []int64
+	for _, c := range children {
+		flat = append(flat, c...)
+	}
+	n := len(parent)
+	const inf = int64(1) << 60
+	dp := make([]int64, 1<<n)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	for mask := 0; mask < 1<<n; mask++ {
+		if dp[mask] == inf {
+			continue
+		}
+		j := bits.OnesCount(uint(mask)) // next child group to assign
+		if j >= len(flat) {
+			continue
+		}
+		for p := 0; p < n; p++ {
+			if mask&(1<<p) != 0 {
+				continue
+			}
+			d := parent[p] - flat[j]
+			if d < 0 {
+				d = -d
+			}
+			next := mask | 1<<p
+			if cost := dp[mask] + d; cost < dp[next] {
+				dp[next] = cost
+			}
+		}
+	}
+	return dp[1<<n-1]
+}
+
+func sortedSizes(r *rand.Rand, n, maxSize int) histogram.GroupSizes {
+	g := make(histogram.GroupSizes, n)
+	for i := range g {
+		g[i] = int64(r.Intn(maxSize))
+	}
+	g.Sort()
+	return g
+}
+
+func TestComputeSimple(t *testing.T) {
+	parent := histogram.GroupSizes{1, 2, 3}
+	children := []histogram.GroupSizes{{1, 3}, {2}}
+	ms, err := Compute(parent, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Cost(parent, children, ms); got != 0 {
+		t.Errorf("cost = %d, want 0 (identical multisets)", got)
+	}
+}
+
+func TestComputeRejectsMismatchedTotals(t *testing.T) {
+	if _, err := Compute(histogram.GroupSizes{1, 2}, []histogram.GroupSizes{{1}}); err == nil {
+		t.Error("mismatched totals accepted")
+	}
+}
+
+func TestComputeIsPerfectMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nChildren := 1 + r.Intn(4)
+		children := make([]histogram.GroupSizes, nChildren)
+		var all []int64
+		for i := range children {
+			children[i] = sortedSizes(r, r.Intn(20), 12)
+			all = append(all, children[i]...)
+		}
+		if len(all) == 0 {
+			return true
+		}
+		parent := histogram.GroupSizes(append([]int64(nil), all...))
+		parent.Sort()
+		ms, err := Compute(parent, children)
+		if err != nil {
+			return false
+		}
+		// Each parent index used exactly once.
+		used := make([]bool, len(parent))
+		for ci := range children {
+			for _, p := range ms[ci].ParentIndex {
+				if p < 0 || p >= len(parent) || used[p] {
+					return false
+				}
+				used[p] = true
+			}
+		}
+		for _, u := range used {
+			if !u {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeMatchesBruteForceOptimum(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		nChildren := 1 + r.Intn(3)
+		children := make([]histogram.GroupSizes, nChildren)
+		total := 0
+		for i := range children {
+			n := r.Intn(5)
+			if total+n > 10 {
+				n = 10 - total
+			}
+			total += n
+			children[i] = sortedSizes(r, n, 8)
+		}
+		if total == 0 {
+			continue
+		}
+		// The parent sizes are an independent estimate: same count,
+		// possibly different sizes (that is the hierarchical setting).
+		parent := sortedSizes(r, total, 8)
+		ms, err := Compute(parent, children)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Cost(parent, children, ms)
+		want := bruteForceCost(parent, children)
+		if got != want {
+			t.Fatalf("trial %d: greedy cost %d, optimal %d\nparent=%v children=%v",
+				trial, got, want, parent, children)
+		}
+	}
+}
+
+func TestComputeIdenticalEstimatesZeroCost(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nChildren := 1 + r.Intn(4)
+		children := make([]histogram.GroupSizes, nChildren)
+		var all []int64
+		for i := range children {
+			children[i] = sortedSizes(r, 1+r.Intn(15), 10)
+			all = append(all, children[i]...)
+		}
+		parent := histogram.GroupSizes(all)
+		parent.Sort()
+		ms, err := Compute(parent, children)
+		if err != nil {
+			return false
+		}
+		return Cost(parent, children, ms) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportionalSplitExample(t *testing.T) {
+	// Paper's example: parent has 300 groups of size 1; children have
+	// 200+100+100 = 400 groups of size 1. The 300 parent groups are
+	// split 150/75/75.
+	parent := make(histogram.GroupSizes, 300)
+	for i := range parent {
+		parent[i] = 1
+	}
+	mk := func(n int) histogram.GroupSizes {
+		c := make(histogram.GroupSizes, n)
+		for i := range c {
+			c[i] = 1
+		}
+		return c
+	}
+	// Give the children extra larger groups so totals match: children
+	// must hold 300 groups total in a perfect matching; instead check
+	// the proportional behaviour via a mixed instance: 100 extra parent
+	// groups of size 2 absorb the leftover children.
+	parent = append(parent, make(histogram.GroupSizes, 100)...)
+	for i := 300; i < 400; i++ {
+		parent[i] = 2
+	}
+	children := []histogram.GroupSizes{mk(200), mk(100), mk(100)}
+	ms, err := Compute(parent, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first 300 parent groups (size 1) should be distributed
+	// 150/75/75 across the children's size-1 groups; the rest match to
+	// size-2 parents at cost 1 each -> total cost 100.
+	if got := Cost(parent, children, ms); got != 100 {
+		t.Errorf("cost = %d, want 100", got)
+	}
+	counts := make([]int, 3)
+	for ci := range children {
+		for _, p := range ms[ci].ParentIndex {
+			if parent[p] == 1 {
+				counts[ci]++
+			}
+		}
+	}
+	if counts[0] != 150 || counts[1] != 75 || counts[2] != 75 {
+		t.Errorf("size-1 split = %v, want [150 75 75]", counts)
+	}
+}
+
+func TestMonotoneWithinChild(t *testing.T) {
+	// Because child groups are consumed in sorted order against
+	// non-decreasing parent runs, each child's parent indices must be
+	// strictly increasing (a fresh parent group per child group).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		children := []histogram.GroupSizes{
+			sortedSizes(r, 1+r.Intn(15), 6),
+			sortedSizes(r, 1+r.Intn(15), 6),
+		}
+		total := len(children[0]) + len(children[1])
+		parent := sortedSizes(r, total, 6)
+		ms, err := Compute(parent, children)
+		if err != nil {
+			return false
+		}
+		for ci := range children {
+			prev := -1
+			for _, p := range ms[ci].ParentIndex {
+				if p <= prev {
+					return false
+				}
+				prev = p
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package noise
+
+// This file implements an exact sampler for the double-geometric
+// (discrete Laplace) distribution using only integer randomness, after
+// Canonne, Kamath and Steinke ("The Discrete Gaussian for Differential
+// Privacy", NeurIPS 2020, Algorithm 2). The default DoubleGeometric
+// sampler uses floating-point inversion, which is fast and
+// integer-valued but whose *probabilities* are perturbed by float
+// rounding; the paper's Section 3.2 cites Mironov's floating-point
+// attack as a reason to prefer the geometric mechanism, and this sampler
+// removes the last trace of floating point from the noise path.
+//
+// DoubleGeometricExact samples P(X = k) proportional to exp(-|k|/scale)
+// for a rational scale = num/den.
+
+// bernoulliFrac samples Bernoulli(num/den) exactly. Requires
+// 0 <= num <= den, den > 0.
+func (g *Gen) bernoulliFrac(num, den int64) bool {
+	return g.r.Int63n(den) < num
+}
+
+// bernoulliExpFrac samples Bernoulli(exp(-num/den)) exactly for
+// num, den > 0, via the alternating-series method: for gamma <= 1,
+// count how many k satisfy a descending chain of Bernoulli(gamma/k)
+// successes; the count's parity decides. For gamma > 1 it composes
+// exp(-gamma) = exp(-1)^floor(gamma) * exp(-frac).
+func (g *Gen) bernoulliExpFrac(num, den int64) bool {
+	if num < 0 || den <= 0 {
+		panic("noise: invalid exponent fraction")
+	}
+	// Reduce gamma > 1: exp(-num/den) = prod of exp(-1) floor(num/den)
+	// times and exp(-(num mod den)/den).
+	for num > den {
+		if !g.bernoulliExpFrac(den, den) { // one factor of exp(-1)
+			return false
+		}
+		num -= den
+	}
+	// Now gamma = num/den <= 1. Bernoulli(exp(-gamma)):
+	// K = smallest k with Bernoulli(gamma/k) failure; accept iff K odd.
+	k := int64(1)
+	for {
+		// Bernoulli(num / (den*k)); den*k can overflow for absurd k,
+		// but the loop terminates in O(1) expected iterations (k grows
+		// only on success with probability gamma/k).
+		if !g.bernoulliFrac(num, den*k) {
+			break
+		}
+		k++
+	}
+	return k%2 == 1
+}
+
+// DoubleGeometricExact samples the double-geometric distribution with
+// scale num/den (i.e. P(X=k) proportional to exp(-|k|*den/num)) using
+// only integer randomness — no floating point anywhere on the sampling
+// path. num and den must be positive.
+//
+// It follows CKS'20 Algorithm 2: draw U uniform in [0, num), accept with
+// probability exp(-U/num); extend by V ~ Geometric(1-exp(-1)) scaled by
+// num... more precisely X = (U + num*V)/den after a den-uniformity
+// correction, signed by a fair coin, rejecting the (sign=-1, X=0)
+// outcome to avoid double-counting zero.
+func (g *Gen) DoubleGeometricExact(num, den int64) int64 {
+	if num <= 0 || den <= 0 {
+		panic("noise: scale must be positive")
+	}
+	for {
+		// Sample U uniform over {0, ..., num-1} and accept with
+		// probability exp(-U/num).
+		u := g.r.Int63n(num)
+		if !g.bernoulliExpFrac(u, num) {
+			continue
+		}
+		// V ~ Geometric: number of successive Bernoulli(exp(-1)) wins.
+		var v int64
+		for g.bernoulliExpFrac(1, 1) {
+			v++
+		}
+		// X ~ Geometric over the integers with rate den/num after
+		// flooring to the output granularity.
+		x := (u + num*v) / den
+		// Random sign; reject -0 so zero is not double-counted.
+		if g.r.Int63n(2) == 1 {
+			if x == 0 {
+				continue
+			}
+			return -x
+		}
+		return x
+	}
+}
+
+// AddDoubleGeometricExact is AddDoubleGeometric using the exact sampler,
+// with the scale given as the rational num/den.
+func (g *Gen) AddDoubleGeometricExact(xs []int64, num, den int64) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = x + g.DoubleGeometricExact(num, den)
+	}
+	return out
+}

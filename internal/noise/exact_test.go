@@ -1,0 +1,136 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDoubleGeometricExactDistribution(t *testing.T) {
+	// scale = 2/1: P(X=k) = (1-a)/(1+a) a^|k| with a = exp(-1/2).
+	g := New(9)
+	const n = 400000
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		counts[g.DoubleGeometricExact(2, 1)]++
+	}
+	a := math.Exp(-0.5)
+	for k := int64(-4); k <= 4; k++ {
+		want := (1 - a) / (1 + a) * math.Pow(a, math.Abs(float64(k)))
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(X=%d) = %f, want ~%f", k, got, want)
+		}
+	}
+}
+
+func TestDoubleGeometricExactFractionalScale(t *testing.T) {
+	// scale = 3/2: the rational-scale path exercises the den > 1
+	// division. Verify the decay ratio a = exp(-2/3) between
+	// neighboring pmf values.
+	g := New(10)
+	const n = 400000
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		counts[g.DoubleGeometricExact(3, 2)]++
+	}
+	wantRatio := math.Exp(-2.0 / 3.0)
+	for k := int64(0); k <= 2; k++ {
+		ratio := float64(counts[k+1]) / float64(counts[k])
+		if math.Abs(ratio-wantRatio) > 0.05 {
+			t.Errorf("pmf ratio at %d = %f, want ~%f", k, ratio, wantRatio)
+		}
+	}
+}
+
+func TestDoubleGeometricExactMatchesFloatSampler(t *testing.T) {
+	// Same scale, two samplers: moments must agree.
+	g := New(11)
+	const n = 300000
+	scale := 3.0
+	var sumExact, sumSqExact, sumFloat, sumSqFloat float64
+	for i := 0; i < n; i++ {
+		x := float64(g.DoubleGeometricExact(3, 1))
+		y := float64(g.DoubleGeometric(scale))
+		sumExact += x
+		sumSqExact += x * x
+		sumFloat += y
+		sumSqFloat += y * y
+	}
+	varExact := sumSqExact/n - (sumExact/n)*(sumExact/n)
+	varFloat := sumSqFloat/n - (sumFloat/n)*(sumFloat/n)
+	if math.Abs(varExact-varFloat)/varFloat > 0.05 {
+		t.Errorf("variances disagree: exact %f vs float %f", varExact, varFloat)
+	}
+	if math.Abs(sumExact/n) > 0.05 {
+		t.Errorf("exact sampler mean = %f, want ~0", sumExact/n)
+	}
+}
+
+func TestDoubleGeometricExactSymmetry(t *testing.T) {
+	g := New(12)
+	pos, neg := 0, 0
+	for i := 0; i < 100000; i++ {
+		switch x := g.DoubleGeometricExact(1, 1); {
+		case x > 0:
+			pos++
+		case x < 0:
+			neg++
+		}
+	}
+	ratio := float64(pos) / float64(neg)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("pos/neg ratio = %f, want ~1", ratio)
+	}
+}
+
+func TestDoubleGeometricExactPanics(t *testing.T) {
+	g := New(1)
+	for _, f := range []func(){
+		func() { g.DoubleGeometricExact(0, 1) },
+		func() { g.DoubleGeometricExact(1, 0) },
+		func() { g.bernoulliExpFrac(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid parameters accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBernoulliExpFrac(t *testing.T) {
+	// P(true) must equal exp(-num/den) for a few fractions, including
+	// gamma > 1 (the composed path).
+	g := New(13)
+	const n = 300000
+	for _, tc := range []struct{ num, den int64 }{
+		{1, 2}, {1, 1}, {3, 2}, {5, 2},
+	} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if g.bernoulliExpFrac(tc.num, tc.den) {
+				hits++
+			}
+		}
+		want := math.Exp(-float64(tc.num) / float64(tc.den))
+		got := float64(hits) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("Bernoulli(exp(-%d/%d)) = %f, want ~%f", tc.num, tc.den, got, want)
+		}
+	}
+}
+
+func TestAddDoubleGeometricExact(t *testing.T) {
+	g := New(14)
+	xs := []int64{1, 2, 3}
+	out := g.AddDoubleGeometricExact(xs, 2, 1)
+	if len(out) != 3 {
+		t.Fatalf("length %d, want 3", len(out))
+	}
+	if xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Error("input modified")
+	}
+}

@@ -1,0 +1,105 @@
+// Package privacy provides an explicit ledger for the epsilon budget of
+// a multi-stage release, encoding the two composition rules the paper's
+// Theorem 1 relies on: sequential composition (budgets add across
+// stages that touch the same rows) and parallel composition (stages over
+// disjoint row partitions cost only their maximum).
+//
+// The core algorithms in this module scale their own noise correctly;
+// the accountant exists for pipelines that combine stages — e.g. the
+// examples/private-groups flow, which spends budget on a size bound, a
+// method choice, group counts, and the histograms themselves.
+package privacy
+
+import "fmt"
+
+// Accountant tracks epsilon spending against a fixed total budget.
+// The zero value is unusable; create one with NewAccountant.
+type Accountant struct {
+	total float64
+	spent float64
+	log   []Entry
+}
+
+// Entry records one budgeted stage.
+type Entry struct {
+	Label   string
+	Epsilon float64
+}
+
+// NewAccountant creates a ledger with the given total budget.
+func NewAccountant(total float64) (*Accountant, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("privacy: total budget must be positive, got %g", total)
+	}
+	return &Accountant{total: total}, nil
+}
+
+// Spend reserves epsilon for a stage under sequential composition. It
+// fails (and reserves nothing) if the budget would be exceeded, so a
+// release pipeline can refuse to run rather than over-spend.
+func (a *Accountant) Spend(label string, epsilon float64) error {
+	if epsilon <= 0 {
+		return fmt.Errorf("privacy: stage %q: epsilon must be positive, got %g", label, epsilon)
+	}
+	const slack = 1e-9 // float tolerance so exact splits sum cleanly
+	if a.spent+epsilon > a.total+slack {
+		return fmt.Errorf("privacy: stage %q needs %g but only %g of %g remains",
+			label, epsilon, a.Remaining(), a.total)
+	}
+	a.spent += epsilon
+	a.log = append(a.log, Entry{Label: label, Epsilon: epsilon})
+	return nil
+}
+
+// SpendParallel reserves budget for stages that operate on disjoint
+// partitions of the data (parallel composition): the cost is the
+// maximum of the per-partition epsilons, not their sum.
+func (a *Accountant) SpendParallel(label string, epsilons ...float64) error {
+	if len(epsilons) == 0 {
+		return fmt.Errorf("privacy: stage %q: no epsilons", label)
+	}
+	maxEps := 0.0
+	for _, e := range epsilons {
+		if e <= 0 {
+			return fmt.Errorf("privacy: stage %q: epsilon must be positive, got %g", label, e)
+		}
+		if e > maxEps {
+			maxEps = e
+		}
+	}
+	return a.Spend(label, maxEps)
+}
+
+// Total returns the total budget.
+func (a *Accountant) Total() float64 { return a.total }
+
+// Spent returns the budget consumed so far.
+func (a *Accountant) Spent() float64 { return a.spent }
+
+// Remaining returns the unreserved budget.
+func (a *Accountant) Remaining() float64 {
+	r := a.total - a.spent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Log returns the ordered list of budgeted stages.
+func (a *Accountant) Log() []Entry {
+	out := make([]Entry, len(a.log))
+	copy(out, a.log)
+	return out
+}
+
+// SplitEvenly returns total/n, the per-level budget rule Algorithm 1
+// uses across hierarchy levels.
+func SplitEvenly(total float64, n int) (float64, error) {
+	if total <= 0 {
+		return 0, fmt.Errorf("privacy: total must be positive, got %g", total)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("privacy: cannot split over %d parts", n)
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,94 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccountantSequential(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("k-bound", 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("selection", 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("histograms", 0.949); err != nil {
+		t.Fatal(err)
+	}
+	if rem := a.Remaining(); rem > 1e-9 {
+		t.Errorf("remaining = %g, want 0", rem)
+	}
+	if err := a.Spend("extra", 0.01); err == nil {
+		t.Error("over-spend accepted")
+	}
+	if got := len(a.Log()); got != 3 {
+		t.Errorf("log entries = %d, want 3 (failed spend must not log)", got)
+	}
+}
+
+func TestAccountantParallel(t *testing.T) {
+	a, err := NewAccountant(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three disjoint regions at eps 0.4 each cost max = 0.4.
+	if err := a.SpendParallel("leaves", 0.4, 0.4, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if spent := a.Spent(); spent != 0.4 {
+		t.Errorf("spent = %g, want 0.4 (parallel composition)", spent)
+	}
+	if err := a.SpendParallel("again", 0.2); err == nil {
+		t.Error("over-spend via parallel accepted")
+	}
+}
+
+func TestAccountantRejectsBadInputs(t *testing.T) {
+	if _, err := NewAccountant(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	a, _ := NewAccountant(1)
+	if err := a.Spend("x", 0); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if err := a.Spend("x", -1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if err := a.SpendParallel("x"); err == nil {
+		t.Error("empty parallel spend accepted")
+	}
+	if err := a.SpendParallel("x", 0.1, -0.2); err == nil {
+		t.Error("negative parallel epsilon accepted")
+	}
+}
+
+func TestAccountantExactSplitTolerance(t *testing.T) {
+	// Splitting 1.0 into 3 equal parts must consume exactly the budget
+	// despite float rounding.
+	a, _ := NewAccountant(1.0)
+	per, err := SplitEvenly(1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.Spend("level", per); err != nil {
+			t.Fatalf("level %d: %v", i, err)
+		}
+	}
+	if math.Abs(a.Spent()-1.0) > 1e-9 {
+		t.Errorf("spent = %.17g, want 1", a.Spent())
+	}
+}
+
+func TestSplitEvenlyErrors(t *testing.T) {
+	if _, err := SplitEvenly(0, 3); err == nil {
+		t.Error("zero total accepted")
+	}
+	if _, err := SplitEvenly(1, 0); err == nil {
+		t.Error("zero parts accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package query answers the downstream questions count-of-counts
+// histograms exist to serve: order statistics over group sizes ("what is
+// the size of the k-th largest household?", the unattributed-histogram
+// query of Hay et al. that Section 2 discusses), quantiles, skewness
+// summaries, and the truncated "census-style" tables (households of
+// size 1..7+) whose publication motivated the paper.
+//
+// All functions are pure post-processing of a released histogram and
+// therefore incur no privacy cost.
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"hcoc/internal/histogram"
+)
+
+// KthSmallest returns the size of the k-th smallest group (1-based).
+// This is the unattributed-histogram lookup Hg[k-1].
+func KthSmallest(h histogram.Hist, k int64) (int64, error) {
+	g := h.Groups()
+	if k < 1 || k > g {
+		return 0, fmt.Errorf("query: k = %d out of range [1, %d]", k, g)
+	}
+	var cum int64
+	for size, count := range h {
+		cum += count
+		if cum >= k {
+			return int64(size), nil
+		}
+	}
+	return 0, fmt.Errorf("query: internal inconsistency (histogram shorter than its counts)")
+}
+
+// KthLargest returns the size of the k-th largest group (1-based) —
+// "what is the size of the kth largest group?" from Section 2.
+func KthLargest(h histogram.Hist, k int64) (int64, error) {
+	g := h.Groups()
+	if k < 1 || k > g {
+		return 0, fmt.Errorf("query: k = %d out of range [1, %d]", k, g)
+	}
+	return KthSmallest(h, g-k+1)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the group-size
+// distribution, using the lower interpolation (the size of the
+// ceil(q*G)-th smallest group; q = 0 gives the minimum).
+func Quantile(h histogram.Hist, q float64) (int64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("query: quantile %g out of [0, 1]", q)
+	}
+	g := h.Groups()
+	if g == 0 {
+		return 0, fmt.Errorf("query: empty histogram")
+	}
+	k := int64(math.Ceil(q * float64(g)))
+	if k < 1 {
+		k = 1
+	}
+	if k > g {
+		k = g
+	}
+	return KthSmallest(h, k)
+}
+
+// Median returns the median group size.
+func Median(h histogram.Hist) (int64, error) { return Quantile(h, 0.5) }
+
+// Mean returns the mean group size (0 for an empty histogram).
+func Mean(h histogram.Hist) float64 {
+	g := h.Groups()
+	if g == 0 {
+		return 0
+	}
+	return float64(h.People()) / float64(g)
+}
+
+// CountAtLeast returns the number of groups of size >= s.
+func CountAtLeast(h histogram.Hist, s int64) int64 {
+	var n int64
+	for size, count := range h {
+		if int64(size) >= s {
+			n += count
+		}
+	}
+	return n
+}
+
+// Gini returns the Gini coefficient of the group-size distribution, a
+// standard skewness summary in [0, 1] (0 = all groups equal). The paper
+// motivates count-of-counts histograms as the tool "to study the
+// skewness of a distribution".
+func Gini(h histogram.Hist) float64 {
+	g := h.Groups()
+	people := h.People()
+	if g == 0 || people == 0 {
+		return 0
+	}
+	// Gini = 1 - 2*B where B is the area under the Lorenz curve;
+	// computed exactly from the sorted sizes implied by the histogram:
+	// sum over groups (in non-decreasing size order) of
+	// (2*rank - G - 1) * size / (G * people).
+	var acc float64
+	var rank int64
+	for size, count := range h {
+		if count == 0 {
+			continue
+		}
+		// Groups of this size occupy ranks rank+1 .. rank+count; the
+		// sum of (2r - G - 1) over that range is count*(2*rank + count - G).
+		acc += float64(count) * float64(2*rank+count-g) * float64(size)
+		rank += count
+	}
+	return acc / (float64(g) * float64(people))
+}
+
+// TopCoded returns the census-style truncated table: counts for sizes
+// 0..cap-1 plus a final "cap or more" bucket — the form in which the
+// 2010 Summary File 1 actually published these tables (truncated at 7).
+func TopCoded(h histogram.Hist, cap int) (histogram.Hist, error) {
+	if cap < 1 {
+		return nil, fmt.Errorf("query: cap must be >= 1, got %d", cap)
+	}
+	return h.Truncate(cap), nil
+}
+
+// Compare summarizes the disagreement between a released histogram and
+// a reference (e.g. the truth, in evaluation settings): the earthmover's
+// distance plus the largest per-quantile size deviation at the given
+// quantiles.
+func Compare(truth, released histogram.Hist, quantiles []float64) (emd int64, maxQuantileGap int64, err error) {
+	emd = histogram.EMD(truth, released)
+	for _, q := range quantiles {
+		a, err := Quantile(truth, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := Quantile(released, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d := a - b; d > maxQuantileGap {
+			maxQuantileGap = d
+		} else if -d > maxQuantileGap {
+			maxQuantileGap = -d
+		}
+	}
+	return emd, maxQuantileGap, nil
+}

@@ -1,0 +1,187 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hcoc/internal/histogram"
+)
+
+// example: sizes 1,1,2,3,3 (paper's running example).
+var example = histogram.Hist{0, 2, 1, 2}
+
+func TestKthSmallestAndLargest(t *testing.T) {
+	wantSmallest := []int64{1, 1, 2, 3, 3}
+	for k, want := range wantSmallest {
+		got, err := KthSmallest(example, int64(k+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("KthSmallest(%d) = %d, want %d", k+1, got, want)
+		}
+		gotL, err := KthLargest(example, int64(len(wantSmallest)-k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotL != want {
+			t.Errorf("KthLargest(%d) = %d, want %d", len(wantSmallest)-k, gotL, want)
+		}
+	}
+}
+
+func TestKthOutOfRange(t *testing.T) {
+	for _, k := range []int64{0, 6, -1} {
+		if _, err := KthSmallest(example, k); err == nil {
+			t.Errorf("KthSmallest(%d) accepted", k)
+		}
+		if _, err := KthLargest(example, k); err == nil {
+			t.Errorf("KthLargest(%d) accepted", k)
+		}
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	med, err := Median(example)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 2 {
+		t.Errorf("Median = %d, want 2", med)
+	}
+	minSize, err := Quantile(example, 0)
+	if err != nil || minSize != 1 {
+		t.Errorf("Quantile(0) = %d (%v), want 1", minSize, err)
+	}
+	maxSize, err := Quantile(example, 1)
+	if err != nil || maxSize != 3 {
+		t.Errorf("Quantile(1) = %d (%v), want 3", maxSize, err)
+	}
+	if _, err := Quantile(example, 1.5); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+	if _, err := Quantile(histogram.Hist{}, 0.5); err == nil {
+		t.Error("empty histogram accepted")
+	}
+}
+
+func TestMeanAndCountAtLeast(t *testing.T) {
+	if got := Mean(example); got != 2 {
+		t.Errorf("Mean = %f, want 2 (10 people / 5 groups)", got)
+	}
+	if got := Mean(histogram.Hist{}); got != 0 {
+		t.Errorf("Mean(empty) = %f, want 0", got)
+	}
+	if got := CountAtLeast(example, 2); got != 3 {
+		t.Errorf("CountAtLeast(2) = %d, want 3", got)
+	}
+	if got := CountAtLeast(example, 100); got != 0 {
+		t.Errorf("CountAtLeast(100) = %d, want 0", got)
+	}
+}
+
+func TestGiniKnownValues(t *testing.T) {
+	// All groups equal: Gini 0.
+	if got := Gini(histogram.Hist{0, 0, 10}); got != 0 {
+		t.Errorf("Gini(equal sizes) = %f, want 0", got)
+	}
+	// One group has everything: Gini -> (G-1)/G.
+	h := histogram.Hist{9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1} // 9 empty, 1 of size 10
+	got := Gini(h)
+	if got < 0.89 || got > 0.91 {
+		t.Errorf("Gini(one group owns all) = %f, want ~0.9", got)
+	}
+	if got := Gini(histogram.Hist{}); got != 0 {
+		t.Errorf("Gini(empty) = %f, want 0", got)
+	}
+}
+
+func TestGiniMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(r.Intn(20))
+		}
+		h := histogram.FromSizes(sizes)
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		var people int64
+		for _, s := range sizes {
+			people += s
+		}
+		if people == 0 {
+			return Gini(h) == 0
+		}
+		// Direct O(n) formula over sorted sizes.
+		var acc float64
+		for i, s := range sizes {
+			acc += float64(2*(i+1)-n-1) * float64(s)
+		}
+		want := acc / (float64(n) * float64(people))
+		got := Gini(h)
+		return got-want < 1e-9 && want-got < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopCoded(t *testing.T) {
+	h := histogram.Hist{0, 5, 4, 3, 2, 1}
+	got, err := TopCoded(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := histogram.Hist{0, 5, 4, 6} // sizes 3,4,5 pooled into 3+
+	if !got.Equal(want) {
+		t.Errorf("TopCoded = %v, want %v", got, want)
+	}
+	if _, err := TopCoded(h, 0); err == nil {
+		t.Error("cap 0 accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	truth := histogram.Hist{0, 10, 5}
+	released := histogram.Hist{0, 9, 6}
+	emd, gap, err := Compare(truth, released, []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emd != 1 {
+		t.Errorf("emd = %d, want 1", emd)
+	}
+	if gap > 1 {
+		t.Errorf("quantile gap = %d, want <= 1", gap)
+	}
+	if _, _, err := Compare(histogram.Hist{}, released, []float64{0.5}); err == nil {
+		t.Error("empty truth accepted")
+	}
+}
+
+func TestPropOrderStatisticsConsistent(t *testing.T) {
+	// KthSmallest over all k reproduces the sorted group sizes.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(r.Intn(12))
+		}
+		h := histogram.FromSizes(sizes)
+		want := h.GroupSizes()
+		for k := int64(1); k <= int64(n); k++ {
+			got, err := KthSmallest(h, k)
+			if err != nil || got != want[k-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package simplex provides Euclidean projection onto the scaled simplex
+// {x : x >= 0, sum x = total} and largest-remainder integer rounding.
+//
+// The projection is the closed-form solution to the "quadratic program"
+// of Section 4.1 (minimize ||noisy - x||^2 subject to nonnegativity and a
+// fixed total), solved by water-filling in O(n log n) instead of a
+// commercial QP solver. The rounding rule — round up the cells with the
+// largest fractional parts until the total matches — is the one the
+// paper specifies both for the naive method (Section 4.1) and for the
+// proportional matching split (footnote 10).
+package simplex
+
+import "sort"
+
+// Project returns the Euclidean projection of v onto
+// {x : x_i >= 0, sum_i x_i = total}. It panics if total is negative.
+func Project(v []float64, total float64) []float64 {
+	if total < 0 {
+		panic("simplex: negative total")
+	}
+	n := len(v)
+	if n == 0 {
+		if total > 0 {
+			panic("simplex: cannot distribute positive total over zero cells")
+		}
+		return nil
+	}
+	if total == 0 {
+		return make([]float64, n)
+	}
+	// Water-filling (Duchi et al.): find theta with
+	// sum_i max(v_i - theta, 0) = total. theta is determined by the
+	// largest prefix (in descending order) whose members stay positive
+	// after the shift.
+	sorted := append([]float64(nil), v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var cum float64
+	var theta float64
+	for j := 1; j <= n; j++ {
+		cum += sorted[j-1]
+		if t := (cum - total) / float64(j); sorted[j-1]-t > 0 {
+			theta = t
+		}
+	}
+	out := make([]float64, n)
+	for i, x := range v {
+		if d := x - theta; d > 0 {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// RoundPreservingSum rounds each value to an integer so that the results
+// sum exactly to total, using the largest-remainder method: floor every
+// value, then round up the cells with the largest fractional parts until
+// the total is reached. Values are expected to be nonnegative and to sum
+// approximately to total; the result is guaranteed nonnegative and to
+// sum exactly to total, with any residual discrepancy resolved greedily.
+func RoundPreservingSum(v []float64, total int64) []int64 {
+	n := len(v)
+	out := make([]int64, n)
+	fracs := make([]float64, n)
+	var floorSum int64
+	for i, x := range v {
+		if x < 0 {
+			x = 0
+		}
+		f := int64(x)
+		out[i] = f
+		fracs[i] = x - float64(f)
+		floorSum += f
+	}
+	deficit := total - floorSum
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	switch {
+	case deficit > 0:
+		// Round up the cells with the largest fractional parts first;
+		// ties broken by index for determinism.
+		sort.SliceStable(idx, func(a, b int) bool { return fracs[idx[a]] > fracs[idx[b]] })
+		for _, i := range idx {
+			if deficit == 0 {
+				break
+			}
+			out[i]++
+			deficit--
+		}
+		// If still short (deficit exceeded n), spread the remainder.
+		for deficit > 0 {
+			for _, i := range idx {
+				if deficit == 0 {
+					break
+				}
+				out[i]++
+				deficit--
+			}
+		}
+	case deficit < 0:
+		// Overshoot: decrement the cells with the smallest fractional
+		// parts that can afford it.
+		sort.SliceStable(idx, func(a, b int) bool { return fracs[idx[a]] < fracs[idx[b]] })
+		for deficit < 0 {
+			progressed := false
+			for _, i := range idx {
+				if deficit == 0 {
+					break
+				}
+				if out[i] > 0 {
+					out[i]--
+					deficit++
+					progressed = true
+				}
+			}
+			if !progressed {
+				panic("simplex: cannot reach nonnegative rounding target")
+			}
+		}
+	}
+	return out
+}
+
+// ProjectAndRound composes Project and RoundPreservingSum: the integral,
+// nonnegative, total-preserving post-processing of the naive method.
+func ProjectAndRound(v []float64, total int64) []int64 {
+	return RoundPreservingSum(Project(v, float64(total)), total)
+}

@@ -1,0 +1,191 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sumF(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func sumI(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestProjectAlreadyFeasible(t *testing.T) {
+	v := []float64{1, 2, 3}
+	got := Project(v, 6)
+	for i := range v {
+		if math.Abs(got[i]-v[i]) > 1e-9 {
+			t.Fatalf("Project of feasible point changed it: %v", got)
+		}
+	}
+}
+
+func TestProjectNegativeInput(t *testing.T) {
+	got := Project([]float64{-5, 5}, 4)
+	if got[0] != 0 {
+		t.Errorf("negative cell should project to 0, got %v", got)
+	}
+	if math.Abs(sumF(got)-4) > 1e-9 {
+		t.Errorf("sum = %f, want 4", sumF(got))
+	}
+}
+
+func TestProjectZeroTotal(t *testing.T) {
+	got := Project([]float64{3, -1, 2}, 0)
+	for _, x := range got {
+		if x != 0 {
+			t.Fatalf("Project(..., 0) = %v, want zeros", got)
+		}
+	}
+}
+
+func TestProjectPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Project([]float64{1}, -1) },
+		func() { Project(nil, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid projection accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPropProjectFeasibleAndOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.NormFloat64() * 10
+		}
+		total := float64(r.Intn(50))
+		x := Project(v, total)
+		// Feasibility.
+		if math.Abs(sumF(x)-total) > 1e-6 {
+			return false
+		}
+		for _, xi := range x {
+			if xi < 0 {
+				return false
+			}
+		}
+		// Optimality versus random feasible candidates: project random
+		// points crudely by normalizing positive parts.
+		distX := dist2(v, x)
+		for trial := 0; trial < 20; trial++ {
+			cand := randomFeasible(r, n, total)
+			if dist2(v, cand)+1e-9 < distX {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func randomFeasible(r *rand.Rand, n int, total float64) []float64 {
+	w := make([]float64, n)
+	var s float64
+	for i := range w {
+		w[i] = r.Float64()
+		s += w[i]
+	}
+	if s == 0 {
+		s = 1
+	}
+	for i := range w {
+		w[i] = w[i] / s * total
+	}
+	return w
+}
+
+func TestRoundPreservingSumExact(t *testing.T) {
+	got := RoundPreservingSum([]float64{1.6, 2.3, 0.1}, 4)
+	if sumI(got) != 4 {
+		t.Fatalf("sum = %d, want 4", sumI(got))
+	}
+	// Largest fractional parts rounded up: 1.6 -> 2, 2.3 -> 2, 0.1 -> 0.
+	want := []int64{2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoundPreservingSum = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundPreservingSumIntegers(t *testing.T) {
+	got := RoundPreservingSum([]float64{1, 2, 3}, 6)
+	want := []int64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoundPreservingSum = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundPreservingSumOvershoot(t *testing.T) {
+	// Values sum to 6 but target is 4: must shed 2 without going negative.
+	got := RoundPreservingSum([]float64{3, 3}, 4)
+	if sumI(got) != 4 {
+		t.Fatalf("sum = %d, want 4", sumI(got))
+	}
+	for _, x := range got {
+		if x < 0 {
+			t.Fatalf("negative cell: %v", got)
+		}
+	}
+}
+
+func TestPropProjectAndRound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.NormFloat64() * 5
+		}
+		total := int64(r.Intn(100))
+		x := ProjectAndRound(v, total)
+		if sumI(x) != total {
+			return false
+		}
+		for _, xi := range x {
+			if xi < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

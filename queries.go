@@ -1,0 +1,70 @@
+package hcoc
+
+import (
+	"hcoc/internal/consistency"
+	"hcoc/internal/estimator"
+	"hcoc/internal/noise"
+	"hcoc/internal/query"
+)
+
+// The query helpers below are pure post-processing of released
+// histograms and incur no additional privacy cost.
+
+// KthSmallest returns the size of the k-th smallest group (1-based).
+func KthSmallest(h Histogram, k int64) (int64, error) {
+	return query.KthSmallest(h, k)
+}
+
+// KthLargest returns the size of the k-th largest group (1-based) — the
+// unattributed-histogram query ("what is the size of the kth largest
+// group?").
+func KthLargest(h Histogram, k int64) (int64, error) {
+	return query.KthLargest(h, k)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the group-size
+// distribution.
+func Quantile(h Histogram, q float64) (int64, error) {
+	return query.Quantile(h, q)
+}
+
+// Median returns the median group size.
+func Median(h Histogram) (int64, error) { return query.Median(h) }
+
+// MeanGroupSize returns the mean group size.
+func MeanGroupSize(h Histogram) float64 { return query.Mean(h) }
+
+// CountAtLeast returns the number of groups of size >= s.
+func CountAtLeast(h Histogram, s int64) int64 { return query.CountAtLeast(h, s) }
+
+// Gini returns the Gini coefficient of the group-size distribution, a
+// skewness summary in [0, 1].
+func Gini(h Histogram) float64 { return query.Gini(h) }
+
+// TopCoded returns the census-style truncated table: counts for sizes
+// 0..cap-1 plus a "cap or more" bucket (the 2010 Summary File 1 shape).
+func TopCoded(h Histogram, cap int) (Histogram, error) {
+	return query.TopCoded(h, cap)
+}
+
+// PrivateGroupCounts estimates the per-region group counts under
+// differential privacy when the Groups table is not public (the paper's
+// footnote 5 extension). The returned counts are nonnegative integers
+// with parent = sum of children.
+func PrivateGroupCounts(tree *Tree, epsilon float64, seed int64) (map[string]int64, error) {
+	return consistency.PrivateGroupCounts(tree, epsilon, seed)
+}
+
+// EstimateK spends a sliver of budget to derive a public group-size
+// bound K when none is known (the paper's footnote 6 procedure).
+func EstimateK(h Histogram, epsilon float64, seed int64) (int, error) {
+	return estimator.EstimateK(h, epsilon, noise.New(seed))
+}
+
+// ChooseMethod spends epsilon of budget to pick between MethodHc and
+// MethodHg from a private density probe (the algorithm-selection
+// extension the paper's footnote 4 defers to generic tools). Account the
+// epsilon spent here on top of the release budget.
+func ChooseMethod(h Histogram, epsilon float64, seed int64) (Method, error) {
+	return estimator.ChooseMethod(h, epsilon, noise.New(seed))
+}

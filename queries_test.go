@@ -1,0 +1,74 @@
+package hcoc
+
+import "testing"
+
+func TestQueryHelpers(t *testing.T) {
+	h := Histogram{0, 2, 1, 2} // sizes 1,1,2,3,3
+	if got, err := KthSmallest(h, 1); err != nil || got != 1 {
+		t.Errorf("KthSmallest(1) = %d (%v), want 1", got, err)
+	}
+	if got, err := KthLargest(h, 1); err != nil || got != 3 {
+		t.Errorf("KthLargest(1) = %d (%v), want 3", got, err)
+	}
+	if got, err := Median(h); err != nil || got != 2 {
+		t.Errorf("Median = %d (%v), want 2", got, err)
+	}
+	if got, err := Quantile(h, 0.9); err != nil || got != 3 {
+		t.Errorf("Quantile(0.9) = %d (%v), want 3", got, err)
+	}
+	if got := MeanGroupSize(h); got != 2 {
+		t.Errorf("MeanGroupSize = %f, want 2", got)
+	}
+	if got := CountAtLeast(h, 2); got != 3 {
+		t.Errorf("CountAtLeast(2) = %d, want 3", got)
+	}
+	if g := Gini(h); g <= 0 || g >= 1 {
+		t.Errorf("Gini = %f, want in (0, 1)", g)
+	}
+	top, err := TopCoded(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !top.Equal(Histogram{0, 2, 3}) {
+		t.Errorf("TopCoded = %v, want [0 2 3]", top)
+	}
+}
+
+func TestPublicPrivateGroupCounts(t *testing.T) {
+	tree, err := BuildHierarchy("US", smallGroups(6, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := PrivateGroupCounts(tree, 1.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent = sum of children everywhere.
+	tree.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		var sum int64
+		for _, c := range n.Children {
+			sum += counts[c.Path]
+		}
+		if sum != counts[n.Path] {
+			t.Errorf("node %q: children sum %d != %d", n.Path, sum, counts[n.Path])
+		}
+	})
+}
+
+func TestPublicEstimateK(t *testing.T) {
+	h := Histogram{0, 10, 5, 0, 0, 0, 0, 0, 0, 0, 1} // max size 10
+	k, err := EstimateK(h, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 10 {
+		t.Errorf("K = %d, want >= true max 10 (with overwhelming probability)", k)
+	}
+	// Usable end to end.
+	if _, err := ReleaseSingle(h, MethodHc, Options{Epsilon: 1, K: k, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package hcoc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// releaseFile is the on-disk JSON shape of a release artifact.
+type releaseFile struct {
+	// Format identifies the artifact type and version.
+	Format string `json:"format"`
+	// Epsilon records the privacy budget the release was produced
+	// under (informational; the artifact itself is safe to publish).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Nodes maps node paths to count-of-counts histograms.
+	Nodes map[string]Histogram `json:"nodes"`
+}
+
+const releaseFormat = "hcoc-release/v1"
+
+// WriteRelease serializes a released set of histograms as JSON, the
+// publishable artifact of a run. Epsilon is recorded for provenance.
+func WriteRelease(w io.Writer, rel Histograms, epsilon float64) error {
+	if len(rel) == 0 {
+		return fmt.Errorf("hcoc: empty release")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(releaseFile{
+		Format:  releaseFormat,
+		Epsilon: epsilon,
+		Nodes:   map[string]Histogram(rel),
+	})
+}
+
+// ReadRelease parses a release artifact written by WriteRelease and
+// validates that every histogram is nonnegative.
+func ReadRelease(r io.Reader) (Histograms, float64, error) {
+	var f releaseFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, 0, fmt.Errorf("hcoc: parsing release: %w", err)
+	}
+	if f.Format != releaseFormat {
+		return nil, 0, fmt.Errorf("hcoc: unsupported release format %q", f.Format)
+	}
+	if len(f.Nodes) == 0 {
+		return nil, 0, fmt.Errorf("hcoc: release has no nodes")
+	}
+	for path, h := range f.Nodes {
+		if err := h.Validate(); err != nil {
+			return nil, 0, fmt.Errorf("hcoc: node %q: %w", path, err)
+		}
+	}
+	return Histograms(f.Nodes), f.Epsilon, nil
+}

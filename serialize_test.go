@@ -1,0 +1,62 @@
+package hcoc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReleaseRoundTrip(t *testing.T) {
+	tree, err := BuildHierarchy("US", smallGroups(40, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Release(tree, Options{Epsilon: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRelease(&buf, rel, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	back, eps, err := ReadRelease(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 1.0 {
+		t.Errorf("epsilon = %f, want 1", eps)
+	}
+	if len(back) != len(rel) {
+		t.Fatalf("round trip lost nodes: %d != %d", len(back), len(rel))
+	}
+	for path, h := range rel {
+		if !h.Equal(back[path]) {
+			t.Fatalf("node %q differs after round trip", path)
+		}
+	}
+	// The reloaded artifact still passes the structural check.
+	if err := Check(tree, back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReleaseRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRelease(&buf, Histograms{}, 1); err == nil {
+		t.Error("empty release accepted")
+	}
+}
+
+func TestReadReleaseRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not json",
+		`{"format":"wrong/v9","nodes":{"a":[1]}}`,
+		`{"format":"hcoc-release/v1","nodes":{}}`,
+		`{"format":"hcoc-release/v1","nodes":{"a":[1,-2]}}`,
+	} {
+		if _, _, err := ReadRelease(strings.NewReader(bad)); err == nil {
+			t.Errorf("bad artifact %q accepted", bad)
+		}
+	}
+}
