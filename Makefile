@@ -1,0 +1,32 @@
+# CI (.github/workflows/ci.yml) runs these same targets; keep them in sync.
+
+GO ?= go
+
+.PHONY: all build test bench lint fuzz serve
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark, as a smoke pass; run
+# `go test -bench=. ./...` directly for real measurements.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Short fuzz budget over the CSV/dataset parsers, as in CI.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzReadGroups -fuzztime=10s ./internal/dataset
+
+serve:
+	$(GO) run ./cmd/hcoc-serve

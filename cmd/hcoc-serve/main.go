@@ -1,0 +1,92 @@
+// Command hcoc-serve is a long-running HTTP service over the hcoc
+// library, separating the expensive differentially private release
+// computation from cheap repeated query serving. Identical release
+// requests are answered from an LRU cache or coalesced onto one
+// in-flight computation, and the post-processing queries are reads
+// against cached releases.
+//
+// Endpoints:
+//
+//	POST /v1/hierarchy        upload groups, build the region tree
+//	GET  /v1/hierarchy        list uploaded hierarchies
+//	POST /v1/release          run a topdown/bottomup release
+//	GET  /v1/release/{id}     download a cached release artifact
+//	GET  /v1/query/{node}     quantiles, k-th largest, top-coded, Gini
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text metrics
+//
+// Example session:
+//
+//	hcoc-serve -addr :8080 &
+//	curl -s localhost:8080/v1/hierarchy -d '{"root":"US","groups":[{"path":["CA"],"size":3}]}'
+//	curl -s localhost:8080/v1/release -d '{"hierarchy":"h-...","epsilon":1}'
+//	curl -s 'localhost:8080/v1/query/US/CA?release=r-...&q=0.5'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hcoc/internal/engine"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "default release parallelism (0 = GOMAXPROCS); requests may override")
+		cache   = flag.Int("cache", engine.DefaultCacheSize, "completed releases kept in the LRU cache")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *cache); err != nil {
+		fmt.Fprintf(os.Stderr, "hcoc-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, cache int) error {
+	eng := engine.New(engine.Options{CacheSize: cache, Workers: workers})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bound the whole request read so a trickled body cannot pin a
+		// connection forever. WriteTimeout stays 0: release computations
+		// and artifact downloads may legitimately run long.
+		ReadTimeout: 5 * time.Minute,
+		IdleTimeout: 2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("hcoc-serve: listening on %s (cache=%d workers=%d)\n", addr, cache, workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests.
+	fmt.Println("hcoc-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

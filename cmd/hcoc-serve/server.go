@@ -1,0 +1,427 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"hcoc"
+	"hcoc/internal/engine"
+)
+
+// maxBodyBytes bounds request bodies; a group record is tens of bytes,
+// so this admits tens of millions of groups.
+const maxBodyBytes = 1 << 30
+
+// maxHierarchies bounds the uploaded-tree store so a client cycling
+// through distinct uploads cannot grow the daemon without limit (the
+// release cache is separately LRU-bounded).
+const maxHierarchies = 128
+
+// Server is the HTTP front end over the release engine. Hierarchies are
+// uploaded once and addressed by content fingerprint; releases are
+// cached and addressed by release key.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+
+	mu       sync.RWMutex
+	trees    map[string]*storedTree
+	maxTrees int
+}
+
+type storedTree struct {
+	tree *hcoc.Tree
+	fp   string
+}
+
+// NewServer wires the routes over an engine.
+func NewServer(eng *engine.Engine) *Server {
+	s := &Server{
+		eng:      eng,
+		mux:      http.NewServeMux(),
+		trees:    make(map[string]*storedTree),
+		maxTrees: maxHierarchies,
+	}
+	s.mux.HandleFunc("POST /v1/hierarchy", s.handleHierarchy)
+	s.mux.HandleFunc("GET /v1/hierarchy", s.handleListHierarchies)
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("GET /v1/release/{id}", s.handleGetRelease)
+	s.mux.HandleFunc("GET /v1/query/{node...}", s.handleQuery)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorResponse is the JSON shape of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// groupRecord is the JSON shape of one group in a hierarchy upload.
+type groupRecord struct {
+	Path []string `json:"path"`
+	Size int64    `json:"size"`
+}
+
+// hierarchyRequest is the body of POST /v1/hierarchy.
+type hierarchyRequest struct {
+	Root   string        `json:"root"`
+	Groups []groupRecord `json:"groups"`
+}
+
+// hierarchyResponse describes an uploaded hierarchy.
+type hierarchyResponse struct {
+	ID     string `json:"id"`
+	Depth  int    `json:"depth"`
+	Nodes  int    `json:"nodes"`
+	Groups int64  `json:"groups"`
+	People int64  `json:"people"`
+}
+
+func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
+	var req hierarchyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	if req.Root == "" {
+		req.Root = "root"
+	}
+	if len(req.Groups) == 0 {
+		writeError(w, http.StatusBadRequest, "no groups in upload")
+		return
+	}
+	groups := make([]hcoc.Group, len(req.Groups))
+	for i, g := range req.Groups {
+		if g.Size < 0 {
+			writeError(w, http.StatusBadRequest, "group %d has negative size %d", i, g.Size)
+			return
+		}
+		groups[i] = hcoc.Group{Path: g.Path, Size: g.Size}
+	}
+	tree, err := hcoc.BuildHierarchy(req.Root, groups)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "building hierarchy: %v", err)
+		return
+	}
+
+	fp := engine.FingerprintTree(tree)
+	id := "h-" + fp
+	s.mu.Lock()
+	// Content-addressed: re-uploading the same groups is idempotent.
+	if _, ok := s.trees[id]; !ok {
+		if len(s.trees) >= s.maxTrees {
+			s.mu.Unlock()
+			writeError(w, http.StatusInsufficientStorage,
+				"hierarchy store is full (%d); re-use an uploaded hierarchy or restart the server", s.maxTrees)
+			return
+		}
+		s.trees[id] = &storedTree{tree: tree, fp: fp}
+	}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, hierarchyResponse{
+		ID:     id,
+		Depth:  tree.Depth(),
+		Nodes:  len(tree.Nodes()),
+		Groups: tree.Root.G(),
+		People: tree.Root.Hist.People(),
+	})
+}
+
+func (s *Server) handleListHierarchies(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]hierarchyResponse, 0, len(s.trees))
+	for id, st := range s.trees {
+		out = append(out, hierarchyResponse{
+			ID:     id,
+			Depth:  st.tree.Depth(),
+			Nodes:  len(st.tree.Nodes()),
+			Groups: st.tree.Root.G(),
+			People: st.tree.Root.Hist.People(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// releaseRequest is the body of POST /v1/release.
+type releaseRequest struct {
+	Hierarchy string   `json:"hierarchy"`
+	Algorithm string   `json:"algorithm"`
+	Epsilon   float64  `json:"epsilon"`
+	K         int      `json:"k"`
+	Methods   []string `json:"methods"`
+	Merge     string   `json:"merge"`
+	Seed      int64    `json:"seed"`
+	Workers   int      `json:"workers"`
+}
+
+// releaseResponse describes how a release request was satisfied.
+type releaseResponse struct {
+	Release    string  `json:"release"`
+	Hierarchy  string  `json:"hierarchy"`
+	Algorithm  string  `json:"algorithm"`
+	Epsilon    float64 `json:"epsilon"`
+	Nodes      int     `json:"nodes"`
+	CacheHit   bool    `json:"cache_hit"`
+	Deduped    bool    `json:"deduped"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+func parseMethods(names []string) ([]hcoc.Method, error) {
+	var out []hcoc.Method
+	for _, name := range names {
+		switch name {
+		case "hc":
+			out = append(out, hcoc.MethodHc)
+		case "hg":
+			out = append(out, hcoc.MethodHg)
+		case "naive":
+			out = append(out, hcoc.MethodNaive)
+		default:
+			return nil, fmt.Errorf("unknown method %q (want hc|hg|naive)", name)
+		}
+	}
+	return out, nil
+}
+
+func parseMerge(name string) (hcoc.MergeStrategy, error) {
+	switch name {
+	case "", "weighted":
+		return hcoc.MergeWeighted, nil
+	case "average":
+		return hcoc.MergeAverage, nil
+	default:
+		return 0, fmt.Errorf("unknown merge strategy %q (want weighted|average)", name)
+	}
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	s.mu.RLock()
+	st, ok := s.trees[req.Hierarchy]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", req.Hierarchy)
+		return
+	}
+	alg, err := engine.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	methods, err := parseMethods(req.Methods)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	merge, err := parseMerge(req.Merge)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Epsilon <= 0 {
+		writeError(w, http.StatusBadRequest, "epsilon must be positive, got %g", req.Epsilon)
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "k must be nonnegative, got %d (0 selects the default)", req.K)
+		return
+	}
+
+	res, err := s.eng.Release(r.Context(), st.tree, st.fp, alg, hcoc.Options{
+		Epsilon: req.Epsilon,
+		K:       req.K,
+		Methods: methods,
+		Merge:   merge,
+		Seed:    req.Seed,
+		Workers: req.Workers,
+	})
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			return // client went away
+		}
+		writeError(w, http.StatusInternalServerError, "release failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, releaseResponse{
+		Release:    "r-" + res.Key,
+		Hierarchy:  req.Hierarchy,
+		Algorithm:  alg.String(),
+		Epsilon:    req.Epsilon,
+		Nodes:      len(res.Release),
+		CacheHit:   res.CacheHit,
+		Deduped:    res.Deduped,
+		DurationMS: float64(res.Duration.Microseconds()) / 1000,
+	})
+}
+
+// releaseID strips the "r-" prefix release keys are served with.
+func releaseID(id string) string {
+	if len(id) > 2 && id[:2] == "r-" {
+		return id[2:]
+	}
+	return id
+}
+
+func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
+	rel, epsilon, err := s.eng.Histograms(releaseID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
+		return
+	}
+	// Serialize before writing so a failure is a clean 500, never a 200
+	// with a truncated artifact.
+	var buf bytes.Buffer
+	if err := hcoc.WriteRelease(&buf, rel, epsilon); err != nil {
+		writeError(w, http.StatusInternalServerError, "writing artifact: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = buf.WriteTo(w)
+}
+
+// queryResponse is the JSON shape of a node query.
+type queryResponse struct {
+	Node       string           `json:"node"`
+	Groups     int64            `json:"groups"`
+	People     int64            `json:"people"`
+	Mean       float64          `json:"mean"`
+	Median     int64            `json:"median"`
+	Gini       float64          `json:"gini"`
+	Quantiles  []quantileValue  `json:"quantiles,omitempty"`
+	KthLargest []orderStatValue `json:"kth_largest,omitempty"`
+	TopCoded   hcoc.Histogram   `json:"topcoded,omitempty"`
+}
+
+type quantileValue struct {
+	Q    float64 `json:"q"`
+	Size int64   `json:"size"`
+}
+
+type orderStatValue struct {
+	K    int64 `json:"k"`
+	Size int64 `json:"size"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	node := r.PathValue("node")
+	q := r.URL.Query()
+	key := releaseID(q.Get("release"))
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "missing release query parameter")
+		return
+	}
+	var params engine.QueryParams
+	for _, raw := range q["q"] {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad quantile %q", raw)
+			return
+		}
+		params.Quantiles = append(params.Quantiles, v)
+	}
+	for _, raw := range q["k"] {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad rank %q", raw)
+			return
+		}
+		params.KthLargest = append(params.KthLargest, v)
+	}
+	if raw := q.Get("topcode"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad topcode %q (want a positive integer)", raw)
+			return
+		}
+		params.TopCode = v
+	}
+
+	rep, err := s.eng.Query(key, node, params)
+	switch {
+	case errors.Is(err, engine.ErrNotCached):
+		writeError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := queryResponse{
+		Node:     rep.Node,
+		Groups:   rep.Groups,
+		People:   rep.People,
+		Mean:     rep.Mean,
+		Median:   rep.Median,
+		Gini:     rep.Gini,
+		TopCoded: rep.TopCoded,
+	}
+	for _, v := range rep.Quantiles {
+		resp.Quantiles = append(resp.Quantiles, quantileValue{Q: v.Q, Size: v.Size})
+	}
+	for _, v := range rep.KthLargest {
+		resp.KthLargest = append(resp.KthLargest, orderStatValue{K: v.K, Size: v.Size})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics exposes the engine counters in the Prometheus text
+// exposition format, dependency-free.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics()
+	s.mu.RLock()
+	hierarchies := len(s.trees)
+	s.mu.RUnlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	put := func(name, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n%s %v\n", name, help, name, value)
+	}
+	put("hcoc_cache_hits_total", "Release requests answered from the cache.", m.CacheHits)
+	put("hcoc_cache_misses_total", "Release requests that started a computation.", m.CacheMisses)
+	put("hcoc_deduped_total", "Release requests coalesced onto an in-flight computation.", m.Deduped)
+	put("hcoc_cache_hit_rate", "Fraction of release requests answered from the cache.", m.HitRate())
+	put("hcoc_cache_entries", "Completed releases currently cached.", m.CacheEntries)
+	put("hcoc_cache_capacity", "LRU capacity in releases.", m.CacheCapacity)
+	put("hcoc_cache_evictions_total", "Completed releases evicted by the LRU.", m.Evictions)
+	put("hcoc_releases_total", "Completed release computations.", m.Releases)
+	put("hcoc_inflight_releases", "Release computations running now.", m.InFlight)
+	put("hcoc_queries_total", "Node query reads served.", m.Queries)
+	put("hcoc_release_seconds_total", "Cumulative release computation time.", m.ReleaseTotal.Seconds())
+	put("hcoc_release_seconds_last", "Duration of the most recent release computation.", m.LastRelease.Seconds())
+	put("hcoc_hierarchies", "Hierarchies currently uploaded.", hierarchies)
+}

@@ -1,0 +1,363 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hcoc"
+	"hcoc/internal/dataset"
+	"hcoc/internal/engine"
+)
+
+func newTestServer(t *testing.T, opts engine.Options) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(engine.New(opts)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// taxiGroups generates a small synthetic taxi workload, the paper's
+// dense large-size dataset.
+func taxiGroups(t *testing.T) []hcoc.Group {
+	t.Helper()
+	groups, err := dataset.Generate(dataset.Taxi, dataset.Config{Seed: 1, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return groups
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("parsing response %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode, string(data)
+}
+
+func getJSON(t *testing.T, url string, out any) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("parsing response %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode, string(data)
+}
+
+func uploadGroups(t *testing.T, ts *httptest.Server, root string, groups []hcoc.Group) hierarchyResponse {
+	t.Helper()
+	recs := make([]groupRecord, len(groups))
+	for i, g := range groups {
+		recs[i] = groupRecord{Path: g.Path, Size: g.Size}
+	}
+	var hr hierarchyResponse
+	status, body := postJSON(t, ts.URL+"/v1/hierarchy", hierarchyRequest{Root: root, Groups: recs}, &hr)
+	if status != http.StatusOK {
+		t.Fatalf("hierarchy upload: status %d: %s", status, body)
+	}
+	return hr
+}
+
+// TestServeEndToEnd runs the acceptance flow: upload synthetic taxi
+// groups, trigger a release, query a node quantile, then verify that a
+// second identical release is answered from the cache — both in the
+// response and in the exported cache-hit metric.
+func TestServeEndToEnd(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	groups := taxiGroups(t)
+	hr := uploadGroups(t, ts, "Manhattan", groups)
+	if hr.Depth < 2 || hr.Groups == 0 {
+		t.Fatalf("implausible hierarchy: %+v", hr)
+	}
+
+	relReq := releaseRequest{
+		Hierarchy: hr.ID, Algorithm: "topdown", Epsilon: 1, K: 2000, Seed: 42,
+	}
+	var first releaseResponse
+	if status, body := postJSON(t, ts.URL+"/v1/release", relReq, &first); status != http.StatusOK {
+		t.Fatalf("release: status %d: %s", status, body)
+	}
+	if first.CacheHit || first.Deduped {
+		t.Fatalf("first release reported cache_hit=%v deduped=%v", first.CacheHit, first.Deduped)
+	}
+	if first.Nodes != hr.Nodes {
+		t.Fatalf("release covers %d nodes, hierarchy has %d", first.Nodes, hr.Nodes)
+	}
+
+	// The released quantile must match a local run with the same options.
+	tree, err := hcoc.BuildHierarchy("Manhattan", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hcoc.Release(tree, hcoc.Options{Epsilon: 1, K: 2000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := tree.ByLevel[1][0].Path
+	var qr queryResponse
+	url := fmt.Sprintf("%s/v1/query/%s?release=%s&q=0.5&q=0.9&k=1&topcode=8", ts.URL, node, first.Release)
+	if status, body := getJSON(t, url, &qr); status != http.StatusOK {
+		t.Fatalf("query: status %d: %s", status, body)
+	}
+	wantMedian, err := hcoc.Quantile(want[node], 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Quantiles) != 2 || qr.Quantiles[0].Size != wantMedian {
+		t.Fatalf("served q0.5 = %+v, want %d", qr.Quantiles, wantMedian)
+	}
+	if qr.Groups != want[node].Groups() {
+		t.Fatalf("served groups = %d, want %d", qr.Groups, want[node].Groups())
+	}
+	if len(qr.TopCoded) != 9 {
+		t.Fatalf("top-coded table has %d cells, want 9", len(qr.TopCoded))
+	}
+
+	// Second identical release: served from cache.
+	var second releaseResponse
+	if status, body := postJSON(t, ts.URL+"/v1/release", relReq, &second); status != http.StatusOK {
+		t.Fatalf("second release: status %d: %s", status, body)
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical release was not a cache hit")
+	}
+	if second.Release != first.Release {
+		t.Fatalf("release keys differ: %q vs %q", second.Release, first.Release)
+	}
+
+	// The cache hit must be visible in the exported metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"hcoc_cache_hits_total 1",
+		"hcoc_cache_misses_total 1",
+		"hcoc_cache_hit_rate 0.5",
+		"hcoc_releases_total 1",
+		"hcoc_inflight_releases 0",
+		"hcoc_hierarchies 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestServeReleaseArtifact downloads a cached release and checks it is
+// a valid hcoc artifact.
+func TestServeReleaseArtifact(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	hr := uploadGroups(t, ts, "US", smallGroups())
+
+	var rr releaseResponse
+	req := releaseRequest{Hierarchy: hr.ID, Epsilon: 2, K: 50, Seed: 7}
+	if status, body := postJSON(t, ts.URL+"/v1/release", req, &rr); status != http.StatusOK {
+		t.Fatalf("release: status %d: %s", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/release/" + rr.Release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact: status %d", resp.StatusCode)
+	}
+	rel, epsilon, err := hcoc.ReadRelease(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epsilon != 2 {
+		t.Fatalf("artifact epsilon = %g, want 2", epsilon)
+	}
+	if len(rel) != hr.Nodes {
+		t.Fatalf("artifact has %d nodes, want %d", len(rel), hr.Nodes)
+	}
+}
+
+func smallGroups() []hcoc.Group {
+	var groups []hcoc.Group
+	for i := 0; i < 40; i++ {
+		groups = append(groups, hcoc.Group{Path: []string{"CA"}, Size: int64(i % 6)})
+		groups = append(groups, hcoc.Group{Path: []string{"WA"}, Size: int64(i % 4)})
+	}
+	return groups
+}
+
+func TestServeHierarchyIdempotent(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	a := uploadGroups(t, ts, "US", smallGroups())
+	b := uploadGroups(t, ts, "US", smallGroups())
+	if a.ID != b.ID {
+		t.Fatalf("same upload got different ids: %q vs %q", a.ID, b.ID)
+	}
+	var list []hierarchyResponse
+	if status, body := getJSON(t, ts.URL+"/v1/hierarchy", &list); status != http.StatusOK {
+		t.Fatalf("list: status %d: %s", status, body)
+	}
+	if len(list) != 1 {
+		t.Fatalf("listed %d hierarchies, want 1", len(list))
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	hr := uploadGroups(t, ts, "US", smallGroups())
+
+	cases := []struct {
+		name string
+		do   func() (int, string)
+		want int
+	}{
+		{"unknown hierarchy", func() (int, string) {
+			return postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: "h-missing", Epsilon: 1}, nil)
+		}, http.StatusNotFound},
+		{"bad epsilon", func() (int, string) {
+			return postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 0}, nil)
+		}, http.StatusBadRequest},
+		{"negative k", func() (int, string) {
+			return postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: -1}, nil)
+		}, http.StatusBadRequest},
+		{"bad algorithm", func() (int, string) {
+			return postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, Algorithm: "sideways"}, nil)
+		}, http.StatusBadRequest},
+		{"bad method", func() (int, string) {
+			return postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, Methods: []string{"psychic"}}, nil)
+		}, http.StatusBadRequest},
+		{"empty upload", func() (int, string) {
+			return postJSON(t, ts.URL+"/v1/hierarchy", hierarchyRequest{Root: "US"}, nil)
+		}, http.StatusBadRequest},
+		{"negative size", func() (int, string) {
+			return postJSON(t, ts.URL+"/v1/hierarchy", hierarchyRequest{
+				Root: "US", Groups: []groupRecord{{Path: []string{"CA"}, Size: -3}},
+			}, nil)
+		}, http.StatusBadRequest},
+		{"query without release", func() (int, string) {
+			return getJSON(t, ts.URL+"/v1/query/US/CA", nil)
+		}, http.StatusBadRequest},
+		{"query unknown release", func() (int, string) {
+			return getJSON(t, ts.URL+"/v1/query/US/CA?release=r-beef", nil)
+		}, http.StatusNotFound},
+		{"artifact unknown release", func() (int, string) {
+			return getJSON(t, ts.URL+"/v1/release/r-beef", nil)
+		}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		status, body := tc.do()
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.want, body)
+		}
+		if status != http.StatusOK && !strings.Contains(body, "error") {
+			t.Errorf("%s: error response has no error field: %s", tc.name, body)
+		}
+	}
+
+	// Query errors against a real release.
+	var rr releaseResponse
+	if status, body := postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50}, &rr); status != http.StatusOK {
+		t.Fatalf("release: status %d: %s", status, body)
+	}
+	if status, _ := getJSON(t, ts.URL+"/v1/query/US/NV?release="+rr.Release, nil); status != http.StatusBadRequest {
+		t.Errorf("unknown node: status %d, want 400", status)
+	}
+	if status, _ := getJSON(t, ts.URL+"/v1/query/US/CA?release="+rr.Release+"&q=1.5", nil); status != http.StatusBadRequest {
+		t.Errorf("out-of-range quantile: status %d, want 400", status)
+	}
+	if status, _ := getJSON(t, ts.URL+"/v1/query/US/CA?release="+rr.Release+"&topcode=-1", nil); status != http.StatusBadRequest {
+		t.Errorf("non-positive topcode: status %d, want 400", status)
+	}
+	// NaN and Inf parse as floats but must be rejected as quantiles, not
+	// leak into (and break) the JSON response.
+	for _, q := range []string{"NaN", "Inf", "-Inf"} {
+		if status, _ := getJSON(t, ts.URL+"/v1/query/US/CA?release="+rr.Release+"&q="+q, nil); status != http.StatusBadRequest {
+			t.Errorf("q=%s: status %d, want 400", q, status)
+		}
+	}
+}
+
+// TestServeHierarchyStoreBounded verifies the uploaded-tree store
+// rejects new hierarchies at capacity while staying idempotent for
+// already-stored ones.
+func TestServeHierarchyStoreBounded(t *testing.T) {
+	srv := NewServer(engine.New(engine.Options{}))
+	srv.maxTrees = 1
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	first := uploadGroups(t, ts, "US", smallGroups())
+	// Same content again: idempotent, not a second slot.
+	if again := uploadGroups(t, ts, "US", smallGroups()); again.ID != first.ID {
+		t.Fatalf("idempotent re-upload changed id: %q vs %q", again.ID, first.ID)
+	}
+	status, body := postJSON(t, ts.URL+"/v1/hierarchy", hierarchyRequest{
+		Root: "EU", Groups: []groupRecord{{Path: []string{"FR"}, Size: 2}},
+	}, nil)
+	if status != http.StatusInsufficientStorage {
+		t.Fatalf("upload past capacity: status %d (%s), want 507", status, body)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	var out map[string]string
+	if status, body := getJSON(t, ts.URL+"/healthz", &out); status != http.StatusOK {
+		t.Fatalf("healthz: status %d: %s", status, body)
+	}
+	if out["status"] != "ok" {
+		t.Fatalf("healthz = %v", out)
+	}
+}
+
+// TestServeBottomUp exercises the baseline algorithm through the API;
+// the two algorithms must produce distinct cache entries.
+func TestServeBottomUp(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	hr := uploadGroups(t, ts, "US", smallGroups())
+
+	var td, bu releaseResponse
+	if status, body := postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 3}, &td); status != http.StatusOK {
+		t.Fatalf("topdown: status %d: %s", status, body)
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Algorithm: "bottomup", Epsilon: 1, K: 50, Seed: 3}, &bu); status != http.StatusOK {
+		t.Fatalf("bottomup: status %d: %s", status, body)
+	}
+	if bu.CacheHit || bu.Release == td.Release {
+		t.Fatal("bottomup release shared the topdown cache entry")
+	}
+}

@@ -1,0 +1,3 @@
+module hcoc
+
+go 1.24

@@ -20,6 +20,9 @@
 //
 // The error metric throughout is the earthmover's distance (EMD): the
 // number of entities that must move to turn one histogram into another.
+//
+// For serving releases over HTTP — with caching, request coalescing and
+// cheap post-processing queries — see cmd/hcoc-serve and README.md.
 package hcoc
 
 import (
@@ -89,6 +92,10 @@ type Options struct {
 	// Seed makes the release reproducible; releases with the same seed,
 	// data and options are identical.
 	Seed int64
+	// Workers bounds the goroutines used for the parallel stages of a
+	// release (per-node estimation, per-parent matching). 0 means
+	// GOMAXPROCS. The released histograms do not depend on Workers.
+	Workers int
 }
 
 func (o Options) internal() consistency.Options {
@@ -102,6 +109,7 @@ func (o Options) internal() consistency.Options {
 		Methods: o.Methods,
 		Merge:   o.Merge,
 		Seed:    o.Seed,
+		Workers: o.Workers,
 	}
 }
 

@@ -8,6 +8,8 @@ package consistency
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"hcoc/internal/estimator"
 	"hcoc/internal/hierarchy"
@@ -58,10 +60,25 @@ type Options struct {
 	// Each node's noise stream is derived from (Seed, node path), so
 	// results do not depend on Workers.
 	Seed int64
-	// Workers bounds the number of goroutines used for per-node
-	// estimation (the expensive, embarrassingly parallel step).
-	// 0 means GOMAXPROCS.
+	// Workers bounds the number of goroutines used for the two
+	// expensive, embarrassingly parallel steps: per-node estimation and
+	// per-parent matching/merging. 0 means GOMAXPROCS.
 	Workers int
+}
+
+// workerCount resolves Workers against the number of independent jobs.
+func (o Options) workerCount(jobs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func (o Options) methodFor(level int) estimator.Method {
@@ -152,43 +169,9 @@ func TopDown(tree *hierarchy.Tree, opts Options) (Release, error) {
 		return nil, err
 	}
 
-	// Line 8: the root's updated estimate is its own estimate.
-	rootState := states[tree.Root.Path]
-	rootState.upd = rootState.hg.Clone()
-	rootState.uvr = append([]float64(nil), rootState.vg...)
-
-	// Lines 9-12: top-down matching and merging.
-	for level := 0; level < depth-1; level++ {
-		for _, parent := range tree.ByLevel[level] {
-			ps := states[parent.Path]
-			if len(parent.Children) == 0 {
-				continue
-			}
-			childHg := make([]histogram.GroupSizes, len(parent.Children))
-			for i, c := range parent.Children {
-				childHg[i] = states[c.Path].hg
-			}
-			ms, err := matching.Compute(ps.hg, childHg)
-			if err != nil {
-				return nil, fmt.Errorf("consistency: node %q: %w", parent.Path, err)
-			}
-			for i, c := range parent.Children {
-				cs := states[c.Path]
-				cs.upd = make(histogram.GroupSizes, len(cs.hg))
-				cs.uvr = make([]float64, len(cs.hg))
-				for j := range cs.hg {
-					pi := ms[i].ParentIndex[j]
-					val, vr := merge(opts.Merge,
-						float64(cs.hg[j]), cs.vg[j],
-						float64(ps.upd[pi]), ps.uvr[pi])
-					if val < 0 {
-						val = 0 // rounding guard; estimates are nonnegative
-					}
-					cs.upd[j] = int64(val + 0.5)
-					cs.uvr[j] = vr
-				}
-			}
-		}
+	// Lines 8-12: top-down matching and merging.
+	if err := matchLevels(tree, states, opts); err != nil {
+		return nil, err
 	}
 
 	// Line 13: leaves' updated sizes become their final histograms.
@@ -214,6 +197,103 @@ func TopDown(tree *hierarchy.Tree, opts Options) (Release, error) {
 		}
 	}
 	return out, nil
+}
+
+// matchLevels runs lines 8-12 of Algorithm 1: seed the root's updated
+// estimate with its own, then walk the levels top-down, matching and
+// merging each parent with its children. Parents within a level are
+// independent — each one reads only its own state (finalized at the
+// previous level) and writes only its own children's states, and every
+// node has exactly one parent — so the per-level loop fans out across
+// opts.Workers goroutines.
+func matchLevels(tree *hierarchy.Tree, states map[string]*nodeState, opts Options) error {
+	rootState := states[tree.Root.Path]
+	rootState.upd = rootState.hg.Clone()
+	rootState.uvr = append([]float64(nil), rootState.vg...)
+
+	for level := 0; level < tree.Depth()-1; level++ {
+		parents := tree.ByLevel[level]
+		err := forEachNode(parents, opts.workerCount(len(parents)), func(parent *hierarchy.Node) error {
+			return matchParent(states, parent, opts.Merge)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchParent matches one parent's original estimate against its
+// children's original estimates (Algorithm 2), then merges each child
+// estimate with the parent's updated value at the matched index
+// (Section 5.3), filling in the children's updated sizes and variances.
+func matchParent(states map[string]*nodeState, parent *hierarchy.Node, strategy MergeStrategy) error {
+	if len(parent.Children) == 0 {
+		return nil
+	}
+	ps := states[parent.Path]
+	childHg := make([]histogram.GroupSizes, len(parent.Children))
+	for i, c := range parent.Children {
+		childHg[i] = states[c.Path].hg
+	}
+	ms, err := matching.Compute(ps.hg, childHg)
+	if err != nil {
+		return fmt.Errorf("consistency: node %q: %w", parent.Path, err)
+	}
+	for i, c := range parent.Children {
+		cs := states[c.Path]
+		cs.upd = make(histogram.GroupSizes, len(cs.hg))
+		cs.uvr = make([]float64, len(cs.hg))
+		for j := range cs.hg {
+			pi := ms[i].ParentIndex[j]
+			val, vr := merge(strategy,
+				float64(cs.hg[j]), cs.vg[j],
+				float64(ps.upd[pi]), ps.uvr[pi])
+			if val < 0 {
+				val = 0 // rounding guard; estimates are nonnegative
+			}
+			cs.upd[j] = int64(val + 0.5)
+			cs.uvr[j] = vr
+		}
+	}
+	return nil
+}
+
+// forEachNode applies fn to every node, fanning out across workers
+// goroutines; with a single worker it runs inline with no goroutine
+// overhead. The first error in node order is returned.
+func forEachNode(nodes []*hierarchy.Node, workers int, fn func(*hierarchy.Node) error) error {
+	if workers <= 1 {
+		for _, n := range nodes {
+			if err := fn(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(nodes))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(nodes[i])
+			}
+		}()
+	}
+	for i := range nodes {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // merge reconciles a child estimate (xc, vc) with the matched parent

@@ -3,7 +3,6 @@ package consistency
 import (
 	"fmt"
 	"hash/fnv"
-	"runtime"
 	"sync"
 
 	"hcoc/internal/estimator"
@@ -37,13 +36,7 @@ func estimateAll(tree *hierarchy.Tree, opts Options, epsLevel float64) (map[stri
 		}
 	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
+	workers := opts.workerCount(len(jobs))
 
 	states := make([]*nodeState, len(jobs))
 	errs := make([]error, len(jobs))

@@ -1,0 +1,406 @@
+// Package engine is the concurrent release manager behind
+// cmd/hcoc-serve. It separates the expensive private release
+// computation from cheap repeated query serving: release requests are
+// fingerprinted by (tree, algorithm, options), identical in-flight
+// computations are deduplicated so a burst of equal requests costs one
+// run of Algorithm 1, completed releases are held in a bounded LRU, and
+// the post-processing queries of the hcoc package are answered as reads
+// against that cache at no additional privacy cost.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hcoc"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize bounds the number of completed releases kept in memory;
+	// 0 means DefaultCacheSize.
+	CacheSize int
+	// Workers is the default release parallelism applied when a request
+	// leaves hcoc.Options.Workers at 0; 0 means GOMAXPROCS.
+	Workers int
+	// MaxConcurrent bounds the number of release computations running
+	// at once; further distinct requests queue for a slot (identical
+	// ones coalesce regardless). 0 means GOMAXPROCS, minimum 2.
+	MaxConcurrent int
+}
+
+// DefaultCacheSize is the default LRU capacity in completed releases.
+const DefaultCacheSize = 64
+
+// Algorithm selects the hierarchical release algorithm.
+type Algorithm int
+
+const (
+	// TopDown is the paper's Algorithm 1 (hcoc.ReleaseHierarchy).
+	TopDown Algorithm = iota
+	// BottomUp is the Section 6.2.2 baseline (hcoc.ReleaseBottomUp).
+	BottomUp
+)
+
+// String names the algorithm as accepted by ParseAlgorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case TopDown:
+		return "topdown"
+	case BottomUp:
+		return "bottomup"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm parses an algorithm name; the empty string selects
+// TopDown, the recommended default.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "topdown", "top-down":
+		return TopDown, nil
+	case "bottomup", "bottom-up":
+		return BottomUp, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown algorithm %q (want topdown|bottomup)", s)
+	}
+}
+
+// ErrNotCached reports a query against a release key that is not (or no
+// longer) in the cache; the caller should run the release again.
+var ErrNotCached = errors.New("engine: release not cached")
+
+// cached is one completed release held by the LRU.
+type cached struct {
+	release   hcoc.Histograms
+	epsilon   float64
+	algorithm Algorithm
+	duration  time.Duration // of the computation that produced it
+}
+
+// call is one in-flight release computation; duplicate requests wait on
+// done instead of recomputing.
+type call struct {
+	done  chan struct{}
+	value *cached
+	err   error
+}
+
+// Engine is safe for concurrent use.
+type Engine struct {
+	workers int
+	// sem bounds concurrent release computations; dedup dodges it for
+	// identical requests, this caps the distinct ones.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[string]*call
+
+	// counters, guarded by mu
+	hits, misses, deduped uint64
+	evictions, releases   uint64
+	queries               uint64
+	releaseTotal, lastDur time.Duration
+}
+
+// New creates an engine with the given options.
+func New(opts Options) *Engine {
+	size := opts.CacheSize
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	concurrent := opts.MaxConcurrent
+	if concurrent <= 0 {
+		concurrent = runtime.GOMAXPROCS(0)
+		if concurrent < 2 {
+			concurrent = 2
+		}
+	}
+	return &Engine{
+		workers:  opts.Workers,
+		sem:      make(chan struct{}, concurrent),
+		cache:    newLRU(size),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Result describes how a release request was satisfied.
+type Result struct {
+	// Key addresses the release in the cache for later queries.
+	Key string
+	// Release is the released histograms.
+	Release hcoc.Histograms
+	// CacheHit reports the request was answered from the LRU without
+	// any computation.
+	CacheHit bool
+	// Deduped reports the request piggybacked on an identical in-flight
+	// computation started by an earlier request.
+	Deduped bool
+	// Duration is the wall time of the computation that produced the
+	// release (zero for cache hits).
+	Duration time.Duration
+}
+
+// Release satisfies a release request: from the cache if an identical
+// release completed recently, by waiting on an identical in-flight
+// computation if one is running, and by computing otherwise. treeFP
+// must be FingerprintTree(tree); pass "" to have it computed here.
+func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, alg Algorithm, opts hcoc.Options) (Result, error) {
+	if treeFP == "" {
+		treeFP = FingerprintTree(tree)
+	}
+	key := releaseKey(treeFP, alg, opts)
+
+	e.mu.Lock()
+	if v, ok := e.cache.get(key); ok {
+		e.hits++
+		e.mu.Unlock()
+		return Result{Key: key, Release: v.release, CacheHit: true}, nil
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.deduped++
+		e.mu.Unlock()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		if c.err != nil {
+			return Result{}, c.err
+		}
+		return Result{Key: key, Release: c.value.release, Deduped: true, Duration: c.value.duration}, nil
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.misses++
+	e.mu.Unlock()
+
+	// Wait for a compute slot; duplicate requests arriving meanwhile
+	// coalesce onto this call rather than queueing for their own slot.
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		c.err = ctx.Err()
+		e.mu.Lock()
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(c.done)
+		return Result{}, c.err
+	}
+	c.value, c.err = e.compute(tree, alg, opts)
+	<-e.sem
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if c.err == nil {
+		e.evictions += uint64(e.cache.add(key, c.value))
+		e.releases++
+		e.releaseTotal += c.value.duration
+		e.lastDur = c.value.duration
+	}
+	e.mu.Unlock()
+	close(c.done)
+
+	if c.err != nil {
+		return Result{}, c.err
+	}
+	return Result{Key: key, Release: c.value.release, Duration: c.value.duration}, nil
+}
+
+// compute runs the selected release algorithm, applying the engine's
+// default parallelism when the request does not pin one.
+func (e *Engine) compute(tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) (*cached, error) {
+	if opts.Workers == 0 {
+		opts.Workers = e.workers
+	}
+	run := hcoc.ReleaseHierarchy
+	if alg == BottomUp {
+		run = hcoc.ReleaseBottomUp
+	}
+	start := time.Now()
+	rel, err := run(tree, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &cached{
+		release:   rel,
+		epsilon:   opts.Epsilon,
+		algorithm: alg,
+		duration:  time.Since(start),
+	}, nil
+}
+
+// Histograms returns the cached release for key, marking it recently
+// used, together with the epsilon it was released under.
+func (e *Engine) Histograms(key string) (hcoc.Histograms, float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.cache.get(key)
+	if !ok {
+		return nil, 0, ErrNotCached
+	}
+	return v.release, v.epsilon, nil
+}
+
+// QueryParams selects the optional statistics of a node query; the
+// always-computed ones are group count, people count, mean, median and
+// Gini coefficient.
+type QueryParams struct {
+	// Quantiles lists quantiles in [0, 1] to evaluate.
+	Quantiles []float64
+	// KthLargest lists ranks for size-of-the-kth-largest-group queries.
+	KthLargest []int64
+	// TopCode, when positive, requests the census-style truncated table
+	// with a final "TopCode or more" bucket.
+	TopCode int
+}
+
+// QuantileValue is one evaluated quantile.
+type QuantileValue struct {
+	Q    float64
+	Size int64
+}
+
+// OrderStat is one evaluated k-th largest group size.
+type OrderStat struct {
+	K    int64
+	Size int64
+}
+
+// NodeReport summarizes one node of a cached release. All fields are
+// post-processing of the released histogram and incur no privacy cost.
+type NodeReport struct {
+	Node       string
+	Groups     int64
+	People     int64
+	Mean       float64
+	Median     int64
+	Gini       float64
+	Quantiles  []QuantileValue
+	KthLargest []OrderStat
+	TopCoded   hcoc.Histogram
+}
+
+// Query answers the post-processing queries for one node of a cached
+// release. It returns ErrNotCached if the key has been evicted and an
+// error naming the node if the release has no such node.
+func (e *Engine) Query(key, node string, p QueryParams) (NodeReport, error) {
+	e.mu.Lock()
+	v, ok := e.cache.get(key)
+	e.queries++
+	e.mu.Unlock()
+	if !ok {
+		return NodeReport{}, ErrNotCached
+	}
+	h, ok := v.release[node]
+	if !ok {
+		return NodeReport{}, fmt.Errorf("engine: release has no node %q", node)
+	}
+
+	rep := NodeReport{
+		Node:   node,
+		Groups: h.Groups(),
+		People: h.People(),
+		Mean:   hcoc.MeanGroupSize(h),
+		Gini:   hcoc.Gini(h),
+	}
+	if rep.Groups > 0 {
+		med, err := hcoc.Median(h)
+		if err != nil {
+			return NodeReport{}, err
+		}
+		rep.Median = med
+	}
+	if len(p.Quantiles) > 0 {
+		sizes, err := hcoc.Quantiles(h, p.Quantiles)
+		if err != nil {
+			return NodeReport{}, err
+		}
+		rep.Quantiles = make([]QuantileValue, len(sizes))
+		for i, s := range sizes {
+			rep.Quantiles[i] = QuantileValue{Q: p.Quantiles[i], Size: s}
+		}
+	}
+	for _, k := range p.KthLargest {
+		s, err := hcoc.KthLargest(h, k)
+		if err != nil {
+			return NodeReport{}, err
+		}
+		rep.KthLargest = append(rep.KthLargest, OrderStat{K: k, Size: s})
+	}
+	if p.TopCode > 0 {
+		t, err := hcoc.TopCoded(h, p.TopCode)
+		if err != nil {
+			return NodeReport{}, err
+		}
+		rep.TopCoded = t
+	}
+	return rep, nil
+}
+
+// Metrics is a point-in-time snapshot of the engine's counters.
+type Metrics struct {
+	// CacheHits counts release requests answered from the LRU.
+	CacheHits uint64
+	// CacheMisses counts release requests that started a computation.
+	CacheMisses uint64
+	// Deduped counts release requests that piggybacked on an identical
+	// in-flight computation.
+	Deduped uint64
+	// Evictions counts completed releases dropped by the LRU.
+	Evictions uint64
+	// Releases counts completed release computations.
+	Releases uint64
+	// Queries counts node-query reads.
+	Queries uint64
+	// InFlight is the number of release computations running now.
+	InFlight int
+	// CacheEntries and CacheCapacity describe LRU occupancy.
+	CacheEntries, CacheCapacity int
+	// ReleaseTotal is the cumulative computation time across Releases;
+	// LastRelease is the duration of the most recent one.
+	ReleaseTotal, LastRelease time.Duration
+}
+
+// HitRate is the fraction of release requests answered from the cache
+// (0 when none have been served).
+func (m Metrics) HitRate() float64 {
+	total := m.CacheHits + m.CacheMisses + m.Deduped
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// AvgRelease is the mean release computation time (0 before the first).
+func (m Metrics) AvgRelease() time.Duration {
+	if m.Releases == 0 {
+		return 0
+	}
+	return m.ReleaseTotal / time.Duration(m.Releases)
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Metrics{
+		CacheHits:     e.hits,
+		CacheMisses:   e.misses,
+		Deduped:       e.deduped,
+		Evictions:     e.evictions,
+		Releases:      e.releases,
+		Queries:       e.queries,
+		InFlight:      len(e.inflight),
+		CacheEntries:  e.cache.len(),
+		CacheCapacity: e.cache.capacity,
+		ReleaseTotal:  e.releaseTotal,
+		LastRelease:   e.lastDur,
+	}
+}

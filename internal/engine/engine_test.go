@@ -1,0 +1,440 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"hcoc"
+)
+
+// testTree builds a small two-level hierarchy, fast enough to release
+// many times per test.
+func testTree(t testing.TB) *hcoc.Tree {
+	t.Helper()
+	var groups []hcoc.Group
+	for i := 0; i < 30; i++ {
+		groups = append(groups, hcoc.Group{Path: []string{"CA"}, Size: int64(i % 5)})
+		groups = append(groups, hcoc.Group{Path: []string{"WA"}, Size: int64(i % 3)})
+	}
+	tree, err := hcoc.BuildHierarchy("US", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func testOpts(seed int64) hcoc.Options {
+	return hcoc.Options{Epsilon: 1, K: 50, Seed: seed}
+}
+
+func TestReleaseCacheHit(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	ctx := context.Background()
+
+	first, err := e.Release(ctx, tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || first.Deduped {
+		t.Fatalf("first release reported hit=%v deduped=%v", first.CacheHit, first.Deduped)
+	}
+	if err := hcoc.Check(tree, first.Release); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := e.Release(ctx, tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("identical request was not served from cache")
+	}
+	if second.Key != first.Key {
+		t.Fatalf("keys differ: %q vs %q", second.Key, first.Key)
+	}
+	for path, h := range first.Release {
+		if !h.Equal(second.Release[path]) {
+			t.Fatalf("cached release differs at %q", path)
+		}
+	}
+
+	m := e.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 || m.Releases != 1 {
+		t.Fatalf("metrics = %+v, want 1 hit, 1 miss, 1 release", m)
+	}
+	if m.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %g, want 0.5", m.HitRate())
+	}
+}
+
+func TestReleaseKeyDistinguishesRequests(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	ctx := context.Background()
+
+	base, err := e.Release(ctx, tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]hcoc.Options{
+		"seed":    testOpts(2),
+		"epsilon": {Epsilon: 2, K: 50, Seed: 1},
+		"k":       {Epsilon: 1, K: 60, Seed: 1},
+		"merge":   {Epsilon: 1, K: 50, Seed: 1, Merge: hcoc.MergeAverage},
+	} {
+		r, err := e.Release(ctx, tree, "", TopDown, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CacheHit || r.Key == base.Key {
+			t.Fatalf("%s change did not change the release key", name)
+		}
+	}
+	// A different algorithm over the same options is a different release.
+	r, err := e.Release(ctx, tree, "", BottomUp, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit || r.Key == base.Key {
+		t.Fatal("algorithm change did not change the release key")
+	}
+}
+
+func TestReleaseKeyIgnoresWorkers(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	ctx := context.Background()
+
+	opts := testOpts(1)
+	opts.Workers = 1
+	if _, err := e.Release(ctx, tree, "", TopDown, opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	r, err := e.Release(ctx, tree, "", TopDown, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit {
+		t.Fatal("requests differing only in Workers should share a cache entry")
+	}
+}
+
+// TestReleaseDedupsInflight pins an in-flight computation for the key
+// and verifies that a duplicate request blocks on it rather than
+// recomputing, then returns the shared result.
+func TestReleaseDedupsInflight(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	fp := FingerprintTree(tree)
+	opts := testOpts(7)
+	key := releaseKey(fp, TopDown, opts)
+
+	rel, err := hcoc.Release(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &call{done: make(chan struct{})}
+	e.mu.Lock()
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	const waiters = 4
+	results := make(chan Result, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			r, err := e.Release(context.Background(), tree, fp, TopDown, opts)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- r
+		}()
+	}
+	// All waiters must register as deduped before the computation ends.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Metrics().Deduped < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters deduped", e.Metrics().Deduped, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-results:
+		t.Fatal("waiter returned before the in-flight computation completed")
+	default:
+	}
+
+	c.value = &cached{release: rel, epsilon: opts.Epsilon, duration: 42 * time.Millisecond}
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(c.done)
+
+	for i := 0; i < waiters; i++ {
+		r := <-results
+		if !r.Deduped || r.CacheHit {
+			t.Fatalf("waiter got deduped=%v hit=%v, want deduped only", r.Deduped, r.CacheHit)
+		}
+		if r.Duration != 42*time.Millisecond {
+			t.Fatalf("waiter duration = %v, want the shared computation's", r.Duration)
+		}
+	}
+	if m := e.Metrics(); m.Deduped != waiters || m.CacheMisses != 0 {
+		t.Fatalf("metrics = %+v, want %d deduped and no misses", m, waiters)
+	}
+}
+
+// TestReleaseDedupCancellation verifies a waiter abandons an in-flight
+// computation when its context is canceled.
+func TestReleaseDedupCancellation(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	fp := FingerprintTree(tree)
+	opts := testOpts(8)
+	key := releaseKey(fp, TopDown, opts)
+
+	c := &call{done: make(chan struct{})}
+	e.mu.Lock()
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Release(ctx, tree, fp, TopDown, opts)
+		errc <- err
+	}()
+	for e.Metrics().Deduped < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestConcurrentIdenticalRequests hammers one key from many goroutines;
+// every request must be accounted for and every response identical.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	fp := FingerprintTree(tree)
+
+	const n = 16
+	results := make([]Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := e.Release(context.Background(), tree, fp, TopDown, testOpts(3))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+
+	m := e.Metrics()
+	if got := m.CacheHits + m.CacheMisses + m.Deduped; got != n {
+		t.Fatalf("accounted for %d of %d requests (%+v)", got, n, m)
+	}
+	if m.CacheMisses != m.Releases {
+		t.Fatalf("%d misses but %d computations", m.CacheMisses, m.Releases)
+	}
+	for i := 1; i < n; i++ {
+		for path, h := range results[0].Release {
+			if !h.Equal(results[i].Release[path]) {
+				t.Fatalf("request %d saw a different release at %q", i, path)
+			}
+		}
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	e := New(Options{CacheSize: 2})
+	tree := testTree(t)
+	ctx := context.Background()
+
+	r1, err := e.Release(ctx, tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Release(ctx, tree, "", TopDown, testOpts(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch release 1 so release 2 is the LRU victim when 3 arrives.
+	if _, _, err := e.Histograms(r1.Key); err != nil {
+		t.Fatal(err)
+	}
+	r2key := releaseKey(FingerprintTree(tree), TopDown, testOpts(2))
+	if _, err := e.Release(ctx, tree, "", TopDown, testOpts(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	m := e.Metrics()
+	if m.Evictions != 1 || m.CacheEntries != 2 {
+		t.Fatalf("metrics = %+v, want 1 eviction and 2 entries", m)
+	}
+	if _, _, err := e.Histograms(r1.Key); err != nil {
+		t.Fatalf("recently-used release evicted: %v", err)
+	}
+	if _, _, err := e.Histograms(r2key); err != ErrNotCached {
+		t.Fatalf("got %v, want ErrNotCached for the LRU victim", err)
+	}
+	// Re-releasing the victim is a miss, not a hit.
+	r, err := e.Release(ctx, tree, "", TopDown, testOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Fatal("evicted release served as a cache hit")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	r, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := e.Query(r.Key, "US/CA", QueryParams{
+		Quantiles:  []float64{0.25, 0.5, 0.9},
+		KthLargest: []int64{1, 3},
+		TopCode:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Release["US/CA"]
+	if rep.Groups != h.Groups() || rep.People != h.People() {
+		t.Fatalf("report totals %d/%d differ from histogram %d/%d",
+			rep.Groups, rep.People, h.Groups(), h.People())
+	}
+	med, err := hcoc.Median(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Median != med {
+		t.Fatalf("median = %d, want %d", rep.Median, med)
+	}
+	if g := hcoc.Gini(h); rep.Gini != g {
+		t.Fatalf("gini = %g, want %g", rep.Gini, g)
+	}
+	if len(rep.Quantiles) != 3 || len(rep.KthLargest) != 2 {
+		t.Fatalf("got %d quantiles, %d order stats", len(rep.Quantiles), len(rep.KthLargest))
+	}
+	want, err := hcoc.Quantile(h, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quantiles[2].Size != want {
+		t.Fatalf("q0.9 = %d, want %d", rep.Quantiles[2].Size, want)
+	}
+	largest, err := hcoc.KthLargest(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KthLargest[0].Size != largest {
+		t.Fatalf("1st largest = %d, want %d", rep.KthLargest[0].Size, largest)
+	}
+	if len(rep.TopCoded) != 4 { // sizes 0..2 plus the "3 or more" bucket
+		t.Fatalf("top-coded table has %d cells, want 4", len(rep.TopCoded))
+	}
+
+	if _, err := e.Query(r.Key, "US/NV", QueryParams{}); err == nil {
+		t.Fatal("query for a missing node succeeded")
+	}
+	if _, err := e.Query(r.Key, "US/CA", QueryParams{Quantiles: []float64{1.5}}); err == nil {
+		t.Fatal("query with an out-of-range quantile succeeded")
+	}
+	if _, err := e.Query("no-such-key", "US/CA", QueryParams{}); err != ErrNotCached {
+		t.Fatalf("got %v, want ErrNotCached", err)
+	}
+}
+
+func TestFingerprintTree(t *testing.T) {
+	a := testTree(t)
+	b := testTree(t)
+	if FingerprintTree(a) != FingerprintTree(b) {
+		t.Fatal("identical trees fingerprint differently")
+	}
+	other, err := hcoc.BuildHierarchy("US", []hcoc.Group{
+		{Path: []string{"CA"}, Size: 2},
+		{Path: []string{"WA"}, Size: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintTree(a) == FingerprintTree(other) {
+		t.Fatal("different trees fingerprint identically")
+	}
+}
+
+// TestComputeSlotBound verifies distinct release requests queue for a
+// compute slot when MaxConcurrent is saturated, and abandon the queue
+// on context cancellation.
+func TestComputeSlotBound(t *testing.T) {
+	e := New(Options{MaxConcurrent: 1})
+	tree := testTree(t)
+	e.sem <- struct{}{} // saturate the only slot
+
+	started := make(chan Result, 1)
+	go func() {
+		r, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+		if err != nil {
+			t.Error(err)
+		}
+		started <- r
+	}()
+	select {
+	case <-started:
+		t.Fatal("release ran despite a saturated compute semaphore")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// A second distinct request canceled while queueing returns promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Release(ctx, tree, "", TopDown, testOpts(2)); err != context.Canceled {
+		t.Fatalf("queued release got %v, want context.Canceled", err)
+	}
+
+	<-e.sem // free the slot; the queued release must now complete
+	r := <-started
+	if r.CacheHit || r.Deduped {
+		t.Fatalf("queued release reported hit=%v deduped=%v", r.CacheHit, r.Deduped)
+	}
+	// The canceled request must not have poisoned its key.
+	r2, err := e.Release(context.Background(), tree, "", TopDown, testOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("canceled request left a cache entry behind")
+	}
+}
+
+func TestReleaseErrorNotCached(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	bad := hcoc.Options{Epsilon: -1}
+	if _, err := e.Release(context.Background(), tree, "", TopDown, bad); err == nil {
+		t.Fatal("release with negative epsilon succeeded")
+	}
+	m := e.Metrics()
+	if m.CacheEntries != 0 || m.Releases != 0 {
+		t.Fatalf("failed release left state behind: %+v", m)
+	}
+	// The failed key must not poison future requests.
+	if _, err := e.Release(context.Background(), tree, "", TopDown, bad); err == nil {
+		t.Fatal("second bad release succeeded")
+	}
+}

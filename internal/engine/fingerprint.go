@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"hcoc"
+)
+
+// FingerprintTree returns a stable digest of a hierarchy's content: the
+// node paths and true histograms in the tree's deterministic level
+// order. Two trees built from the same groups fingerprint identically,
+// so uploads are idempotent and release keys are content-addressed.
+func FingerprintTree(tree *hcoc.Tree) string {
+	h := sha256.New()
+	var buf [8]byte
+	tree.Walk(func(n *hcoc.Node) {
+		io.WriteString(h, n.Path)
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(n.Hist)))
+		h.Write(buf[:])
+		for _, count := range n.Hist {
+			binary.LittleEndian.PutUint64(buf[:], uint64(count))
+			h.Write(buf[:])
+		}
+	})
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// releaseKey fingerprints a (tree, algorithm, options) release request.
+// Workers is deliberately excluded: the released histograms do not
+// depend on parallelism, so requests differing only in Workers share
+// one cache entry and one in-flight computation.
+func releaseKey(treeFP string, alg Algorithm, opts hcoc.Options) string {
+	k := opts.K
+	if k == 0 {
+		k = hcoc.DefaultK
+	}
+	methods := make([]string, len(opts.Methods))
+	for i, m := range opts.Methods {
+		methods[i] = m.String()
+	}
+	s := fmt.Sprintf("%s|%s|eps=%g|k=%d|methods=%s|merge=%s|seed=%d",
+		treeFP, alg, opts.Epsilon, k, strings.Join(methods, ","), opts.Merge, opts.Seed)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:16])
+}

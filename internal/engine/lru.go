@@ -1,0 +1,55 @@
+package engine
+
+import "container/list"
+
+// lruCache is a non-concurrent LRU over completed releases; Engine
+// serializes access under its mutex. Capacity is counted in releases,
+// the unit the HTTP API hands out keys for.
+type lruCache struct {
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key   string
+	value *cached
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (*cached, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
+// add inserts or refreshes a value and reports how many entries were
+// evicted to stay within capacity.
+func (c *lruCache) add(key string, value *cached) (evicted int) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).value = value
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, value: value})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		evicted++
+	}
+	return evicted
+}

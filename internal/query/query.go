@@ -12,6 +12,7 @@ package query
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"hcoc/internal/histogram"
 )
@@ -47,7 +48,8 @@ func KthLargest(h histogram.Hist, k int64) (int64, error) {
 // distribution, using the lower interpolation (the size of the
 // ceil(q*G)-th smallest group; q = 0 gives the minimum).
 func Quantile(h histogram.Hist, q float64) (int64, error) {
-	if q < 0 || q > 1 {
+	// The negated comparison also rejects NaN.
+	if !(q >= 0 && q <= 1) {
 		return 0, fmt.Errorf("query: quantile %g out of [0, 1]", q)
 	}
 	g := h.Groups()
@@ -62,6 +64,52 @@ func Quantile(h histogram.Hist, q float64) (int64, error) {
 		k = g
 	}
 	return KthSmallest(h, k)
+}
+
+// Quantiles evaluates several quantiles of the group-size distribution
+// in one scan of the histogram; the result is index-aligned with qs.
+func Quantiles(h histogram.Hist, qs []float64) ([]int64, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	g := h.Groups()
+	if g == 0 {
+		return nil, fmt.Errorf("query: empty histogram")
+	}
+	// Map each quantile to its 1-based rank, then answer all ranks in
+	// ascending order during a single cumulative pass.
+	ranks := make([]int64, len(qs))
+	order := make([]int, len(qs))
+	for i, q := range qs {
+		if !(q >= 0 && q <= 1) {
+			return nil, fmt.Errorf("query: quantile %g out of [0, 1]", q)
+		}
+		k := int64(math.Ceil(q * float64(g)))
+		if k < 1 {
+			k = 1
+		}
+		ranks[i] = k
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ranks[order[a]] < ranks[order[b]] })
+
+	out := make([]int64, len(qs))
+	next := 0
+	var cum int64
+	for size, count := range h {
+		cum += count
+		for next < len(order) && ranks[order[next]] <= cum {
+			out[order[next]] = int64(size)
+			next++
+		}
+		if next == len(order) {
+			break
+		}
+	}
+	if next < len(order) {
+		return nil, fmt.Errorf("query: internal inconsistency (histogram shorter than its counts)")
+	}
+	return out, nil
 }
 
 // Median returns the median group size.

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -64,6 +65,49 @@ func TestQuantileAndMedian(t *testing.T) {
 	}
 	if _, err := Quantile(histogram.Hist{}, 0.5); err == nil {
 		t.Error("empty histogram accepted")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	got, err := Quantiles(example, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range []float64{0, 0.5, 1} {
+		want, err := Quantile(example, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("Quantiles[%d] = %d, want Quantile(%g) = %d", i, got[i], q, want)
+		}
+	}
+	if out, err := Quantiles(example, nil); err != nil || len(out) != 0 {
+		t.Errorf("Quantiles(nil) = %v (%v), want empty", out, err)
+	}
+	if _, err := Quantiles(example, []float64{0.5, 2}); err == nil {
+		t.Error("out-of-range quantile accepted")
+	}
+	for _, q := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := Quantile(example, q); err == nil {
+			t.Errorf("Quantile(%g) accepted", q)
+		}
+		if _, err := Quantiles(example, []float64{q}); err == nil {
+			t.Errorf("Quantiles(%g) accepted", q)
+		}
+	}
+	if _, err := Quantiles(histogram.Hist{}, []float64{0.5}); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	// Unsorted, duplicated quantiles must still map index-aligned.
+	mixed, err := Quantiles(example, []float64{1, 0, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{3, 1, 3, 2} {
+		if mixed[i] != want {
+			t.Errorf("Quantiles[%d] = %d, want %d", i, mixed[i], want)
+		}
 	}
 }
 

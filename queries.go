@@ -28,6 +28,13 @@ func Quantile(h Histogram, q float64) (int64, error) {
 	return query.Quantile(h, q)
 }
 
+// Quantiles evaluates several quantiles at once; the result is
+// index-aligned with qs. It is the batch form hcoc-serve uses to answer
+// multi-quantile queries in one read.
+func Quantiles(h Histogram, qs []float64) ([]int64, error) {
+	return query.Quantiles(h, qs)
+}
+
 // Median returns the median group size.
 func Median(h Histogram) (int64, error) { return query.Median(h) }
 

@@ -32,6 +32,18 @@ func TestQueryHelpers(t *testing.T) {
 	if !top.Equal(Histogram{0, 2, 3}) {
 		t.Errorf("TopCoded = %v, want [0 2 3]", top)
 	}
+	qs, err := Quantiles(h, []float64{0, 0.5, 0.9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{1, 2, 3, 3} {
+		if qs[i] != want {
+			t.Errorf("Quantiles[%d] = %d, want %d", i, qs[i], want)
+		}
+	}
+	if _, err := Quantiles(h, []float64{0.5, -1}); err == nil {
+		t.Error("Quantiles accepted an out-of-range quantile")
+	}
 }
 
 func TestPublicPrivateGroupCounts(t *testing.T) {
