@@ -105,24 +105,49 @@ func BenchmarkFig6(b *testing.B) {
 	}
 }
 
-// BenchmarkRelease measures a full 3-level hierarchical release on the
-// housing workload (the paper's headline operation).
+// BenchmarkRelease measures a full hierarchical release (the paper's
+// headline operation) on three realistic workload shapes — housing
+// (sparse national tail), census (RaceHawaiian: many groups, a handful
+// of distinct sizes) and taxi (dense, large sizes) — through both the
+// dense per-group reference pipeline and the run-length production
+// pipeline. The two release bit-for-bit identical histograms (enforced
+// by the consistency differential tests); the sparse variant's point is
+// the allocations column.
 func BenchmarkRelease(b *testing.B) {
-	tree, err := SyntheticTree(DatasetHousing, DatasetConfig{
-		Seed: 1, Scale: 0.1, Levels: 3, WestCoast: true,
-	})
-	if err != nil {
-		b.Fatal(err)
+	workloads := []struct {
+		name string
+		kind DatasetKind
+		cfg  DatasetConfig
+		k    int
+	}{
+		{"housing", DatasetHousing, DatasetConfig{Seed: 1, Scale: 0.1, Levels: 3, WestCoast: true}, 20000},
+		{"census", DatasetRaceHawaiian, DatasetConfig{Seed: 1, Scale: 0.5}, 20000},
+		{"taxi", DatasetTaxi, DatasetConfig{Seed: 1, Scale: 0.2, Levels: 3}, 20000},
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rel, err := Release(tree, Options{Epsilon: 1, K: 20000, Seed: int64(i)})
+	for _, w := range workloads {
+		tree, err := SyntheticTree(w.kind, w.cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := Check(tree, rel); err != nil {
-			b.Fatal(err)
-		}
+		opts := Options{Epsilon: 1, K: w.k, Seed: 1}
+		b.Run(w.name+"/dense", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts.Seed = int64(i)
+				if _, err := consistency.TopDownDense(tree, opts.internal()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/sparse", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts.Seed = int64(i)
+				if _, err := ReleaseSparse(tree, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -278,7 +303,10 @@ func BenchmarkMatching(b *testing.B) {
 	}
 }
 
-// BenchmarkEMD measures the linear-time earthmover's distance (Lemma 1).
+// BenchmarkEMD measures the earthmover's distance (Lemma 1): the
+// dense linear-time cell scan against the run-merge scan, on the
+// housing national histogram (sparse with long gaps between the large
+// group-quarters sizes — the shape where skipping empty cells pays).
 func BenchmarkEMD(b *testing.B) {
 	tree, err := SyntheticTree(DatasetHousing, DatasetConfig{Seed: 1, Scale: 0.1})
 	if err != nil {
@@ -290,12 +318,23 @@ func BenchmarkEMD(b *testing.B) {
 		shifted[i]++
 	}
 	other := shifted.Hist()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if histogram.EMD(truth, other) != truth.Groups() {
-			b.Fatal("unexpected emd")
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if histogram.EMD(truth, other) != truth.Groups() {
+				b.Fatal("unexpected emd")
+			}
 		}
-	}
+	})
+	truthS, otherS := truth.Sparse(), other.Sparse()
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if histogram.EMDSparse(truthS, otherS) != truthS.Groups() {
+				b.Fatal("unexpected emd")
+			}
+		}
+	})
 }
 
 // BenchmarkEstimators measures the three single-node methods on the

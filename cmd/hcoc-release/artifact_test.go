@@ -13,7 +13,7 @@ func TestRunWritesArtifact(t *testing.T) {
 	in := writeTestCSV(t)
 	artifact := filepath.Join(t.TempDir(), "release.json")
 	var sb strings.Builder
-	if err := run(&sb, in, "US", 1.0, 500, "hc", "weighted", 1, 10, artifact); err != nil {
+	if err := run(&sb, in, "US", 1.0, 500, "hc", "weighted", 1, 10, artifact, "sparse"); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(artifact)

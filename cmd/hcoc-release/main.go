@@ -30,9 +30,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		trunc   = flag.Int("print", 20, "print at most this many leading cells per node (0 = all)")
 		out     = flag.String("o", "", "also write the release artifact as JSON to this file")
+		format  = flag.String("format", "sparse", "artifact format for -o: sparse (run-length v2) | dense (v1)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *in, *root, *epsilon, *k, *method, *merge, *seed, *trunc, *out); err != nil {
+	if err := run(os.Stdout, *in, *root, *epsilon, *k, *method, *merge, *seed, *trunc, *out, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-release: %v\n", err)
 		os.Exit(1)
 	}
@@ -55,9 +56,12 @@ func parseMethods(s string) ([]hcoc.Method, error) {
 	return out, nil
 }
 
-func run(w io.Writer, in, root string, epsilon float64, k int, method, merge string, seed int64, trunc int, out string) error {
+func run(w io.Writer, in, root string, epsilon float64, k int, method, merge string, seed int64, trunc int, out, format string) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	if format != "sparse" && format != "dense" {
+		return fmt.Errorf("unknown artifact format %q (want sparse|dense)", format)
 	}
 	f, err := os.Open(in)
 	if err != nil {
@@ -85,13 +89,13 @@ func run(w io.Writer, in, root string, epsilon float64, k int, method, merge str
 	default:
 		return fmt.Errorf("unknown merge strategy %q (want weighted|average)", merge)
 	}
-	rel, err := hcoc.Release(tree, hcoc.Options{
+	rel, err := hcoc.ReleaseSparse(tree, hcoc.Options{
 		Epsilon: epsilon, K: k, Methods: methods, Merge: mergeStrategy, Seed: seed,
 	})
 	if err != nil {
 		return err
 	}
-	if err := hcoc.Check(tree, rel); err != nil {
+	if err := hcoc.CheckSparse(tree, rel); err != nil {
 		return fmt.Errorf("released data failed verification: %w", err)
 	}
 	if out != "" {
@@ -99,7 +103,12 @@ func run(w io.Writer, in, root string, epsilon float64, k int, method, merge str
 		if err != nil {
 			return err
 		}
-		if err := hcoc.WriteRelease(f, rel, epsilon); err != nil {
+		if format == "sparse" {
+			err = hcoc.WriteReleaseSparse(f, rel, epsilon)
+		} else {
+			err = hcoc.WriteRelease(f, rel.Dense(), epsilon)
+		}
+		if err != nil {
 			f.Close()
 			return err
 		}
@@ -109,7 +118,7 @@ func run(w io.Writer, in, root string, epsilon float64, k int, method, merge str
 	}
 	fmt.Fprintf(w, "released %d nodes (epsilon=%g, all constraints verified)\n", len(rel), epsilon)
 	tree.Walk(func(n *hcoc.Node) {
-		h := rel[n.Path]
+		h := rel[n.Path].Hist()
 		shown := h
 		suffix := ""
 		if trunc > 0 && len(h) > trunc {

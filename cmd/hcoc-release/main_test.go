@@ -30,7 +30,7 @@ func writeTestCSV(t *testing.T) string {
 func TestRunEndToEnd(t *testing.T) {
 	in := writeTestCSV(t)
 	var sb strings.Builder
-	if err := run(&sb, in, "US", 1.0, 500, "hc", "weighted", 1, 10, ""); err != nil {
+	if err := run(&sb, in, "US", 1.0, 500, "hc", "weighted", 1, 10, "", "sparse"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -45,7 +45,7 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunPerLevelMethods(t *testing.T) {
 	in := writeTestCSV(t)
 	var sb strings.Builder
-	if err := run(&sb, in, "US", 1.0, 500, "hg,hc", "average", 1, 5, ""); err != nil {
+	if err := run(&sb, in, "US", 1.0, 500, "hg,hc", "average", 1, 5, "", "sparse"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -53,19 +53,19 @@ func TestRunPerLevelMethods(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	in := writeTestCSV(t)
 	var sb strings.Builder
-	if err := run(&sb, "", "US", 1, 500, "hc", "weighted", 1, 5, ""); err == nil {
+	if err := run(&sb, "", "US", 1, 500, "hc", "weighted", 1, 5, "", "sparse"); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run(&sb, in, "US", 1, 500, "bogus", "weighted", 1, 5, ""); err == nil {
+	if err := run(&sb, in, "US", 1, 500, "bogus", "weighted", 1, 5, "", "sparse"); err == nil {
 		t.Error("bogus method accepted")
 	}
-	if err := run(&sb, in, "US", 1, 500, "hc", "bogus", 1, 5, ""); err == nil {
+	if err := run(&sb, in, "US", 1, 500, "hc", "bogus", 1, 5, "", "sparse"); err == nil {
 		t.Error("bogus merge accepted")
 	}
-	if err := run(&sb, "/nonexistent/file.csv", "US", 1, 500, "hc", "weighted", 1, 5, ""); err == nil {
+	if err := run(&sb, "/nonexistent/file.csv", "US", 1, 500, "hc", "weighted", 1, 5, "", "sparse"); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(&sb, in, "US", 1, 500, "hc,hc,hc", "weighted", 1, 5, ""); err == nil {
+	if err := run(&sb, in, "US", 1, 500, "hc,hc,hc", "weighted", 1, 5, "", "sparse"); err == nil {
 		t.Error("method count mismatch accepted")
 	}
 }

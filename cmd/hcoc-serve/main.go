@@ -42,16 +42,17 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "default release parallelism (0 = GOMAXPROCS); requests may override")
 		cache   = flag.Int("cache", engine.DefaultCacheSize, "completed releases kept in the LRU cache")
+		cacheMB = flag.Int64("cache-mb", 0, "byte budget for the release cache in MiB, accounted by runs actually held (0 = count bound only); see the README memory-footprint section for sizing")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *cache); err != nil {
+	if err := run(*addr, *workers, *cache, *cacheMB<<20); err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cache int) error {
-	eng := engine.New(engine.Options{CacheSize: cache, Workers: workers})
+func run(addr string, workers, cache int, cacheBytes int64) error {
+	eng := engine.New(engine.Options{CacheSize: cache, CacheBytes: cacheBytes, Workers: workers})
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           NewServer(eng),

@@ -295,15 +295,28 @@ func releaseID(id string) string {
 }
 
 func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
-	rel, epsilon, err := s.eng.Histograms(releaseID(r.PathValue("id")))
+	rel, epsilon, err := s.eng.Sparse(releaseID(r.PathValue("id")))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
 		return
 	}
-	// Serialize before writing so a failure is a clean 500, never a 200
-	// with a truncated artifact.
+	// The run-length v2 artifact is the default — it is what the cache
+	// holds and typically a small fraction of the dense size; ?format=
+	// dense serves the v1 shape for consumers that want plain arrays.
+	// ReadRelease and ReadReleaseSparse accept both. Serialize before
+	// writing so a failure is a clean 500, never a 200 with a truncated
+	// artifact.
 	var buf bytes.Buffer
-	if err := hcoc.WriteRelease(&buf, rel, epsilon); err != nil {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "sparse":
+		err = hcoc.WriteReleaseSparse(&buf, rel, epsilon)
+	case "dense":
+		err = hcoc.WriteRelease(&buf, rel.Dense(), epsilon)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown artifact format %q (want sparse|dense)", format)
+		return
+	}
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, "writing artifact: %v", err)
 		return
 	}
@@ -417,6 +430,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("hcoc_cache_hit_rate", "Fraction of release requests answered from the cache.", m.HitRate())
 	put("hcoc_cache_entries", "Completed releases currently cached.", m.CacheEntries)
 	put("hcoc_cache_capacity", "LRU capacity in releases.", m.CacheCapacity)
+	put("hcoc_cache_cost_bytes", "Estimated resident bytes of cached releases (run accounting).", m.CacheCostBytes)
+	put("hcoc_cache_budget_bytes", "Byte budget of the release cache (0 = unbudgeted).", m.CacheBudgetBytes)
+	put("hcoc_cache_runs", "Total histogram runs held across cached releases.", m.CacheRuns)
 	put("hcoc_cache_evictions_total", "Completed releases evicted by the LRU.", m.Evictions)
 	put("hcoc_releases_total", "Completed release computations.", m.Releases)
 	put("hcoc_inflight_releases", "Release computations running now.", m.InFlight)

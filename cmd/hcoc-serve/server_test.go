@@ -209,6 +209,29 @@ func TestServeReleaseArtifact(t *testing.T) {
 	if len(rel) != hr.Nodes {
 		t.Fatalf("artifact has %d nodes, want %d", len(rel), hr.Nodes)
 	}
+
+	// The dense v1 shape stays available and decodes to the same
+	// release; an unknown format is a clean 400.
+	dresp, err := http.Get(ts.URL + "/v1/release/" + rr.Release + "?format=dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("dense artifact: status %d", dresp.StatusCode)
+	}
+	dense, _, err := hcoc.ReadRelease(dresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, h := range rel {
+		if !h.Equal(dense[path]) {
+			t.Fatalf("dense artifact differs from sparse at %q", path)
+		}
+	}
+	if status, body := getJSON(t, ts.URL+"/v1/release/"+rr.Release+"?format=xml", nil); status != http.StatusBadRequest {
+		t.Fatalf("format=xml: status %d: %s", status, body)
+	}
 }
 
 func smallGroups() []hcoc.Group {

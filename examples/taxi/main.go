@@ -51,8 +51,9 @@ func main() {
 		trueMed, relMed, trueP99, relP99)
 
 	// Skewness: how unevenly are pickups spread across taxis?
-	fmt.Printf("gini coefficient (true -> released): %.3f -> %.3f\n",
-		hcoc.Gini(tree.Root.Hist), hcoc.Gini(top))
+	trueGini, _ := hcoc.Gini(tree.Root.Hist)
+	relGini, _ := hcoc.Gini(top)
+	fmt.Printf("gini coefficient (true -> released): %.3f -> %.3f\n", trueGini, relGini)
 	busiest, _ := hcoc.KthLargest(top, 1)
 	fmt.Printf("busiest taxi (released): %d pickups\n", busiest)
 

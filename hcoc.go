@@ -40,6 +40,18 @@ import (
 // of groups of size i.
 type Histogram = histogram.Hist
 
+// SparseHistogram is the run-length representation of a count-of-counts
+// histogram: sorted (size, count) runs, one per distinct group size.
+// Conversions to and from Histogram (Sparse/Hist) are lossless; on
+// real count-of-counts data — where a node occupies a handful of
+// distinct sizes under a public bound of DefaultK — it is smaller by
+// orders of magnitude, which is what the serving engine's cache
+// capacity is accounted in.
+type SparseHistogram = histogram.Sparse
+
+// SparseRun is one run of a SparseHistogram: Count groups of size Size.
+type SparseRun = histogram.Run
+
 // Group is one group record: its size and the path of region names
 // (below the root) of the leaf it belongs to.
 type Group = hierarchy.Group
@@ -117,6 +129,10 @@ func (o Options) internal() consistency.Options {
 // histograms; it is the result type of a hierarchical release.
 type Histograms = consistency.Release
 
+// SparseHistograms is the run-length result of a hierarchical release:
+// node paths to sparse histograms. Dense() recovers Histograms exactly.
+type SparseHistograms = consistency.SparseRelease
+
 // BuildHierarchy builds the region tree from group records. Every group
 // must carry a path of the same depth; the root histogram and every
 // intermediate histogram are derived automatically.
@@ -135,11 +151,26 @@ func Release(tree *Tree, opts Options) (Histograms, error) {
 	return ReleaseHierarchy(tree, opts)
 }
 
+// ReleaseSparse runs the same top-down algorithm but keeps the release
+// in run-length form end to end: identical histograms (the sparse
+// pipeline is differentially tested bit-for-bit against the dense one),
+// a fraction of the allocations, and a result sized by distinct group
+// sizes rather than K. Long-lived holders — caches, servers — should
+// prefer it.
+func ReleaseSparse(tree *Tree, opts Options) (SparseHistograms, error) {
+	return consistency.TopDownSparse(tree, opts.internal())
+}
+
 // ReleaseBottomUp runs the bottom-up baseline: all budget at the leaves,
 // parents as sums. It satisfies the same four output requirements but
 // typically has much higher error at upper levels (Section 6.2.2).
 func ReleaseBottomUp(tree *Tree, opts Options) (Histograms, error) {
 	return consistency.BottomUp(tree, opts.internal())
+}
+
+// ReleaseBottomUpSparse is ReleaseBottomUp in run-length form.
+func ReleaseBottomUpSparse(tree *Tree, opts Options) (SparseHistograms, error) {
+	return consistency.BottomUpSparse(tree, opts.internal())
 }
 
 // ReleaseSingle estimates a single (non-hierarchical) count-of-counts
@@ -166,11 +197,22 @@ func Check(tree *Tree, rel Histograms) error {
 	return rel.Check(tree)
 }
 
+// CheckSparse is Check for a run-length release.
+func CheckSparse(tree *Tree, rel SparseHistograms) error {
+	return rel.Check(tree)
+}
+
 // EMD computes the earthmover's distance between two count-of-counts
 // histograms: the minimum number of entities to add or remove across
 // groups to transform one into the other (the paper's error metric).
 func EMD(a, b Histogram) int64 {
 	return histogram.EMD(a, b)
+}
+
+// EMDSparse is EMD over run-length histograms, in time proportional to
+// the number of runs.
+func EMDSparse(a, b SparseHistogram) int64 {
+	return histogram.EMDSparse(a, b)
 }
 
 // DatasetKind identifies one of the synthetic evaluation workloads

@@ -27,20 +27,36 @@ func benchOpts(workers int) Options {
 
 // BenchmarkTopDownMatch isolates the per-parent matching/merging loop
 // (lines 8-12 of Algorithm 1) at 1 worker and at GOMAXPROCS, after a
-// shared estimation pass. The parallel variant must be no slower at 1
-// worker (it runs inline) and faster at GOMAXPROCS.
+// shared estimation pass, for both the dense per-group walk and the
+// run-length sweep. The parallel variants must be no slower at 1
+// worker (they run inline) and faster at GOMAXPROCS.
 func BenchmarkTopDownMatch(b *testing.B) {
 	tree := benchTopDownTree(b)
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("dense/workers=%d", workers), func(b *testing.B) {
 			opts := benchOpts(workers)
 			states, err := estimateAll(tree, opts, opts.Epsilon/float64(tree.Depth()))
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := matchLevels(tree, states, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sparse/workers=%d", workers), func(b *testing.B) {
+			opts := benchOpts(workers)
+			states, err := estimateAllRuns(tree, opts, opts.Epsilon/float64(tree.Depth()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := matchLevelsRuns(tree, states, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -49,14 +65,25 @@ func BenchmarkTopDownMatch(b *testing.B) {
 }
 
 // BenchmarkTopDownRelease measures the full Algorithm 1 release
-// (estimation + matching + back-substitution) at both worker counts.
+// (estimation + matching + back-substitution) at both worker counts,
+// dense reference versus run-length production pipeline.
 func BenchmarkTopDownRelease(b *testing.B) {
 	tree := benchTopDownTree(b)
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("dense/workers=%d", workers), func(b *testing.B) {
 			opts := benchOpts(workers)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := TopDown(tree, opts); err != nil {
+				if _, err := TopDownDense(tree, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sparse/workers=%d", workers), func(b *testing.B) {
+			opts := benchOpts(workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := TopDownSparse(tree, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -153,7 +153,26 @@ type nodeState struct {
 // and merging, then back-substitution so that every parent equals the sum
 // of its children. The result satisfies all four requirements of
 // Section 3.
+//
+// It computes through the run-length pipeline (TopDownSparse) and
+// densifies the result; callers that keep many releases resident — the
+// serving engine above all — should call TopDownSparse directly and
+// stay sparse.
 func TopDown(tree *hierarchy.Tree, opts Options) (Release, error) {
+	s, err := TopDownSparse(tree, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Dense(), nil
+}
+
+// TopDownDense is the dense per-group reference implementation of
+// Algorithm 1: every estimate is a G-length group-size array walked one
+// group at a time. It releases bit-for-bit the same histograms as
+// TopDownSparse (the differential tests enforce this); it is retained
+// as the oracle for those tests and as the baseline the benchmarks
+// measure the sparse pipeline against.
+func TopDownDense(tree *hierarchy.Tree, opts Options) (Release, error) {
 	depth := tree.Depth()
 	if err := opts.validate(depth); err != nil {
 		return nil, err
@@ -313,8 +332,19 @@ func merge(strategy MergeStrategy, xc, vc, xp, vp float64) (float64, float64) {
 // at the leaves (parallel composition: disjoint leaves each get the full
 // epsilon), and internal nodes are the sums of their children. It
 // satisfies all four requirements but concentrates error at upper
-// levels.
+// levels. Like TopDown it computes through the run-length pipeline;
+// BottomUpDense is the per-group reference.
 func BottomUp(tree *hierarchy.Tree, opts Options) (Release, error) {
+	s, err := BottomUpSparse(tree, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Dense(), nil
+}
+
+// BottomUpDense is the dense per-group reference implementation of
+// BottomUp, retained for the differential tests and benchmarks.
+func BottomUpDense(tree *hierarchy.Tree, opts Options) (Release, error) {
 	depth := tree.Depth()
 	if err := opts.validate(depth); err != nil {
 		return nil, err

@@ -1,0 +1,200 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hcoc/internal/dataset"
+	"hcoc/internal/estimator"
+	"hcoc/internal/hierarchy"
+)
+
+// randomTree builds a randomized hierarchy: random depth and branching,
+// skewed group sizes with heavy ties, empty leaves, and zero-size
+// groups — the shapes that stress run coalescing, the proportional
+// split of Algorithm 2, and the empty-node edge cases.
+func randomDiffTree(t *testing.T, r *rand.Rand) *hierarchy.Tree {
+	t.Helper()
+	depth := 1 + r.Intn(3) // levels below the root
+	var groups []hierarchy.Group
+	var build func(path []string, level int)
+	build = func(path []string, level int) {
+		if level == depth {
+			// 0..30 groups in this leaf; sizes skewed toward small with
+			// occasional large outliers, including size 0.
+			for n := r.Intn(31); n > 0; n-- {
+				var size int64
+				switch r.Intn(10) {
+				case 0:
+					size = 0
+				case 1:
+					size = int64(r.Intn(5000)) // outlier
+				default:
+					size = int64(r.Intn(6))
+				}
+				leafPath := make([]string, len(path))
+				copy(leafPath, path)
+				groups = append(groups, hierarchy.Group{Path: leafPath, Size: size})
+			}
+			return
+		}
+		for c := 1 + r.Intn(4); c > 0; c-- {
+			build(append(path, fmt.Sprintf("n%d-%d", level, c)), level+1)
+		}
+	}
+	build(nil, 0)
+	if len(groups) == 0 {
+		groups = append(groups, hierarchy.Group{Path: firstLeafPath(depth), Size: 1})
+	}
+	tree, err := hierarchy.BuildTree("root", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func firstLeafPath(depth int) []string {
+	path := make([]string, depth)
+	for i := range path {
+		path[i] = fmt.Sprintf("n%d-1", i)
+	}
+	return path
+}
+
+func assertSameRelease(t *testing.T, label string, dense Release, sparse SparseRelease) {
+	t.Helper()
+	if len(dense) != len(sparse) {
+		t.Fatalf("%s: dense released %d nodes, sparse %d", label, len(dense), len(sparse))
+	}
+	for path, h := range dense {
+		s, ok := sparse[path]
+		if !ok {
+			t.Fatalf("%s: sparse release missing node %q", label, path)
+		}
+		if !h.Equal(s.Hist()) {
+			t.Fatalf("%s: node %q differs\ndense  = %v\nsparse = %v", label, path, h, s.Hist())
+		}
+		// The sparse form must also be canonical — exactly what the
+		// dense histogram converts to.
+		if !s.Equal(h.Sparse()) {
+			t.Fatalf("%s: node %q sparse form is not canonical: %v", label, path, s)
+		}
+	}
+}
+
+// TestTopDownSparseDifferential is the tentpole guarantee: over
+// randomized hierarchies, methods, and merge strategies, the run-length
+// pipeline releases bit-for-bit the same histograms as the dense
+// per-group reference.
+func TestTopDownSparseDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	methods := [][]estimator.Method{
+		nil,
+		{estimator.MethodHc},
+		{estimator.MethodHg},
+		{estimator.MethodNaive},
+		{estimator.MethodHcL2},
+	}
+	for trial := 0; trial < 25; trial++ {
+		tree := randomDiffTree(t, r)
+		opts := Options{
+			Epsilon: 0.1 + r.Float64(),
+			K:       100 + r.Intn(2000),
+			Methods: methods[trial%len(methods)],
+			Merge:   MergeStrategy(trial % 2),
+			Seed:    int64(trial),
+		}
+		label := fmt.Sprintf("trial %d (depth %d, methods %v, merge %v)",
+			trial, tree.Depth(), opts.Methods, opts.Merge)
+
+		dense, err := TopDownDense(tree, opts)
+		if err != nil {
+			t.Fatalf("%s: dense: %v", label, err)
+		}
+		sparse, err := TopDownSparse(tree, opts)
+		if err != nil {
+			t.Fatalf("%s: sparse: %v", label, err)
+		}
+		assertSameRelease(t, label, dense, sparse)
+		if err := sparse.Check(tree); err != nil {
+			t.Fatalf("%s: sparse Check: %v", label, err)
+		}
+		if err := dense.Check(tree); err != nil {
+			t.Fatalf("%s: dense Check: %v", label, err)
+		}
+	}
+}
+
+// TestTopDownSparseDifferentialRealistic repeats the differential check
+// on the bundled census- and taxi-shaped workloads (mixed per-level
+// methods included).
+func TestTopDownSparseDifferentialRealistic(t *testing.T) {
+	cases := []struct {
+		kind dataset.Kind
+		cfg  dataset.Config
+	}{
+		{dataset.Housing, dataset.Config{Seed: 1, Scale: 0.01, Levels: 3}},
+		{dataset.RaceHawaiian, dataset.Config{Seed: 2, Scale: 0.02}},
+		{dataset.RaceWhite, dataset.Config{Seed: 3, Scale: 0.01}},
+		{dataset.Taxi, dataset.Config{Seed: 4, Scale: 0.05, Levels: 3}},
+	}
+	for _, c := range cases {
+		tree, err := dataset.Tree(c.kind, c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Alternate Hc and Hg per level to exercise mixed-method trees.
+		ms := make([]estimator.Method, tree.Depth())
+		for i := range ms {
+			ms[i] = []estimator.Method{estimator.MethodHc, estimator.MethodHg}[i%2]
+		}
+		opts := Options{Epsilon: 1, K: 2000, Seed: 7, Methods: ms}
+		dense, err := TopDownDense(tree, opts)
+		if err != nil {
+			t.Fatalf("%v: dense: %v", c.kind, err)
+		}
+		sparse, err := TopDownSparse(tree, opts)
+		if err != nil {
+			t.Fatalf("%v: sparse: %v", c.kind, err)
+		}
+		assertSameRelease(t, c.kind.String(), dense, sparse)
+	}
+}
+
+// TestBottomUpSparseDifferential covers the bottom-up baseline the same
+// way.
+func TestBottomUpSparseDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		tree := randomDiffTree(t, r)
+		opts := Options{Epsilon: 1, K: 500, Seed: int64(trial)}
+		dense, err := BottomUpDense(tree, opts)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		sparse, err := BottomUpSparse(tree, opts)
+		if err != nil {
+			t.Fatalf("trial %d: sparse: %v", trial, err)
+		}
+		assertSameRelease(t, fmt.Sprintf("trial %d", trial), dense, sparse)
+	}
+}
+
+// TestSparseReleaseAccounting sanity-checks the cache-cost accessors.
+func TestSparseReleaseAccounting(t *testing.T) {
+	rel := SparseRelease{
+		"a":   {{Size: 1, Count: 2}, {Size: 9, Count: 1}},
+		"a/b": {{Size: 0, Count: 4}},
+	}
+	if got := rel.TotalRuns(); got != 3 {
+		t.Fatalf("TotalRuns = %d, want 3", got)
+	}
+	if got := rel.CostBytes(); got <= 3*16 {
+		t.Fatalf("CostBytes = %d, want > raw run bytes", got)
+	}
+	dense := rel.Dense()
+	if len(dense) != 2 || dense["a"].Groups() != 3 {
+		t.Fatalf("Dense = %v", dense)
+	}
+}

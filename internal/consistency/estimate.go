@@ -20,25 +20,28 @@ func nodeSeed(seed int64, path string) int64 {
 	return seed ^ int64(h.Sum64())
 }
 
-// estimateAll runs the Section 4 estimator on every node of the tree
-// (lines 1-7 of Algorithm 1), fanning out across opts.Workers
-// goroutines.
-func estimateAll(tree *hierarchy.Tree, opts Options, epsLevel float64) (map[string]*nodeState, error) {
-	type job struct {
-		node   *hierarchy.Node
-		method estimator.Method
-	}
-	var jobs []job
+// estimateJob is one node's estimation work item.
+type estimateJob struct {
+	node   *hierarchy.Node
+	method estimator.Method
+}
+
+// estimateNodes runs one estimation function over every node of the
+// tree (lines 1-7 of Algorithm 1), fanning out across opts.Workers
+// goroutines. Each node's noise generator is seeded from (Seed, path),
+// so the result is independent of scheduling.
+func estimateNodes[T any](tree *hierarchy.Tree, opts Options, one func(estimateJob, *noise.Gen) (T, error)) (map[string]T, error) {
+	var jobs []estimateJob
 	for level, nodes := range tree.ByLevel {
 		m := opts.methodFor(level)
 		for _, n := range nodes {
-			jobs = append(jobs, job{node: n, method: m})
+			jobs = append(jobs, estimateJob{node: n, method: m})
 		}
 	}
 
 	workers := opts.workerCount(len(jobs))
 
-	states := make([]*nodeState, len(jobs))
+	states := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -49,13 +52,12 @@ func estimateAll(tree *hierarchy.Tree, opts Options, epsLevel float64) (map[stri
 			for i := range next {
 				j := jobs[i]
 				gen := noise.New(nodeSeed(opts.Seed, j.node.Path))
-				res, err := estimator.Estimate(j.method, j.node.Hist,
-					estimator.Params{Epsilon: epsLevel, K: opts.K}, gen)
+				res, err := one(j, gen)
 				if err != nil {
 					errs[i] = fmt.Errorf("consistency: node %q: %w", j.node.Path, err)
 					continue
 				}
-				states[i] = &nodeState{hg: res.Hist.GroupSizes(), vg: res.GroupVar}
+				states[i] = res
 			}
 		}()
 	}
@@ -65,7 +67,7 @@ func estimateAll(tree *hierarchy.Tree, opts Options, epsLevel float64) (map[stri
 	close(next)
 	wg.Wait()
 
-	out := make(map[string]*nodeState, len(jobs))
+	out := make(map[string]T, len(jobs))
 	for i, j := range jobs {
 		if errs[i] != nil {
 			return nil, errs[i]
@@ -73,4 +75,31 @@ func estimateAll(tree *hierarchy.Tree, opts Options, epsLevel float64) (map[stri
 		out[j.node.Path] = states[i]
 	}
 	return out, nil
+}
+
+// estimateAll produces the dense per-group nodeState for every node —
+// the reference pipeline's estimation pass.
+func estimateAll(tree *hierarchy.Tree, opts Options, epsLevel float64) (map[string]*nodeState, error) {
+	return estimateNodes(tree, opts, func(j estimateJob, gen *noise.Gen) (*nodeState, error) {
+		res, err := estimator.Estimate(j.method, j.node.Hist,
+			estimator.Params{Epsilon: epsLevel, K: opts.K}, gen)
+		if err != nil {
+			return nil, err
+		}
+		return &nodeState{hg: res.Hist.GroupSizes(), vg: res.GroupVar}, nil
+	})
+}
+
+// estimateAllRuns produces the run-length runState for every node — the
+// sparse pipeline's estimation pass, identical noise draws, O(runs)
+// state per node.
+func estimateAllRuns(tree *hierarchy.Tree, opts Options, epsLevel float64) (map[string]*runState, error) {
+	return estimateNodes(tree, opts, func(j estimateJob, gen *noise.Gen) (*runState, error) {
+		runs, err := estimator.EstimateRuns(j.method, j.node.Hist,
+			estimator.Params{Epsilon: epsLevel, K: opts.K}, gen)
+		if err != nil {
+			return nil, err
+		}
+		return &runState{hg: runs}, nil
+	})
 }

@@ -24,6 +24,15 @@ type Options struct {
 	// CacheSize bounds the number of completed releases kept in memory;
 	// 0 means DefaultCacheSize.
 	CacheSize int
+	// CacheBytes, when positive, additionally bounds the cache by the
+	// estimated resident cost of the releases it holds (16 bytes per
+	// run plus per-node overhead — SparseHistograms.CostBytes). Because
+	// releases are cached in run-length form, their cost is what they
+	// actually occupy, not nodes x K; a byte budget therefore holds
+	// orders of magnitude more census-shaped releases than a count
+	// bound sized for the dense worst case. The most recent release is
+	// always retained even if it alone exceeds the budget.
+	CacheBytes int64
 	// Workers is the default release parallelism applied when a request
 	// leaves hcoc.Options.Workers at 0; 0 means GOMAXPROCS.
 	Workers int
@@ -75,12 +84,15 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // longer) in the cache; the caller should run the release again.
 var ErrNotCached = errors.New("engine: release not cached")
 
-// cached is one completed release held by the LRU.
+// cached is one completed release held by the LRU, in run-length form:
+// a cached release costs memory proportional to the runs it holds, not
+// to the public bound K.
 type cached struct {
-	release   hcoc.Histograms
+	release   hcoc.SparseHistograms
 	epsilon   float64
 	algorithm Algorithm
 	duration  time.Duration // of the computation that produced it
+	cost      int64         // CostBytes of release, fixed at admission
 }
 
 // call is one in-flight release computation; duplicate requests wait on
@@ -125,7 +137,7 @@ func New(opts Options) *Engine {
 	return &Engine{
 		workers:  opts.Workers,
 		sem:      make(chan struct{}, concurrent),
-		cache:    newLRU(size),
+		cache:    newLRU(size, opts.CacheBytes),
 		inflight: make(map[string]*call),
 	}
 }
@@ -134,8 +146,8 @@ func New(opts Options) *Engine {
 type Result struct {
 	// Key addresses the release in the cache for later queries.
 	Key string
-	// Release is the released histograms.
-	Release hcoc.Histograms
+	// Release is the released histograms, in run-length form.
+	Release hcoc.SparseHistograms
 	// CacheHit reports the request was answered from the LRU without
 	// any computation.
 	CacheHit bool
@@ -213,15 +225,16 @@ func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, al
 	return Result{Key: key, Release: c.value.release, Duration: c.value.duration}, nil
 }
 
-// compute runs the selected release algorithm, applying the engine's
-// default parallelism when the request does not pin one.
+// compute runs the selected release algorithm through the run-length
+// pipeline, applying the engine's default parallelism when the request
+// does not pin one.
 func (e *Engine) compute(tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) (*cached, error) {
 	if opts.Workers == 0 {
 		opts.Workers = e.workers
 	}
-	run := hcoc.ReleaseHierarchy
+	run := hcoc.ReleaseSparse
 	if alg == BottomUp {
-		run = hcoc.ReleaseBottomUp
+		run = hcoc.ReleaseBottomUpSparse
 	}
 	start := time.Now()
 	rel, err := run(tree, opts)
@@ -233,12 +246,13 @@ func (e *Engine) compute(tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) (*ca
 		epsilon:   opts.Epsilon,
 		algorithm: alg,
 		duration:  time.Since(start),
+		cost:      rel.CostBytes(),
 	}, nil
 }
 
-// Histograms returns the cached release for key, marking it recently
-// used, together with the epsilon it was released under.
-func (e *Engine) Histograms(key string) (hcoc.Histograms, float64, error) {
+// Sparse returns the cached run-length release for key, marking it
+// recently used, together with the epsilon it was released under.
+func (e *Engine) Sparse(key string) (hcoc.SparseHistograms, float64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	v, ok := e.cache.get(key)
@@ -246,6 +260,17 @@ func (e *Engine) Histograms(key string) (hcoc.Histograms, float64, error) {
 		return nil, 0, ErrNotCached
 	}
 	return v.release, v.epsilon, nil
+}
+
+// Histograms is Sparse densified — for callers that need the dense
+// artifact shape. The cache itself stays sparse; the expansion is
+// per-call.
+func (e *Engine) Histograms(key string) (hcoc.Histograms, float64, error) {
+	rel, epsilon, err := e.Sparse(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rel.Dense(), epsilon, nil
 }
 
 // QueryParams selects the optional statistics of a node query; the
@@ -288,8 +313,12 @@ type NodeReport struct {
 }
 
 // Query answers the post-processing queries for one node of a cached
-// release. It returns ErrNotCached if the key has been evicted and an
-// error naming the node if the release has no such node.
+// release, as run scans against the sparse representation. It returns
+// ErrNotCached if the key has been evicted and an error naming the node
+// if the release has no such node. The always-computed statistics are
+// omitted (zero-valued) for a zero-group node, which the Groups field
+// makes unambiguous; explicitly requested statistics on such a node
+// surface hcoc.ErrEmptyHistogram instead of silent zeros.
 func (e *Engine) Query(key, node string, p QueryParams) (NodeReport, error) {
 	e.mu.Lock()
 	v, ok := e.cache.get(key)
@@ -298,44 +327,47 @@ func (e *Engine) Query(key, node string, p QueryParams) (NodeReport, error) {
 	if !ok {
 		return NodeReport{}, ErrNotCached
 	}
-	h, ok := v.release[node]
+	s, ok := v.release[node]
 	if !ok {
 		return NodeReport{}, fmt.Errorf("engine: release has no node %q", node)
 	}
 
 	rep := NodeReport{
 		Node:   node,
-		Groups: h.Groups(),
-		People: h.People(),
-		Mean:   hcoc.MeanGroupSize(h),
-		Gini:   hcoc.Gini(h),
+		Groups: s.Groups(),
+		People: s.People(),
 	}
 	if rep.Groups > 0 {
-		med, err := hcoc.Median(h)
-		if err != nil {
+		var err error
+		if rep.Mean, err = hcoc.MeanGroupSizeSparse(s); err != nil {
 			return NodeReport{}, err
 		}
-		rep.Median = med
+		if rep.Gini, err = hcoc.GiniSparse(s); err != nil {
+			return NodeReport{}, err
+		}
+		if rep.Median, err = hcoc.MedianSparse(s); err != nil {
+			return NodeReport{}, err
+		}
 	}
 	if len(p.Quantiles) > 0 {
-		sizes, err := hcoc.Quantiles(h, p.Quantiles)
+		sizes, err := hcoc.QuantilesSparse(s, p.Quantiles)
 		if err != nil {
 			return NodeReport{}, err
 		}
 		rep.Quantiles = make([]QuantileValue, len(sizes))
-		for i, s := range sizes {
-			rep.Quantiles[i] = QuantileValue{Q: p.Quantiles[i], Size: s}
+		for i, size := range sizes {
+			rep.Quantiles[i] = QuantileValue{Q: p.Quantiles[i], Size: size}
 		}
 	}
 	for _, k := range p.KthLargest {
-		s, err := hcoc.KthLargest(h, k)
+		size, err := hcoc.KthLargestSparse(s, k)
 		if err != nil {
 			return NodeReport{}, err
 		}
-		rep.KthLargest = append(rep.KthLargest, OrderStat{K: k, Size: s})
+		rep.KthLargest = append(rep.KthLargest, OrderStat{K: k, Size: size})
 	}
 	if p.TopCode > 0 {
-		t, err := hcoc.TopCoded(h, p.TopCode)
+		t, err := hcoc.TopCodedSparse(s, p.TopCode)
 		if err != nil {
 			return NodeReport{}, err
 		}
@@ -363,6 +395,11 @@ type Metrics struct {
 	InFlight int
 	// CacheEntries and CacheCapacity describe LRU occupancy.
 	CacheEntries, CacheCapacity int
+	// CacheCostBytes is the estimated resident cost of the cached
+	// releases (16 bytes per run plus per-node overhead); CacheRuns is
+	// the total number of runs held. CacheBudgetBytes echoes
+	// Options.CacheBytes (0 = unbudgeted).
+	CacheCostBytes, CacheRuns, CacheBudgetBytes int64
 	// ReleaseTotal is the cumulative computation time across Releases;
 	// LastRelease is the duration of the most recent one.
 	ReleaseTotal, LastRelease time.Duration
@@ -391,16 +428,19 @@ func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Metrics{
-		CacheHits:     e.hits,
-		CacheMisses:   e.misses,
-		Deduped:       e.deduped,
-		Evictions:     e.evictions,
-		Releases:      e.releases,
-		Queries:       e.queries,
-		InFlight:      len(e.inflight),
-		CacheEntries:  e.cache.len(),
-		CacheCapacity: e.cache.capacity,
-		ReleaseTotal:  e.releaseTotal,
-		LastRelease:   e.lastDur,
+		CacheHits:        e.hits,
+		CacheMisses:      e.misses,
+		Deduped:          e.deduped,
+		Evictions:        e.evictions,
+		Releases:         e.releases,
+		Queries:          e.queries,
+		InFlight:         len(e.inflight),
+		CacheEntries:     e.cache.len(),
+		CacheCapacity:    e.cache.capacity,
+		CacheCostBytes:   e.cache.cost,
+		CacheRuns:        e.cache.runs(),
+		CacheBudgetBytes: e.cache.budget,
+		ReleaseTotal:     e.releaseTotal,
+		LastRelease:      e.lastDur,
 	}
 }

@@ -41,7 +41,7 @@ func TestReleaseCacheHit(t *testing.T) {
 	if first.CacheHit || first.Deduped {
 		t.Fatalf("first release reported hit=%v deduped=%v", first.CacheHit, first.Deduped)
 	}
-	if err := hcoc.Check(tree, first.Release); err != nil {
+	if err := hcoc.CheckSparse(tree, first.Release); err != nil {
 		t.Fatal(err)
 	}
 
@@ -133,7 +133,7 @@ func TestReleaseDedupsInflight(t *testing.T) {
 	opts := testOpts(7)
 	key := releaseKey(fp, TopDown, opts)
 
-	rel, err := hcoc.Release(tree, opts)
+	rel, err := hcoc.ReleaseSparse(tree, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,9 @@ func TestQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := r.Release["US/CA"]
+	// The report is computed from the sparse cache; verify it against
+	// the dense query path over the densified release.
+	h := r.Release["US/CA"].Hist()
 	if rep.Groups != h.Groups() || rep.People != h.People() {
 		t.Fatalf("report totals %d/%d differ from histogram %d/%d",
 			rep.Groups, rep.People, h.Groups(), h.People())
@@ -325,8 +327,8 @@ func TestQuery(t *testing.T) {
 	if rep.Median != med {
 		t.Fatalf("median = %d, want %d", rep.Median, med)
 	}
-	if g := hcoc.Gini(h); rep.Gini != g {
-		t.Fatalf("gini = %g, want %g", rep.Gini, g)
+	if g, err := hcoc.Gini(h); err != nil || rep.Gini != g {
+		t.Fatalf("gini = %g, want %g (err %v)", rep.Gini, g, err)
 	}
 	if len(rep.Quantiles) != 3 || len(rep.KthLargest) != 2 {
 		t.Fatalf("got %d quantiles, %d order stats", len(rep.Quantiles), len(rep.KthLargest))
@@ -436,5 +438,71 @@ func TestReleaseErrorNotCached(t *testing.T) {
 	// The failed key must not poison future requests.
 	if _, err := e.Release(context.Background(), tree, "", TopDown, bad); err == nil {
 		t.Fatal("second bad release succeeded")
+	}
+}
+
+// TestCacheByteBudget verifies run-cost accounting: with a byte budget
+// far below three releases' worth, older entries are evicted by cost,
+// the newest release is always retained, and the metrics expose the
+// accounting.
+func TestCacheByteBudget(t *testing.T) {
+	tree := testTree(t)
+	ctx := context.Background()
+
+	// Measure one release's cost, then build an engine whose budget
+	// holds roughly one and a half of them.
+	rel, err := hcoc.ReleaseSparse(tree, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := rel.CostBytes() * 3 / 2
+	e := New(Options{CacheSize: 100, CacheBytes: budget})
+
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := e.Release(ctx, tree, "", TopDown, testOpts(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := e.Metrics()
+	if m.CacheBudgetBytes != budget {
+		t.Fatalf("budget = %d, want %d", m.CacheBudgetBytes, budget)
+	}
+	if m.CacheCostBytes <= 0 || m.CacheCostBytes > budget {
+		t.Fatalf("cache cost %d outside (0, %d]", m.CacheCostBytes, budget)
+	}
+	if m.CacheRuns <= 0 {
+		t.Fatalf("cache runs = %d, want > 0", m.CacheRuns)
+	}
+	if m.Evictions == 0 {
+		t.Fatal("no evictions under a sub-capacity byte budget")
+	}
+	if m.CacheEntries >= 3 {
+		t.Fatalf("cache holds %d entries, budget should not fit all 3", m.CacheEntries)
+	}
+	// The most recent release must still be cached.
+	r, err := e.Release(ctx, tree, "", TopDown, testOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit {
+		t.Fatal("most recent release was evicted")
+	}
+}
+
+// TestCacheByteBudgetKeepsOversizedEntry: a single release larger than
+// the whole budget still serves queries (the newest entry is never
+// evicted).
+func TestCacheByteBudgetKeepsOversizedEntry(t *testing.T) {
+	tree := testTree(t)
+	e := New(Options{CacheSize: 10, CacheBytes: 1}) // 1 byte: everything oversized
+	r, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Sparse(r.Key); err != nil {
+		t.Fatalf("oversized release not retained: %v", err)
+	}
+	if m := e.Metrics(); m.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d, want 1", m.CacheEntries)
 	}
 }

@@ -3,11 +3,17 @@ package engine
 import "container/list"
 
 // lruCache is a non-concurrent LRU over completed releases; Engine
-// serializes access under its mutex. Capacity is counted in releases,
-// the unit the HTTP API hands out keys for.
+// serializes access under its mutex. It is doubly bounded: by entry
+// count (capacity, the unit the HTTP API hands out keys for) and,
+// when budget > 0, by the estimated resident bytes of the sparse
+// releases it holds — the accounting that makes cache occupancy track
+// actual runs held rather than nodes x K.
 type lruCache struct {
 	capacity int
-	order    *list.List // front = most recently used
+	budget   int64 // 0 = no byte budget
+	cost     int64 // current total of entry costs
+	runCount int64 // current total runs held, maintained at add/evict
+	order    *list.List
 	items    map[string]*list.Element
 }
 
@@ -16,15 +22,21 @@ type lruEntry struct {
 	value *cached
 }
 
-func newLRU(capacity int) *lruCache {
+func newLRU(capacity int, budget int64) *lruCache {
 	return &lruCache{
 		capacity: capacity,
+		budget:   budget,
 		order:    list.New(),
 		items:    make(map[string]*list.Element, capacity),
 	}
 }
 
 func (c *lruCache) len() int { return c.order.Len() }
+
+// runs returns the total runs held across all cached releases. It is a
+// maintained counter, not a walk: Metrics() calls this under the
+// engine mutex on every scrape.
+func (c *lruCache) runs() int64 { return c.runCount }
 
 // get returns the cached value and marks it most recently used.
 func (c *lruCache) get(key string) (*cached, bool) {
@@ -37,18 +49,33 @@ func (c *lruCache) get(key string) (*cached, bool) {
 }
 
 // add inserts or refreshes a value and reports how many entries were
-// evicted to stay within capacity.
+// evicted to stay within the count and byte bounds. The entry just
+// added is never evicted, so one release larger than the whole budget
+// still serves its own queries.
 func (c *lruCache) add(key string, value *cached) (evicted int) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).value = value
+		entry := el.Value.(*lruEntry)
+		c.cost += value.cost - entry.value.cost
+		c.runCount += value.release.TotalRuns() - entry.value.release.TotalRuns()
+		entry.value = value
 		c.order.MoveToFront(el)
-		return 0
+		return c.evict()
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, value: value})
-	for c.order.Len() > c.capacity {
+	c.cost += value.cost
+	c.runCount += value.release.TotalRuns()
+	return c.evict()
+}
+
+func (c *lruCache) evict() (evicted int) {
+	for c.order.Len() > 1 &&
+		(c.order.Len() > c.capacity || (c.budget > 0 && c.cost > c.budget)) {
 		oldest := c.order.Back()
+		entry := oldest.Value.(*lruEntry)
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		delete(c.items, entry.key)
+		c.cost -= entry.value.cost
+		c.runCount -= entry.value.release.TotalRuns()
 		evicted++
 	}
 	return evicted

@@ -11,7 +11,15 @@
 //     constraint Hc[K] = G, rounding.
 //
 // Every estimator also produces the per-group variance estimates of
-// Section 5.1, which the hierarchical consistency step consumes.
+// Section 5.1, which the hierarchical consistency step consumes. Those
+// variances are constant over runs of equally-estimated groups, so each
+// method has two output forms: Estimate returns the dense Result (one
+// histogram cell per size, one variance per group) and EstimateRuns
+// returns the run-length form (one SizeRun per block of groups sharing
+// a value and a variance). Both are driven by the same noise draws and
+// describe bit-for-bit the same estimate; the run form is what the
+// sparse release pipeline consumes, and for G groups it avoids the
+// O(G) per-group arrays entirely.
 package estimator
 
 import (
@@ -68,6 +76,63 @@ type Result struct {
 	GroupVar []float64
 }
 
+// SizeRun is one run of the run-length estimate: Count consecutive
+// groups (in rank order) whose estimated size is Size and whose
+// estimated variance is Var. Runs are ordered by rank; sizes are
+// non-decreasing but adjacent runs may share a size when the
+// Section 5.1 variance differs between them (distinct isotonic blocks
+// that round to the same integer).
+type SizeRun struct {
+	Size  int64
+	Count int64
+	Var   float64
+}
+
+// RunsHist expands runs into the dense histogram they describe.
+func RunsHist(runs []SizeRun) histogram.Hist {
+	var maxSize int64 = -1
+	for _, r := range runs {
+		if r.Size > maxSize {
+			maxSize = r.Size
+		}
+	}
+	h := make(histogram.Hist, maxSize+1)
+	for _, r := range runs {
+		h[r.Size] += r.Count
+	}
+	return h
+}
+
+// RunsSparse collapses runs into the sparse histogram they describe,
+// merging adjacent runs of equal size.
+func RunsSparse(runs []SizeRun) histogram.Sparse {
+	out := make(histogram.Sparse, 0, len(runs))
+	for _, r := range runs {
+		if n := len(out); n > 0 && out[n-1].Size == r.Size {
+			out[n-1].Count += r.Count
+		} else {
+			out = append(out, histogram.Run{Size: r.Size, Count: r.Count})
+		}
+	}
+	return out
+}
+
+// RunsGroupVar expands runs into the dense per-group variance array,
+// aligned with rank order (the same alignment as Result.GroupVar).
+func RunsGroupVar(runs []SizeRun) []float64 {
+	var g int64
+	for _, r := range runs {
+		g += r.Count
+	}
+	out := make([]float64, 0, g)
+	for _, r := range runs {
+		for j := int64(0); j < r.Count; j++ {
+			out = append(out, r.Var)
+		}
+	}
+	return out
+}
+
 // Params bundles the public inputs of an estimate.
 type Params struct {
 	// Epsilon is the privacy-loss budget for this node.
@@ -99,24 +164,162 @@ func Estimate(m Method, h histogram.Hist, p Params, gen *noise.Gen) (Result, err
 	}
 	switch m {
 	case MethodNaive:
-		return estimateNaive(h, g, p, gen), nil
+		est := estimateNaiveCore(h, g, p, gen)
+		groupVar := make([]float64, g)
+		flat := noise.LaplaceVariance(2 / p.Epsilon)
+		for i := range groupVar {
+			groupVar[i] = flat
+		}
+		return Result{Hist: est, GroupVar: groupVar}, nil
 	case MethodHg:
-		return estimateHg(h, g, p, gen), nil
-	case MethodHc:
-		return estimateHc(h, g, p, gen, true), nil
-	case MethodHcL2:
-		return estimateHc(h, g, p, gen, false), nil
+		fit, blockSizes := estimateHgCore(h, p, gen)
+		est := make(histogram.GroupSizes, len(fit))
+		groupVar := make([]float64, len(fit))
+		perCell := noise.LaplaceVariance(1 / p.Epsilon)
+		for i, z := range fit {
+			est[i] = int64(z + 0.5) // z >= 0, so this is round-to-nearest
+			groupVar[i] = perCell / float64(blockSizes[i])
+		}
+		return Result{Hist: est.Hist(), GroupVar: groupVar}, nil
+	case MethodHc, MethodHcL2:
+		est := estimateHcCore(h, g, p, gen, m == MethodHc)
+		hEst := est.Hist().Trim()
+		// Variance per group, aligned with hEst.GroupSizes(): all groups
+		// of estimated size j share variance 4/(eps^2 * hEst[j]).
+		groupVar := make([]float64, 0, g)
+		perCell := 2 * noise.LaplaceVariance(1/p.Epsilon) // 4/eps^2
+		for _, count := range hEst {
+			for k := int64(0); k < count; k++ {
+				groupVar = append(groupVar, perCell/float64(count))
+			}
+		}
+		return Result{Hist: hEst, GroupVar: groupVar}, nil
 	default:
 		return Result{}, fmt.Errorf("estimator: unknown method %d", int(m))
 	}
 }
 
-// estimateNaive adds double-geometric noise with scale 2/eps to every
-// cell of the truncated histogram (sensitivity 2, Lemma 3), then projects
-// onto the scaled simplex and rounds. The per-group variance is the flat
-// noise variance heuristic; the naive method is not used inside the
-// consistency algorithm in the paper.
-func estimateNaive(h histogram.Hist, g int64, p Params, gen *noise.Gen) Result {
+// EstimateRuns is Estimate in run-length form: the same noise draws,
+// the same estimate, but returned as rank-ordered runs of (size,
+// variance) blocks instead of a dense histogram plus a per-group
+// variance array. RunsHist and RunsGroupVar recover the dense Result
+// exactly.
+func EstimateRuns(m Method, h histogram.Hist, p Params, gen *noise.Gen) ([]SizeRun, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	g := h.Groups()
+	if g == 0 {
+		return nil, nil
+	}
+	switch m {
+	case MethodNaive:
+		est := estimateNaiveCore(h, g, p, gen)
+		flat := noise.LaplaceVariance(2 / p.Epsilon)
+		runs := make([]SizeRun, 0, est.DistinctSizes())
+		for size, count := range est {
+			if count > 0 {
+				runs = append(runs, SizeRun{Size: int64(size), Count: count, Var: flat})
+			}
+		}
+		return runs, nil
+	case MethodHg:
+		return estimateHgRuns(h, g, p, gen), nil
+	case MethodHc, MethodHcL2:
+		return estimateHcRuns(h, g, p, gen, m == MethodHc), nil
+	default:
+		return nil, fmt.Errorf("estimator: unknown method %d", int(m))
+	}
+}
+
+// estimateHgRuns is the Hg pipeline fused for the run-length output:
+// the same noise draws and float operations as estimateHgCore, but the
+// noisy unattributed histogram is built straight into the float buffer
+// (no hg or noisy int arrays) and the isotonic blocks are emitted as
+// runs without the per-index blockSizes, est, and groupVar arrays —
+// 3 G-length allocations instead of 8.
+func estimateHgRuns(h histogram.Hist, g int64, p Params, gen *noise.Gen) []SizeRun {
+	scale := 1 / p.Epsilon
+	ys := make([]float64, 0, g)
+	for size, count := range h {
+		for j := int64(0); j < count; j++ {
+			ys = append(ys, float64(int64(size)+gen.DoubleGeometric(scale)))
+		}
+	}
+	fit := isotonic.FitL2(ys)
+	isotonic.ClampBox(fit, 0, maxFloat)
+	perCell := noise.LaplaceVariance(scale)
+	var runs []SizeRun
+	for _, b := range isotonic.Blocks(fit) {
+		n := int64(b[1] - b[0])
+		runs = append(runs, SizeRun{
+			Size:  int64(fit[b[0]] + 0.5),
+			Count: n,
+			Var:   perCell / float64(n),
+		})
+	}
+	return runs
+}
+
+// estimateHcRuns is the Hc pipeline fused for the run-length output:
+// identical draws and float operations to estimateHcCore, but the
+// noisy truncated cumulative histogram is accumulated cell by cell
+// straight into the float buffer (no dense Hist, Cumulative, or noisy
+// arrays), the L1 fit reuses that buffer, and the rounded cumulative is
+// scanned into runs without materializing it — for bound K that is 2
+// K-length allocations (plus the fit's internal scratch) instead of 6
+// and none of the per-group arrays.
+func estimateHcRuns(h histogram.Hist, g int64, p Params, gen *noise.Gen, l1 bool) []SizeRun {
+	scale := 1 / p.Epsilon
+	ys := make([]float64, p.K) // cell K is pinned to G
+	var cum int64
+	for cell := 0; cell < p.K; cell++ {
+		if cell < len(h) {
+			cum += h[cell]
+		} else if cum == g {
+			// Every group counted; the remaining cells are flat. Noise
+			// must still be drawn per cell to keep the stream aligned.
+			for ; cell < p.K; cell++ {
+				ys[cell] = float64(cum + gen.DoubleGeometric(scale))
+			}
+			break
+		}
+		ys[cell] = float64(cum + gen.DoubleGeometric(scale))
+	}
+	gen.DoubleGeometric(scale) // cell K's draw, discarded (pinned below)
+
+	var fit []float64
+	if l1 {
+		fit = isotonic.FitL1InPlace(ys)
+	} else {
+		fit = isotonic.FitL2(ys)
+	}
+	isotonic.ClampBox(fit, 0, float64(g))
+
+	perCell := 2 * noise.LaplaceVariance(scale) // 4/eps^2
+	var runs []SizeRun
+	var prev int64
+	for i, z := range fit {
+		est := int64(z + 0.5)
+		if count := est - prev; count > 0 {
+			runs = append(runs, SizeRun{Size: int64(i), Count: count, Var: perCell / float64(count)})
+		}
+		prev = est
+	}
+	// The final cell is pinned to the public G.
+	if count := g - prev; count > 0 {
+		runs = append(runs, SizeRun{Size: int64(p.K), Count: count, Var: perCell / float64(count)})
+	}
+	return runs
+}
+
+// estimateNaiveCore adds double-geometric noise with scale 2/eps to
+// every cell of the truncated histogram (sensitivity 2, Lemma 3), then
+// projects onto the scaled simplex and rounds, returning the trimmed
+// estimate. The per-group variance is the flat noise variance
+// heuristic; the naive method is not used inside the consistency
+// algorithm in the paper.
+func estimateNaiveCore(h histogram.Hist, g int64, p Params, gen *noise.Gen) histogram.Hist {
 	truncated := h.Truncate(p.K)
 	noisy := gen.AddDoubleGeometric(truncated, 2/p.Epsilon)
 	asFloat := make([]float64, len(noisy))
@@ -124,51 +327,40 @@ func estimateNaive(h histogram.Hist, g int64, p Params, gen *noise.Gen) Result {
 		asFloat[i] = float64(v)
 	}
 	est := histogram.Hist(simplex.ProjectAndRound(asFloat, g))
-	groupVar := make([]float64, g)
-	flat := noise.LaplaceVariance(2 / p.Epsilon)
-	for i := range groupVar {
-		groupVar[i] = flat
-	}
-	return Result{Hist: est.Trim(), GroupVar: groupVar}
+	return est.Trim()
 }
 
-// estimateHg adds double-geometric noise with scale 1/eps to every cell
-// of the unattributed histogram (sensitivity 1), applies L2 isotonic
-// regression clamped below at zero, and rounds each entry to the nearest
-// integer. Per Section 5.1.1 the variance of group i is 2/(S_i eps^2)
-// where S_i is the size of the isotonic solution block containing i.
-func estimateHg(h histogram.Hist, g int64, p Params, gen *noise.Gen) Result {
+// estimateHgCore adds double-geometric noise with scale 1/eps to every
+// cell of the unattributed histogram (sensitivity 1) and applies L2
+// isotonic regression clamped below at zero. It returns the clamped fit
+// together with the per-index isotonic block sizes; per Section 5.1.1
+// the variance of group i is 2/(S_i eps^2) where S_i is the size of the
+// block containing i.
+func estimateHgCore(h histogram.Hist, p Params, gen *noise.Gen) (fit []float64, blockSizes []int) {
 	hg := h.GroupSizes()
 	noisy := gen.AddDoubleGeometric(hg, 1/p.Epsilon)
 	ys := make([]float64, len(noisy))
 	for i, v := range noisy {
 		ys[i] = float64(v)
 	}
-	fit := isotonic.FitL2(ys)
+	fit = isotonic.FitL2(ys)
 	isotonic.ClampBox(fit, 0, maxFloat)
-	blockSizes := isotonic.BlockSizes(fit)
-	est := make(histogram.GroupSizes, len(fit))
-	groupVar := make([]float64, len(fit))
-	perCell := noise.LaplaceVariance(1 / p.Epsilon)
-	for i, z := range fit {
-		est[i] = int64(z + 0.5) // z >= 0, so this is round-to-nearest
-		groupVar[i] = perCell / float64(blockSizes[i])
-	}
-	return Result{Hist: est.Hist(), GroupVar: groupVar}
+	return fit, isotonic.BlockSizes(fit)
 }
 
-// estimateHc adds double-geometric noise with scale 1/eps to the
-// cumulative histogram of the K-truncated data (sensitivity 1, Lemma 4),
-// fits isotonic regression (L1 by default per the paper's finding, L2
+// estimateHcCore adds double-geometric noise with scale 1/eps to the
+// cumulative histogram of the K-truncated data (sensitivity 1,
+// Lemma 4), fits isotonic regression (L1 per the paper's finding, L2
 // for the ablation) under the boundary condition Hc[K] = G, clamps into
-// [0, G], and rounds. The final cell is pinned to the public G, so its
-// noisy value is discarded; the remaining cells' constrained optimum is
-// exactly the box-clamped unconstrained fit.
+// [0, G], and rounds, returning the estimated cumulative histogram. The
+// final cell is pinned to the public G, so its noisy value is
+// discarded; the remaining cells' constrained optimum is exactly the
+// box-clamped unconstrained fit.
 //
 // Per Section 5.1.2 the variance of a group with estimated size j is
 // 4/(eps^2 * (number of estimated groups of size j)).
-func estimateHc(h histogram.Hist, g int64, p Params, gen *noise.Gen, l1 bool) Result {
-	hc := h.Truncate(p.K).Cumulative()
+func estimateHcCore(h histogram.Hist, g int64, p Params, gen *noise.Gen, l1 bool) histogram.Cumulative {
+	hc := h.Sparse().Truncate(int64(p.K)).Cumulative(p.K + 1)
 	noisy := gen.AddDoubleGeometric(hc, 1/p.Epsilon)
 	ys := make([]float64, len(noisy)-1) // cell K is pinned to G
 	for i := range ys {
@@ -186,18 +378,7 @@ func estimateHc(h histogram.Hist, g int64, p Params, gen *noise.Gen, l1 bool) Re
 		est[i] = int64(z + 0.5)
 	}
 	est[len(est)-1] = g
-	hEst := est.Hist().Trim()
-
-	// Variance per group, aligned with hEst.GroupSizes(): all groups of
-	// estimated size j share variance 4/(eps^2 * hEst[j]).
-	groupVar := make([]float64, 0, g)
-	perCell := 2 * noise.LaplaceVariance(1/p.Epsilon) // 4/eps^2
-	for _, count := range hEst {
-		for k := int64(0); k < count; k++ {
-			groupVar = append(groupVar, perCell/float64(count))
-		}
-	}
-	return Result{Hist: hEst, GroupVar: groupVar}
+	return est
 }
 
 // maxFloat is a clamp upper bound meaning "no upper bound".

@@ -1,0 +1,71 @@
+package estimator
+
+import (
+	"math/rand"
+	"testing"
+
+	"hcoc/internal/histogram"
+	"hcoc/internal/noise"
+)
+
+// TestEstimateRunsDifferential drives Estimate and EstimateRuns with
+// identical seeds over randomized inputs and asserts the run-length
+// form expands to exactly the dense Result: same histogram, same
+// per-group variances in the same rank order.
+func TestEstimateRunsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	methods := []Method{MethodHc, MethodHcL2, MethodHg, MethodNaive}
+	for trial := 0; trial < 40; trial++ {
+		h := randomHistForEst(r)
+		p := Params{Epsilon: 0.1 + r.Float64(), K: 50 + r.Intn(500)}
+		for _, m := range methods {
+			dense, err := Estimate(m, h, p, noise.New(int64(trial)))
+			if err != nil {
+				t.Fatalf("trial %d method %v: %v", trial, m, err)
+			}
+			runs, err := EstimateRuns(m, h, p, noise.New(int64(trial)))
+			if err != nil {
+				t.Fatalf("trial %d method %v: %v", trial, m, err)
+			}
+			if got := RunsHist(runs); !got.Equal(dense.Hist) {
+				t.Fatalf("trial %d method %v: runs histogram differs\nruns  = %v\ndense = %v", trial, m, got, dense.Hist)
+			}
+			if !RunsSparse(runs).Hist().Equal(dense.Hist) {
+				t.Fatalf("trial %d method %v: RunsSparse differs from dense histogram", trial, m)
+			}
+			gv := RunsGroupVar(runs)
+			if len(gv) != len(dense.GroupVar) {
+				t.Fatalf("trial %d method %v: %d group variances, dense has %d", trial, m, len(gv), len(dense.GroupVar))
+			}
+			for i := range gv {
+				if gv[i] != dense.GroupVar[i] {
+					t.Fatalf("trial %d method %v: variance %d: %g != %g", trial, m, i, gv[i], dense.GroupVar[i])
+				}
+			}
+			// Runs must be rank-ordered: non-decreasing sizes, positive counts.
+			var prev int64 = -1
+			for i, run := range runs {
+				if run.Count <= 0 {
+					t.Fatalf("trial %d method %v: run %d has count %d", trial, m, i, run.Count)
+				}
+				if run.Size < prev {
+					t.Fatalf("trial %d method %v: run sizes decrease at %d", trial, m, i)
+				}
+				prev = run.Size
+			}
+		}
+	}
+}
+
+func TestEstimateRunsEmptyAndErrors(t *testing.T) {
+	runs, err := EstimateRuns(MethodHc, histogram.Hist{}, Params{Epsilon: 1, K: 10}, noise.New(1))
+	if err != nil || len(runs) != 0 {
+		t.Fatalf("empty node: runs = %v, err = %v", runs, err)
+	}
+	if _, err := EstimateRuns(MethodHc, histogram.Hist{1}, Params{Epsilon: 0, K: 10}, noise.New(1)); err == nil {
+		t.Fatal("EstimateRuns accepted epsilon = 0")
+	}
+	if _, err := EstimateRuns(Method(99), histogram.Hist{1}, Params{Epsilon: 1, K: 10}, noise.New(1)); err == nil {
+		t.Fatal("EstimateRuns accepted an unknown method")
+	}
+}

@@ -96,6 +96,36 @@ func FitL1(ys []float64) []float64 {
 	return out
 }
 
+// FitL1InPlace is FitL1 writing the fit into ys (which it destroys and
+// returns): the backward minimum scan reads only the recorded heap
+// tops, so the input buffer can receive the output. Exactly the same
+// sequence of float operations as FitL1 — callers that only need the
+// fit save one n-length allocation.
+func FitL1InPlace(ys []float64) []float64 {
+	n := len(ys)
+	if n == 0 {
+		return ys
+	}
+	h := make(maxHeap, 0, n)
+	tops := make([]float64, n)
+	for i, y := range ys {
+		h.push(y)
+		if h[0] > y {
+			h.pop()
+			h.push(y)
+		}
+		tops[i] = h[0]
+	}
+	run := tops[n-1]
+	for i := n - 1; i >= 0; i-- {
+		if tops[i] < run {
+			run = tops[i]
+		}
+		ys[i] = run
+	}
+	return ys
+}
+
 // CostL2 returns sum (z_i - y_i)^2.
 func CostL2(ys, zs []float64) float64 {
 	var c float64

@@ -293,3 +293,25 @@ func TestPropSortedInputIsFixedPoint(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFitL1InPlaceMatchesFitL1 pins the in-place variant to the
+// allocating one bit-for-bit (the sparse estimator path relies on it).
+func TestFitL1InPlaceMatchesFitL1(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		ys := make([]float64, r.Intn(200))
+		for i := range ys {
+			ys[i] = float64(r.Intn(50)) - 10
+		}
+		want := FitL1(ys)
+		got := FitL1InPlace(append([]float64(nil), ys...))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d != %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: index %d: %v != %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

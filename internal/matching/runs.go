@@ -1,0 +1,193 @@
+package matching
+
+import (
+	"fmt"
+
+	"hcoc/internal/histogram"
+	"hcoc/internal/simplex"
+)
+
+// Segment is the run-length form of a matching: the N consecutive child
+// groups starting at child rank Child are matched, in order, to the N
+// consecutive parent groups starting at parent rank Parent. Ranks index
+// the sorted group-size lists exactly as Match.ParentIndex does.
+type Segment struct {
+	Child, Parent, N int64
+}
+
+// runCursor walks a run-length group-size list group by group without
+// expanding it.
+type runCursor struct {
+	runs []histogram.Run
+	run  int   // current run
+	off  int64 // groups consumed within the current run
+	idx  int64 // global rank of the next unconsumed group
+}
+
+// done reports whether every group has been consumed.
+func (c *runCursor) done() bool { return c.run >= len(c.runs) }
+
+// size returns the size of the next unconsumed group.
+func (c *runCursor) size() int64 { return c.runs[c.run].Size }
+
+// sameSize returns how many consecutive unconsumed groups share the
+// next group's size, coalescing adjacent runs of equal size (callers
+// may split runs by auxiliary data such as variance).
+func (c *runCursor) sameSize() int64 {
+	s := c.runs[c.run].Size
+	n := c.runs[c.run].Count - c.off
+	for r := c.run + 1; r < len(c.runs) && c.runs[r].Size == s; r++ {
+		n += c.runs[r].Count
+	}
+	return n
+}
+
+// advance consumes n groups.
+func (c *runCursor) advance(n int64) {
+	c.idx += n
+	c.off += n
+	for c.run < len(c.runs) && c.off >= c.runs[c.run].Count {
+		c.off -= c.runs[c.run].Count
+		c.run++
+	}
+}
+
+// remaining returns the number of unconsumed groups.
+func (c *runCursor) remaining() int64 {
+	var n int64
+	for r := c.run; r < len(c.runs); r++ {
+		n += c.runs[r].Count
+	}
+	return n - c.off
+}
+
+// ComputeRuns is Compute over run-length inputs: parent and children
+// are group-size lists given as runs with non-decreasing sizes and
+// positive counts (adjacent runs may share a size; they are coalesced
+// during the sweep). It performs exactly the assignment Compute makes
+// on the expanded lists, but in time and space proportional to the
+// number of runs rather than the number of groups, returning per-child
+// segment lists ordered by child rank.
+func ComputeRuns(parent []histogram.Run, children [][]histogram.Run) ([][]Segment, error) {
+	p := runCursor{runs: parent}
+	cs := make([]runCursor, len(children))
+	var childTotal int64
+	for i, c := range children {
+		cs[i] = runCursor{runs: c}
+		childTotal += cs[i].remaining()
+	}
+	if pt := p.remaining(); childTotal != pt {
+		return nil, fmt.Errorf("matching: children hold %d groups, parent holds %d", childTotal, pt)
+	}
+
+	out := make([][]Segment, len(children))
+	num := make([]int64, len(children))
+	for !p.done() {
+		// Gt: the run of parent groups with the minimal unmatched size.
+		nTop := p.sameSize()
+
+		// Gb: across children, the groups with the minimal unmatched
+		// size sb.
+		var sb int64
+		first := true
+		for ci := range cs {
+			if !cs[ci].done() {
+				if s := cs[ci].size(); first || s < sb {
+					sb = s
+					first = false
+				}
+			}
+		}
+		if first {
+			return nil, fmt.Errorf("matching: ran out of child groups with %d parent groups left", p.remaining())
+		}
+		var nBot int64
+		for ci := range cs {
+			num[ci] = 0
+			if !cs[ci].done() && cs[ci].size() == sb {
+				num[ci] = cs[ci].sameSize()
+			}
+			nBot += num[ci]
+		}
+
+		if nTop >= nBot {
+			// Every bottom group in Gb is matched now.
+			idx := p.idx
+			for ci := range cs {
+				if num[ci] > 0 {
+					out[ci] = append(out[ci], Segment{Child: cs[ci].idx, Parent: idx, N: num[ci]})
+					cs[ci].advance(num[ci])
+					idx += num[ci]
+				}
+			}
+			p.advance(nBot)
+		} else {
+			// Split the nTop parent groups across children
+			// proportionally to num[ci] (footnote 10 rounding).
+			quotas := make([]float64, len(children))
+			for ci := range cs {
+				quotas[ci] = float64(nTop) * float64(num[ci]) / float64(nBot)
+			}
+			take := simplex.RoundPreservingSum(quotas, nTop)
+			idx := p.idx
+			for ci := range cs {
+				if take[ci] > 0 {
+					out[ci] = append(out[ci], Segment{Child: cs[ci].idx, Parent: idx, N: take[ci]})
+					cs[ci].advance(take[ci])
+					idx += take[ci]
+				}
+			}
+			p.advance(nTop)
+		}
+	}
+
+	// Every child group must have been matched.
+	for ci := range cs {
+		if !cs[ci].done() {
+			return nil, fmt.Errorf("matching: child %d group %d unmatched", ci, cs[ci].idx)
+		}
+	}
+	return out, nil
+}
+
+// CostRuns returns the total weight of a segment matching: the sum over
+// all matched pairs of |parent size - child size|, computed per
+// (child-run x parent-run) overlap instead of per group.
+func CostRuns(parent []histogram.Run, children [][]histogram.Run, segs [][]Segment) int64 {
+	// Parent rank -> size lookup by prefix offsets.
+	offs := make([]int64, len(parent)+1)
+	for i, r := range parent {
+		offs[i+1] = offs[i] + r.Count
+	}
+	var total int64
+	for ci, c := range children {
+		cur := runCursor{runs: c}
+		pr := 0
+		for _, seg := range segs[ci] {
+			// Segments are child-rank ordered; parent starts are
+			// non-decreasing too, so pr only moves forward.
+			pIdx := seg.Parent
+			for n := seg.N; n > 0; {
+				for offs[pr+1] <= pIdx {
+					pr++
+				}
+				m := n
+				if left := offs[pr+1] - pIdx; left < m {
+					m = left
+				}
+				if left := cur.runs[cur.run].Count - cur.off; left < m {
+					m = left
+				}
+				d := parent[pr].Size - cur.size()
+				if d < 0 {
+					d = -d
+				}
+				total += d * m
+				cur.advance(m)
+				pIdx += m
+				n -= m
+			}
+		}
+	}
+	return total
+}

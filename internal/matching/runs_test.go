@@ -1,0 +1,116 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"hcoc/internal/histogram"
+)
+
+// splitRuns converts sorted sizes to runs, randomly splitting maximal
+// runs so the coalescing path is exercised (the consistency layer
+// splits runs by variance, producing adjacent equal-size runs).
+func splitRuns(r *rand.Rand, sizes histogram.GroupSizes) []histogram.Run {
+	var out []histogram.Run
+	for _, s := range sizes {
+		if n := len(out); n > 0 && out[n-1].Size == s && r.Intn(3) > 0 {
+			out[n-1].Count++
+		} else {
+			out = append(out, histogram.Run{Size: s, Count: 1})
+		}
+	}
+	return out
+}
+
+// expand turns per-child segments back into dense ParentIndex arrays.
+func expand(children []histogram.GroupSizes, segs [][]Segment) []Match {
+	out := make([]Match, len(children))
+	for ci, c := range children {
+		out[ci].ParentIndex = make([]int, len(c))
+		for i := range out[ci].ParentIndex {
+			out[ci].ParentIndex[i] = -1
+		}
+		for _, seg := range segs[ci] {
+			for k := int64(0); k < seg.N; k++ {
+				out[ci].ParentIndex[seg.Child+k] = int(seg.Parent + k)
+			}
+		}
+	}
+	return out
+}
+
+func randInstance(r *rand.Rand) (histogram.GroupSizes, []histogram.GroupSizes) {
+	nChildren := 1 + r.Intn(5)
+	children := make([]histogram.GroupSizes, nChildren)
+	var all histogram.GroupSizes
+	for i := range children {
+		c := make(histogram.GroupSizes, r.Intn(40))
+		for j := range c {
+			c[j] = int64(r.Intn(12))
+		}
+		c.Sort()
+		children[i] = c
+		all = append(all, c...)
+	}
+	// The parent estimate differs from the children's but holds the
+	// same number of groups (the public constraint).
+	parent := all.Clone()
+	for i := range parent {
+		parent[i] += int64(r.Intn(5)) - 2
+		if parent[i] < 0 {
+			parent[i] = 0
+		}
+	}
+	parent.Sort()
+	return parent, children
+}
+
+// TestComputeRunsDifferential checks that ComputeRuns makes exactly the
+// assignment Compute makes, over randomized instances including empty
+// children and heavy ties.
+func TestComputeRunsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		parent, children := randInstance(r)
+		want, err := Compute(parent, children)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pRuns := splitRuns(r, parent)
+		cRuns := make([][]histogram.Run, len(children))
+		for i, c := range children {
+			cRuns[i] = splitRuns(r, c)
+		}
+		segs, err := ComputeRuns(pRuns, cRuns)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := expand(children, segs)
+		for ci := range children {
+			for j, p := range want[ci].ParentIndex {
+				if got[ci].ParentIndex[j] != p {
+					t.Fatalf("trial %d child %d group %d: runs matched parent %d, dense matched %d",
+						trial, ci, j, got[ci].ParentIndex[j], p)
+				}
+			}
+		}
+		if cw, cg := Cost(parent, children, want), CostRuns(pRuns, cRuns, segs); cw != cg {
+			t.Fatalf("trial %d: CostRuns = %d, Cost = %d", trial, cg, cw)
+		}
+	}
+}
+
+func TestComputeRunsErrors(t *testing.T) {
+	if _, err := ComputeRuns([]histogram.Run{{Size: 1, Count: 2}}, [][]histogram.Run{{{Size: 1, Count: 1}}}); err == nil {
+		t.Fatal("ComputeRuns accepted mismatched group totals")
+	}
+	segs, err := ComputeRuns(nil, [][]histogram.Run{nil, nil})
+	if err != nil {
+		t.Fatalf("empty instance: %v", err)
+	}
+	for _, s := range segs {
+		if len(s) != 0 {
+			t.Fatalf("empty instance produced segments %v", segs)
+		}
+	}
+}

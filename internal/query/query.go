@@ -10,6 +10,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -17,10 +18,19 @@ import (
 	"hcoc/internal/histogram"
 )
 
+// ErrEmptyHistogram is the typed error every query that is undefined on
+// a zero-group histogram returns (order statistics, quantiles, mean,
+// Gini, top-coded tables). Callers distinguish "the node is empty" from
+// malformed parameters with errors.Is.
+var ErrEmptyHistogram = errors.New("query: empty histogram")
+
 // KthSmallest returns the size of the k-th smallest group (1-based).
 // This is the unattributed-histogram lookup Hg[k-1].
 func KthSmallest(h histogram.Hist, k int64) (int64, error) {
 	g := h.Groups()
+	if g == 0 {
+		return 0, ErrEmptyHistogram
+	}
 	if k < 1 || k > g {
 		return 0, fmt.Errorf("query: k = %d out of range [1, %d]", k, g)
 	}
@@ -38,6 +48,9 @@ func KthSmallest(h histogram.Hist, k int64) (int64, error) {
 // "what is the size of the kth largest group?" from Section 2.
 func KthLargest(h histogram.Hist, k int64) (int64, error) {
 	g := h.Groups()
+	if g == 0 {
+		return 0, ErrEmptyHistogram
+	}
 	if k < 1 || k > g {
 		return 0, fmt.Errorf("query: k = %d out of range [1, %d]", k, g)
 	}
@@ -54,7 +67,7 @@ func Quantile(h histogram.Hist, q float64) (int64, error) {
 	}
 	g := h.Groups()
 	if g == 0 {
-		return 0, fmt.Errorf("query: empty histogram")
+		return 0, ErrEmptyHistogram
 	}
 	k := int64(math.Ceil(q * float64(g)))
 	if k < 1 {
@@ -74,7 +87,7 @@ func Quantiles(h histogram.Hist, qs []float64) ([]int64, error) {
 	}
 	g := h.Groups()
 	if g == 0 {
-		return nil, fmt.Errorf("query: empty histogram")
+		return nil, ErrEmptyHistogram
 	}
 	// Map each quantile to its 1-based rank, then answer all ranks in
 	// ascending order during a single cumulative pass.
@@ -115,13 +128,14 @@ func Quantiles(h histogram.Hist, qs []float64) ([]int64, error) {
 // Median returns the median group size.
 func Median(h histogram.Hist) (int64, error) { return Quantile(h, 0.5) }
 
-// Mean returns the mean group size (0 for an empty histogram).
-func Mean(h histogram.Hist) float64 {
+// Mean returns the mean group size; a zero-group histogram is
+// ErrEmptyHistogram, never a silent zero.
+func Mean(h histogram.Hist) (float64, error) {
 	g := h.Groups()
 	if g == 0 {
-		return 0
+		return 0, ErrEmptyHistogram
 	}
-	return float64(h.People()) / float64(g)
+	return float64(h.People()) / float64(g), nil
 }
 
 // CountAtLeast returns the number of groups of size >= s.
@@ -138,12 +152,17 @@ func CountAtLeast(h histogram.Hist, s int64) int64 {
 // Gini returns the Gini coefficient of the group-size distribution, a
 // standard skewness summary in [0, 1] (0 = all groups equal). The paper
 // motivates count-of-counts histograms as the tool "to study the
-// skewness of a distribution".
-func Gini(h histogram.Hist) float64 {
+// skewness of a distribution". A zero-group histogram is
+// ErrEmptyHistogram; groups that are all empty (zero people) have every
+// group equal, Gini 0.
+func Gini(h histogram.Hist) (float64, error) {
 	g := h.Groups()
 	people := h.People()
-	if g == 0 || people == 0 {
-		return 0
+	if g == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	if people == 0 {
+		return 0, nil
 	}
 	// Gini = 1 - 2*B where B is the area under the Lorenz curve;
 	// computed exactly from the sorted sizes implied by the histogram:
@@ -160,7 +179,7 @@ func Gini(h histogram.Hist) float64 {
 		acc += float64(count) * float64(2*rank+count-g) * float64(size)
 		rank += count
 	}
-	return acc / (float64(g) * float64(people))
+	return acc / (float64(g) * float64(people)), nil
 }
 
 // TopCoded returns the census-style truncated table: counts for sizes
@@ -169,6 +188,9 @@ func Gini(h histogram.Hist) float64 {
 func TopCoded(h histogram.Hist, cap int) (histogram.Hist, error) {
 	if cap < 1 {
 		return nil, fmt.Errorf("query: cap must be >= 1, got %d", cap)
+	}
+	if h.Groups() == 0 {
+		return nil, ErrEmptyHistogram
 	}
 	return h.Truncate(cap), nil
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -112,11 +113,11 @@ func TestQuantiles(t *testing.T) {
 }
 
 func TestMeanAndCountAtLeast(t *testing.T) {
-	if got := Mean(example); got != 2 {
-		t.Errorf("Mean = %f, want 2 (10 people / 5 groups)", got)
+	if got, err := Mean(example); err != nil || got != 2 {
+		t.Errorf("Mean = %f (err %v), want 2 (10 people / 5 groups)", got, err)
 	}
-	if got := Mean(histogram.Hist{}); got != 0 {
-		t.Errorf("Mean(empty) = %f, want 0", got)
+	if _, err := Mean(histogram.Hist{}); !errors.Is(err, ErrEmptyHistogram) {
+		t.Errorf("Mean(empty) err = %v, want ErrEmptyHistogram", err)
 	}
 	if got := CountAtLeast(example, 2); got != 3 {
 		t.Errorf("CountAtLeast(2) = %d, want 3", got)
@@ -128,17 +129,20 @@ func TestMeanAndCountAtLeast(t *testing.T) {
 
 func TestGiniKnownValues(t *testing.T) {
 	// All groups equal: Gini 0.
-	if got := Gini(histogram.Hist{0, 0, 10}); got != 0 {
-		t.Errorf("Gini(equal sizes) = %f, want 0", got)
+	if got, err := Gini(histogram.Hist{0, 0, 10}); err != nil || got != 0 {
+		t.Errorf("Gini(equal sizes) = %f (err %v), want 0", got, err)
 	}
 	// One group has everything: Gini -> (G-1)/G.
 	h := histogram.Hist{9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1} // 9 empty, 1 of size 10
-	got := Gini(h)
+	got, err := Gini(h)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got < 0.89 || got > 0.91 {
 		t.Errorf("Gini(one group owns all) = %f, want ~0.9", got)
 	}
-	if got := Gini(histogram.Hist{}); got != 0 {
-		t.Errorf("Gini(empty) = %f, want 0", got)
+	if _, err := Gini(histogram.Hist{}); !errors.Is(err, ErrEmptyHistogram) {
+		t.Errorf("Gini(empty) err = %v, want ErrEmptyHistogram", err)
 	}
 }
 
@@ -157,7 +161,8 @@ func TestGiniMatchesDirectComputation(t *testing.T) {
 			people += s
 		}
 		if people == 0 {
-			return Gini(h) == 0
+			g, err := Gini(h)
+			return err == nil && g == 0
 		}
 		// Direct O(n) formula over sorted sizes.
 		var acc float64
@@ -165,8 +170,8 @@ func TestGiniMatchesDirectComputation(t *testing.T) {
 			acc += float64(2*(i+1)-n-1) * float64(s)
 		}
 		want := acc / (float64(n) * float64(people))
-		got := Gini(h)
-		return got-want < 1e-9 && want-got < 1e-9
+		got, err := Gini(h)
+		return err == nil && got-want < 1e-9 && want-got < 1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,0 +1,177 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hcoc/internal/histogram"
+)
+
+// The sparse variants below answer the same questions as their dense
+// counterparts by scanning runs instead of cells, so a query against a
+// cached release costs O(distinct sizes) — on census-shaped data a few
+// dozen run visits instead of up to K+1 cells. Each is the exact
+// run-length transcription of its dense twin: same results, same
+// errors.
+
+// KthSmallestSparse returns the size of the k-th smallest group
+// (1-based).
+func KthSmallestSparse(s histogram.Sparse, k int64) (int64, error) {
+	g := s.Groups()
+	if g == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	if k < 1 || k > g {
+		return 0, fmt.Errorf("query: k = %d out of range [1, %d]", k, g)
+	}
+	var cum int64
+	for _, r := range s {
+		cum += r.Count
+		if cum >= k {
+			return r.Size, nil
+		}
+	}
+	return 0, fmt.Errorf("query: internal inconsistency (histogram shorter than its counts)")
+}
+
+// KthLargestSparse returns the size of the k-th largest group (1-based).
+func KthLargestSparse(s histogram.Sparse, k int64) (int64, error) {
+	g := s.Groups()
+	if g == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	if k < 1 || k > g {
+		return 0, fmt.Errorf("query: k = %d out of range [1, %d]", k, g)
+	}
+	return KthSmallestSparse(s, g-k+1)
+}
+
+// QuantileSparse returns the q-th quantile (0 <= q <= 1) of the
+// group-size distribution, lower interpolation.
+func QuantileSparse(s histogram.Sparse, q float64) (int64, error) {
+	// The negated comparison also rejects NaN.
+	if !(q >= 0 && q <= 1) {
+		return 0, fmt.Errorf("query: quantile %g out of [0, 1]", q)
+	}
+	g := s.Groups()
+	if g == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	k := int64(math.Ceil(q * float64(g)))
+	if k < 1 {
+		k = 1
+	}
+	if k > g {
+		k = g
+	}
+	return KthSmallestSparse(s, k)
+}
+
+// QuantilesSparse evaluates several quantiles in one run scan; the
+// result is index-aligned with qs.
+func QuantilesSparse(s histogram.Sparse, qs []float64) ([]int64, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	g := s.Groups()
+	if g == 0 {
+		return nil, ErrEmptyHistogram
+	}
+	ranks := make([]int64, len(qs))
+	order := make([]int, len(qs))
+	for i, q := range qs {
+		if !(q >= 0 && q <= 1) {
+			return nil, fmt.Errorf("query: quantile %g out of [0, 1]", q)
+		}
+		k := int64(math.Ceil(q * float64(g)))
+		if k < 1 {
+			k = 1
+		}
+		ranks[i] = k
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ranks[order[a]] < ranks[order[b]] })
+
+	out := make([]int64, len(qs))
+	next := 0
+	var cum int64
+	for _, r := range s {
+		cum += r.Count
+		for next < len(order) && ranks[order[next]] <= cum {
+			out[order[next]] = r.Size
+			next++
+		}
+		if next == len(order) {
+			break
+		}
+	}
+	if next < len(order) {
+		return nil, fmt.Errorf("query: internal inconsistency (histogram shorter than its counts)")
+	}
+	return out, nil
+}
+
+// MedianSparse returns the median group size.
+func MedianSparse(s histogram.Sparse) (int64, error) { return QuantileSparse(s, 0.5) }
+
+// MeanSparse returns the mean group size; a zero-group histogram is
+// ErrEmptyHistogram.
+func MeanSparse(s histogram.Sparse) (float64, error) {
+	g := s.Groups()
+	if g == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	return float64(s.People()) / float64(g), nil
+}
+
+// CountAtLeastSparse returns the number of groups of size >= sz.
+func CountAtLeastSparse(s histogram.Sparse, sz int64) int64 {
+	var n int64
+	for _, r := range s {
+		if r.Size >= sz {
+			n += r.Count
+		}
+	}
+	return n
+}
+
+// GiniSparse returns the Gini coefficient as a run scan.
+func GiniSparse(s histogram.Sparse) (float64, error) {
+	g := s.Groups()
+	people := s.People()
+	if g == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	if people == 0 {
+		return 0, nil
+	}
+	var acc float64
+	var rank int64
+	for _, r := range s {
+		acc += float64(r.Count) * float64(2*rank+r.Count-g) * float64(r.Size)
+		rank += r.Count
+	}
+	return acc / (float64(g) * float64(people)), nil
+}
+
+// TopCodedSparse returns the census-style truncated table in the dense
+// cap+1 shape the dense TopCoded produces — the table is dense by
+// construction (every size 0..cap gets a row in the publication).
+func TopCodedSparse(s histogram.Sparse, cap int) (histogram.Hist, error) {
+	if cap < 1 {
+		return nil, fmt.Errorf("query: cap must be >= 1, got %d", cap)
+	}
+	if s.Groups() == 0 {
+		return nil, ErrEmptyHistogram
+	}
+	out := make(histogram.Hist, cap+1)
+	for _, r := range s {
+		if r.Size >= int64(cap) {
+			out[cap] += r.Count
+		} else {
+			out[r.Size] += r.Count
+		}
+	}
+	return out, nil
+}

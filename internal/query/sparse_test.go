@@ -1,0 +1,126 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hcoc/internal/histogram"
+)
+
+// TestSparseQueryDifferential drives every sparse query and its dense
+// twin over randomized histograms and asserts identical answers and
+// identical error classification.
+func TestSparseQueryDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		h := make(histogram.Hist, 1+r.Intn(300))
+		for n := r.Intn(10); n > 0; n-- {
+			h[r.Intn(len(h))] = int64(r.Intn(40))
+		}
+		s := h.Sparse()
+		g := h.Groups()
+
+		for _, k := range []int64{0, 1, g / 2, g, g + 1} {
+			dv, de := KthSmallest(h, k)
+			sv, se := KthSmallestSparse(s, k)
+			if dv != sv || (de == nil) != (se == nil) {
+				t.Fatalf("trial %d: KthSmallest(%d): dense (%d, %v), sparse (%d, %v)", trial, k, dv, de, sv, se)
+			}
+			dv, de = KthLargest(h, k)
+			sv, se = KthLargestSparse(s, k)
+			if dv != sv || (de == nil) != (se == nil) {
+				t.Fatalf("trial %d: KthLargest(%d): dense (%d, %v), sparse (%d, %v)", trial, k, dv, de, sv, se)
+			}
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			dv, de := Quantile(h, q)
+			sv, se := QuantileSparse(s, q)
+			if dv != sv || (de == nil) != (se == nil) {
+				t.Fatalf("trial %d: Quantile(%g): dense (%d, %v), sparse (%d, %v)", trial, q, dv, de, sv, se)
+			}
+		}
+		qs := []float64{0.9, 0.1, 0.5, 0.5}
+		dvs, de := Quantiles(h, qs)
+		svs, se := QuantilesSparse(s, qs)
+		if (de == nil) != (se == nil) {
+			t.Fatalf("trial %d: Quantiles errors differ: %v vs %v", trial, de, se)
+		}
+		for i := range dvs {
+			if dvs[i] != svs[i] {
+				t.Fatalf("trial %d: Quantiles[%d]: %d != %d", trial, i, dvs[i], svs[i])
+			}
+		}
+		if dm, de := Mean(h); true {
+			sm, se := MeanSparse(s)
+			if dm != sm || (de == nil) != (se == nil) {
+				t.Fatalf("trial %d: Mean: dense (%g, %v), sparse (%g, %v)", trial, dm, de, sm, se)
+			}
+		}
+		if dg, de := Gini(h); true {
+			sg, se := GiniSparse(s)
+			if dg != sg || (de == nil) != (se == nil) {
+				t.Fatalf("trial %d: Gini: dense (%g, %v), sparse (%g, %v)", trial, dg, de, sg, se)
+			}
+		}
+		for _, sz := range []int64{0, 1, 5, 1000} {
+			if CountAtLeast(h, sz) != CountAtLeastSparse(s, sz) {
+				t.Fatalf("trial %d: CountAtLeast(%d) differs", trial, sz)
+			}
+		}
+		for _, cap := range []int{1, 3, 8} {
+			dt, de := TopCoded(h, cap)
+			st, se := TopCodedSparse(s, cap)
+			if (de == nil) != (se == nil) {
+				t.Fatalf("trial %d: TopCoded(%d) errors differ: %v vs %v", trial, cap, de, se)
+			}
+			if de == nil && !dt.Equal(st) {
+				t.Fatalf("trial %d: TopCoded(%d): %v != %v", trial, cap, dt, st)
+			}
+			if de == nil && len(st) != cap+1 {
+				t.Fatalf("trial %d: TopCodedSparse(%d) has %d cells", trial, cap, len(st))
+			}
+		}
+	}
+}
+
+// TestEmptyHistogramTypedError pins the satellite fix: every query that
+// is undefined on a zero-group node reports ErrEmptyHistogram, dense
+// and sparse alike.
+func TestEmptyHistogramTypedError(t *testing.T) {
+	empty := histogram.Hist{0, 0}
+	se := histogram.Sparse{}
+	checks := []struct {
+		name string
+		err  error
+	}{
+		{"KthSmallest", func() error { _, err := KthSmallest(empty, 1); return err }()},
+		{"KthLargest", func() error { _, err := KthLargest(empty, 1); return err }()},
+		{"Quantile", func() error { _, err := Quantile(empty, 0.5); return err }()},
+		{"Quantiles", func() error { _, err := Quantiles(empty, []float64{0.5}); return err }()},
+		{"Median", func() error { _, err := Median(empty); return err }()},
+		{"Mean", func() error { _, err := Mean(empty); return err }()},
+		{"Gini", func() error { _, err := Gini(empty); return err }()},
+		{"TopCoded", func() error { _, err := TopCoded(empty, 3); return err }()},
+		{"KthSmallestSparse", func() error { _, err := KthSmallestSparse(se, 1); return err }()},
+		{"KthLargestSparse", func() error { _, err := KthLargestSparse(se, 1); return err }()},
+		{"QuantileSparse", func() error { _, err := QuantileSparse(se, 0.5); return err }()},
+		{"QuantilesSparse", func() error { _, err := QuantilesSparse(se, []float64{0.5}); return err }()},
+		{"MedianSparse", func() error { _, err := MedianSparse(se); return err }()},
+		{"MeanSparse", func() error { _, err := MeanSparse(se); return err }()},
+		{"GiniSparse", func() error { _, err := GiniSparse(se); return err }()},
+		{"TopCodedSparse", func() error { _, err := TopCodedSparse(se, 3); return err }()},
+	}
+	for _, c := range checks {
+		if !errors.Is(c.err, ErrEmptyHistogram) {
+			t.Errorf("%s: error = %v, want ErrEmptyHistogram", c.name, c.err)
+		}
+	}
+	// Parameter errors must stay distinguishable from emptiness.
+	if _, err := TopCoded(histogram.Hist{1}, 0); errors.Is(err, ErrEmptyHistogram) || err == nil {
+		t.Errorf("TopCoded(cap=0) = %v, want a non-empty-histogram error", err)
+	}
+	if _, err := Quantile(histogram.Hist{1}, 2); errors.Is(err, ErrEmptyHistogram) || err == nil {
+		t.Errorf("Quantile(q=2) = %v, want a non-empty-histogram error", err)
+	}
+}

@@ -8,11 +8,24 @@ import (
 )
 
 // The query helpers below are pure post-processing of released
-// histograms and incur no additional privacy cost.
+// histograms and incur no additional privacy cost. Each has a Sparse
+// twin that answers against the run-length representation in
+// O(distinct sizes); every query that is undefined on a zero-group
+// node returns ErrEmptyHistogram.
+
+// ErrEmptyHistogram is the typed error returned by order statistics,
+// quantiles, mean, Gini, and top-coded tables evaluated on a node with
+// zero groups.
+var ErrEmptyHistogram = query.ErrEmptyHistogram
 
 // KthSmallest returns the size of the k-th smallest group (1-based).
 func KthSmallest(h Histogram, k int64) (int64, error) {
 	return query.KthSmallest(h, k)
+}
+
+// KthSmallestSparse is KthSmallest over the run-length representation.
+func KthSmallestSparse(s SparseHistogram, k int64) (int64, error) {
+	return query.KthSmallestSparse(s, k)
 }
 
 // KthLargest returns the size of the k-th largest group (1-based) — the
@@ -22,10 +35,20 @@ func KthLargest(h Histogram, k int64) (int64, error) {
 	return query.KthLargest(h, k)
 }
 
+// KthLargestSparse is KthLargest over the run-length representation.
+func KthLargestSparse(s SparseHistogram, k int64) (int64, error) {
+	return query.KthLargestSparse(s, k)
+}
+
 // Quantile returns the q-th quantile (0 <= q <= 1) of the group-size
 // distribution.
 func Quantile(h Histogram, q float64) (int64, error) {
 	return query.Quantile(h, q)
+}
+
+// QuantileSparse is Quantile over the run-length representation.
+func QuantileSparse(s SparseHistogram, q float64) (int64, error) {
+	return query.QuantileSparse(s, q)
 }
 
 // Quantiles evaluates several quantiles at once; the result is
@@ -35,23 +58,52 @@ func Quantiles(h Histogram, qs []float64) ([]int64, error) {
 	return query.Quantiles(h, qs)
 }
 
+// QuantilesSparse is Quantiles over the run-length representation.
+func QuantilesSparse(s SparseHistogram, qs []float64) ([]int64, error) {
+	return query.QuantilesSparse(s, qs)
+}
+
 // Median returns the median group size.
 func Median(h Histogram) (int64, error) { return query.Median(h) }
 
-// MeanGroupSize returns the mean group size.
-func MeanGroupSize(h Histogram) float64 { return query.Mean(h) }
+// MedianSparse is Median over the run-length representation.
+func MedianSparse(s SparseHistogram) (int64, error) { return query.MedianSparse(s) }
+
+// MeanGroupSize returns the mean group size; a zero-group histogram is
+// ErrEmptyHistogram.
+func MeanGroupSize(h Histogram) (float64, error) { return query.Mean(h) }
+
+// MeanGroupSizeSparse is MeanGroupSize over the run-length
+// representation.
+func MeanGroupSizeSparse(s SparseHistogram) (float64, error) { return query.MeanSparse(s) }
 
 // CountAtLeast returns the number of groups of size >= s.
 func CountAtLeast(h Histogram, s int64) int64 { return query.CountAtLeast(h, s) }
 
+// CountAtLeastSparse is CountAtLeast over the run-length
+// representation.
+func CountAtLeastSparse(s SparseHistogram, size int64) int64 {
+	return query.CountAtLeastSparse(s, size)
+}
+
 // Gini returns the Gini coefficient of the group-size distribution, a
-// skewness summary in [0, 1].
-func Gini(h Histogram) float64 { return query.Gini(h) }
+// skewness summary in [0, 1]; a zero-group histogram is
+// ErrEmptyHistogram.
+func Gini(h Histogram) (float64, error) { return query.Gini(h) }
+
+// GiniSparse is Gini over the run-length representation.
+func GiniSparse(s SparseHistogram) (float64, error) { return query.GiniSparse(s) }
 
 // TopCoded returns the census-style truncated table: counts for sizes
 // 0..cap-1 plus a "cap or more" bucket (the 2010 Summary File 1 shape).
 func TopCoded(h Histogram, cap int) (Histogram, error) {
 	return query.TopCoded(h, cap)
+}
+
+// TopCodedSparse is TopCoded over the run-length representation; the
+// result is the dense cap+1 table (dense by construction).
+func TopCodedSparse(s SparseHistogram, cap int) (Histogram, error) {
+	return query.TopCodedSparse(s, cap)
 }
 
 // PrivateGroupCounts estimates the per-region group counts under

@@ -16,14 +16,14 @@ func TestQueryHelpers(t *testing.T) {
 	if got, err := Quantile(h, 0.9); err != nil || got != 3 {
 		t.Errorf("Quantile(0.9) = %d (%v), want 3", got, err)
 	}
-	if got := MeanGroupSize(h); got != 2 {
-		t.Errorf("MeanGroupSize = %f, want 2", got)
+	if got, err := MeanGroupSize(h); err != nil || got != 2 {
+		t.Errorf("MeanGroupSize = %f (%v), want 2", got, err)
 	}
 	if got := CountAtLeast(h, 2); got != 3 {
 		t.Errorf("CountAtLeast(2) = %d, want 3", got)
 	}
-	if g := Gini(h); g <= 0 || g >= 1 {
-		t.Errorf("Gini = %f, want in (0, 1)", g)
+	if g, err := Gini(h); err != nil || g <= 0 || g >= 1 {
+		t.Errorf("Gini = %f (%v), want in (0, 1)", g, err)
 	}
 	top, err := TopCoded(h, 2)
 	if err != nil {

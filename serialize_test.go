@@ -2,6 +2,7 @@ package hcoc
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -54,9 +55,157 @@ func TestReadReleaseRejectsBadInput(t *testing.T) {
 		`{"format":"wrong/v9","nodes":{"a":[1]}}`,
 		`{"format":"hcoc-release/v1","nodes":{}}`,
 		`{"format":"hcoc-release/v1","nodes":{"a":[1,-2]}}`,
+		`{"format":"hcoc-release/v2-sparse","nodes":{}}`,
+		`{"format":"hcoc-release/v2-sparse","nodes":{"a":[[1,-2]]}}`,
+		`{"format":"hcoc-release/v2-sparse","nodes":{"a":[[-1,2]]}}`,
+		`{"format":"hcoc-release/v2-sparse","nodes":{"a":[[3,1],[1,1]]}}`,
+		`{"format":"hcoc-release/v2-sparse","nodes":{"a":[[2,1],[2,1]]}}`,
+		`{"format":"hcoc-release/v2-sparse","nodes":{"a":[[2,0]]}}`,
 	} {
 		if _, _, err := ReadRelease(strings.NewReader(bad)); err == nil {
-			t.Errorf("bad artifact %q accepted", bad)
+			t.Errorf("bad artifact %q accepted by ReadRelease", bad)
+		}
+		if _, _, err := ReadReleaseSparse(strings.NewReader(bad)); err == nil {
+			t.Errorf("bad artifact %q accepted by ReadReleaseSparse", bad)
 		}
 	}
+}
+
+// TestSparseReleaseRoundTrip covers the v2 wire format in all four
+// direction pairs: sparse->sparse, sparse->dense, dense->sparse, and
+// cross-format equality of the decoded releases.
+func TestSparseReleaseRoundTrip(t *testing.T) {
+	tree, err := BuildHierarchy("US", smallGroups(40, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := ReleaseSparse(tree, Options{Epsilon: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var v2 bytes.Buffer
+	if err := WriteReleaseSparse(&v2, rel, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := WriteRelease(&v1, rel.Dense(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Logf("note: v2 artifact (%d bytes) not smaller than v1 (%d bytes) on this instance", v2.Len(), v1.Len())
+	}
+
+	backSparse, eps, err := ReadReleaseSparse(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 0.5 {
+		t.Errorf("epsilon = %f, want 0.5", eps)
+	}
+	backDense, _, err := ReadRelease(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV1, _, err := ReadReleaseSparse(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backSparse) != len(rel) || len(backDense) != len(rel) || len(fromV1) != len(rel) {
+		t.Fatalf("round trips lost nodes: %d/%d/%d of %d", len(backSparse), len(backDense), len(fromV1), len(rel))
+	}
+	for path, s := range rel {
+		if !s.Equal(backSparse[path]) {
+			t.Fatalf("node %q differs after v2 sparse round trip", path)
+		}
+		if !s.Hist().Equal(backDense[path]) {
+			t.Fatalf("node %q differs after v2 dense round trip", path)
+		}
+		if !s.Equal(fromV1[path]) {
+			t.Fatalf("node %q differs after v1->sparse round trip", path)
+		}
+	}
+	if err := CheckSparse(tree, backSparse); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadReleaseBoundsDenseExpansion: many near-limit nodes pass the
+// per-node size check but must not make the dense reader allocate
+// their combined expansion; the sparse reader still accepts them.
+func TestReadReleaseBoundsDenseExpansion(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"format":"hcoc-release/v2-sparse","nodes":{`)
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `"n%d":[[4194303,1]]`, i)
+	}
+	sb.WriteString(`}}`)
+	if _, _, err := ReadRelease(strings.NewReader(sb.String())); err == nil {
+		t.Fatal("dense reader accepted an artifact expanding past the cell bound")
+	}
+	if _, _, err := ReadReleaseSparse(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("sparse reader rejected a valid artifact: %v", err)
+	}
+}
+
+func TestWriteReleaseSparseRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReleaseSparse(&buf, SparseHistograms{}, 1); err == nil {
+		t.Error("empty sparse release accepted")
+	}
+}
+
+// FuzzDecodeRelease fuzzes both artifact decoders: no input may panic,
+// and anything accepted must re-encode to an artifact that decodes to
+// the same release (canonical round trip).
+func FuzzDecodeRelease(f *testing.F) {
+	f.Add([]byte(`{"format":"hcoc-release/v1","epsilon":1,"nodes":{"US":[0,2,1]}}`))
+	f.Add([]byte(`{"format":"hcoc-release/v2-sparse","epsilon":0.5,"nodes":{"US":[[1,2],[7,1]],"US/CA":[[1,2]]}}`))
+	f.Add([]byte(`{"format":"hcoc-release/v2-sparse","nodes":{"a":[[3,1],[1,1]]}}`))
+	f.Add([]byte(`{"format":"wrong","nodes":{}}`))
+	f.Add([]byte("[]"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rel, eps, err := ReadReleaseSparse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for path, s := range rel {
+			if e := s.Validate(); e != nil {
+				t.Fatalf("accepted invalid node %q: %v", path, e)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteReleaseSparse(&buf, rel, eps); err != nil {
+			t.Fatalf("re-encoding accepted release: %v", err)
+		}
+		back, eps2, err := ReadReleaseSparse(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		if eps2 != eps || len(back) != len(rel) {
+			t.Fatalf("canonical round trip drifted: eps %v->%v, nodes %d->%d", eps, eps2, len(rel), len(back))
+		}
+		for path, s := range rel {
+			if !s.Equal(back[path]) {
+				t.Fatalf("canonical round trip drifted at node %q", path)
+			}
+		}
+		// The dense reader must agree with the sparse one, except that
+		// it may refuse releases whose dense expansion is too large.
+		dense, _, err := ReadRelease(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "dense cells") {
+				t.Fatalf("dense reader rejected what sparse accepted: %v", err)
+			}
+			return
+		}
+		for path, s := range rel {
+			if !s.Hist().Equal(dense[path]) {
+				t.Fatalf("dense and sparse readers disagree at node %q", path)
+			}
+		}
+	})
 }
