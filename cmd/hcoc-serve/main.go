@@ -2,24 +2,32 @@
 // library, separating the expensive differentially private release
 // computation from cheap repeated query serving. Identical release
 // requests are answered from an LRU cache or coalesced onto one
-// in-flight computation, and the post-processing queries are reads
-// against cached releases.
+// in-flight computation; with -data-dir, completed releases and
+// uploaded hierarchies are also persisted, so a restart serves past
+// artifacts from disk instead of recomputing (and conceptually
+// re-spending privacy budget). The post-processing queries are reads
+// against completed releases.
 //
 // Endpoints:
 //
 //	POST /v1/hierarchy        upload groups, build the region tree
 //	GET  /v1/hierarchy        list uploaded hierarchies
 //	POST /v1/release          run a topdown/bottomup release
-//	GET  /v1/release/{id}     download a cached release artifact
+//	                          ("async": true => 202 + job id)
+//	GET  /v1/release          list durable release artifacts
+//	GET  /v1/release/{id}     download a release artifact
+//	GET  /v1/jobs/{id}        poll an async release job
 //	GET  /v1/query/{node}     quantiles, k-th largest, top-coded, Gini
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text metrics
 //
 // Example session:
 //
-//	hcoc-serve -addr :8080 &
-//	curl -s localhost:8080/v1/hierarchy -d '{"root":"US","groups":[{"path":["CA"],"size":3}]}'
-//	curl -s localhost:8080/v1/release -d '{"hierarchy":"h-...","epsilon":1}'
+//	hcoc-serve -addr :8080 -data-dir /var/lib/hcoc &
+//	curl -s localhost:8080/v1/hierarchy -H 'Content-Type: application/json' \
+//	    -d '{"root":"US","groups":[{"path":["CA"],"size":3}]}'
+//	curl -s localhost:8080/v1/release -H 'Content-Type: application/json' \
+//	    -d '{"hierarchy":"h-...","epsilon":1}'
 //	curl -s 'localhost:8080/v1/query/US/CA?release=r-...&q=0.5'
 package main
 
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"hcoc/internal/engine"
+	"hcoc/internal/store"
 )
 
 func main() {
@@ -43,19 +52,40 @@ func main() {
 		workers = flag.Int("workers", 0, "default release parallelism (0 = GOMAXPROCS); requests may override")
 		cache   = flag.Int("cache", engine.DefaultCacheSize, "completed releases kept in the LRU cache")
 		cacheMB = flag.Int64("cache-mb", 0, "byte budget for the release cache in MiB, accounted by runs actually held (0 = count bound only); see the README memory-footprint section for sizing")
+		dataDir = flag.String("data-dir", "", "directory for the durable release store; empty = memory only (artifacts and budget state are lost on restart)")
+		maxEps  = flag.Float64("max-epsilon-per-hierarchy", 0, "cumulative epsilon bound per hierarchy across all computed releases (0 = unenforced); cache/store hits are free, and with -data-dir the spend survives restarts")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *cache, *cacheMB<<20); err != nil {
+	if err := run(*addr, *workers, *cache, *cacheMB<<20, *dataDir, *maxEps); err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cache int, cacheBytes int64) error {
-	eng := engine.New(engine.Options{CacheSize: cache, CacheBytes: cacheBytes, Workers: workers})
+func run(addr string, workers, cache int, cacheBytes int64, dataDir string, maxEps float64) error {
+	var st *store.Store
+	if dataDir != "" {
+		var err error
+		if st, err = store.Open(dataDir); err != nil {
+			return err
+		}
+		defer st.Close()
+		fmt.Printf("hcoc-serve: durable store at %s (%d releases)\n", dataDir, st.Len())
+	}
+	eng := engine.New(engine.Options{
+		CacheSize:              cache,
+		CacheBytes:             cacheBytes,
+		Workers:                workers,
+		Store:                  st,
+		MaxEpsilonPerHierarchy: maxEps,
+	})
+	handler, err := NewServer(eng, st)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           NewServer(eng),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Bound the whole request read so a trickled body cannot pin a
 		// connection forever. WriteTimeout stays 0: release computations

@@ -2,16 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"hcoc"
 	"hcoc/internal/engine"
+	"hcoc/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; a group record is tens of bytes,
@@ -25,10 +29,15 @@ const maxHierarchies = 128
 
 // Server is the HTTP front end over the release engine. Hierarchies are
 // uploaded once and addressed by content fingerprint; releases are
-// cached and addressed by release key.
+// cached and addressed by release key. With a durable store, both
+// survive restarts: hierarchies and completed releases are reloaded
+// from disk on boot.
 type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+	eng     *engine.Engine
+	st      *store.Store // nil = memory only
+	jobs    *engine.Jobs
+	mux     *http.ServeMux
+	maxBody int64
 
 	mu       sync.RWMutex
 	trees    map[string]*storedTree
@@ -40,27 +49,73 @@ type storedTree struct {
 	fp   string
 }
 
-// NewServer wires the routes over an engine.
-func NewServer(eng *engine.Engine) *Server {
+// NewServer wires the routes over an engine and an optional durable
+// store. With a store, persisted hierarchies are rebuilt immediately so
+// releases and queries work across restarts without re-uploading.
+func NewServer(eng *engine.Engine, st *store.Store) (*Server, error) {
 	s := &Server{
 		eng:      eng,
+		st:       st,
+		jobs:     engine.NewJobs(0),
 		mux:      http.NewServeMux(),
+		maxBody:  maxBodyBytes,
 		trees:    make(map[string]*storedTree),
 		maxTrees: maxHierarchies,
 	}
 	s.mux.HandleFunc("POST /v1/hierarchy", s.handleHierarchy)
 	s.mux.HandleFunc("GET /v1/hierarchy", s.handleListHierarchies)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("GET /v1/release", s.handleListReleases)
 	s.mux.HandleFunc("GET /v1/release/{id}", s.handleGetRelease)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/query/{node...}", s.handleQuery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	if err := s.loadHierarchies(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadHierarchies warm-starts the uploaded-tree table from the store.
+// A persisted hierarchy whose rebuilt tree no longer matches its
+// fingerprint is corrupt and refuses the boot rather than silently
+// serving a different dataset.
+func (s *Server) loadHierarchies() error {
+	if s.st == nil {
+		return nil
+	}
+	recs, err := s.st.Hierarchies()
+	if err != nil {
+		return err
+	}
+	for i, rec := range recs {
+		if len(s.trees) >= s.maxTrees {
+			// Loudly name what is being left behind: these hierarchies
+			// stay on disk (with their artifacts and budget spend) but
+			// are unreachable until the cap is raised.
+			fmt.Printf("hcoc-serve: hierarchy table full (%d); %d persisted hierarchies not loaded:\n", s.maxTrees, len(recs)-i)
+			for _, dropped := range recs[i:] {
+				fmt.Printf("hcoc-serve:   not loaded: h-%s\n", dropped.Fingerprint)
+			}
+			break
+		}
+		tree, err := hcoc.BuildHierarchy(rec.Root, rec.Groups)
+		if err != nil {
+			return fmt.Errorf("rebuilding hierarchy %s: %w", rec.Fingerprint, err)
+		}
+		fp := engine.FingerprintTree(tree)
+		if fp != rec.Fingerprint {
+			return fmt.Errorf("hierarchy %s rebuilt with fingerprint %s; data dir is corrupt", rec.Fingerprint, fp)
+		}
+		s.trees["h-"+fp] = &storedTree{tree: tree, fp: fp}
+	}
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -79,6 +134,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON parses a POST body into v, writing the precise failure
+// status itself: 415 for a non-JSON Content-Type, 413 when the body
+// overran the MaxBytesReader bound (which would otherwise surface as a
+// generic parse error), 400 for malformed JSON. It reports whether the
+// handler should proceed.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	// An absent Content-Type is accepted as JSON — the API has exactly
+	// one body format — but an explicit wrong one is a client bug worth
+	// naming.
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && mt != "text/json") {
+			writeError(w, http.StatusUnsupportedMediaType,
+				"unsupported Content-Type %q; send application/json", ct)
+			return false
+		}
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return false
+	}
+	return true
 }
 
 // groupRecord is the JSON shape of one group in a hierarchy upload.
@@ -104,8 +189,7 @@ type hierarchyResponse struct {
 
 func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 	var req hierarchyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Root == "" {
@@ -144,6 +228,14 @@ func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	// Persist the upload so a restart can rebuild the tree; a storage
+	// failure degrades durability, not the upload itself.
+	if s.st != nil {
+		if err := s.st.PutHierarchy(fp, req.Root, groups); err != nil {
+			fmt.Printf("hcoc-serve: persisting hierarchy %s: %v\n", fp, err)
+		}
+	}
+
 	writeJSON(w, http.StatusOK, hierarchyResponse{
 		ID:     id,
 		Depth:  tree.Depth(),
@@ -170,7 +262,9 @@ func (s *Server) handleListHierarchies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// releaseRequest is the body of POST /v1/release.
+// releaseRequest is the body of POST /v1/release. With "async": true
+// the request returns 202 Accepted immediately with a job id; poll
+// GET /v1/jobs/{id} for completion.
 type releaseRequest struct {
 	Hierarchy string   `json:"hierarchy"`
 	Algorithm string   `json:"algorithm"`
@@ -180,6 +274,7 @@ type releaseRequest struct {
 	Merge     string   `json:"merge"`
 	Seed      int64    `json:"seed"`
 	Workers   int      `json:"workers"`
+	Async     bool     `json:"async"`
 }
 
 // releaseResponse describes how a release request was satisfied.
@@ -190,8 +285,37 @@ type releaseResponse struct {
 	Epsilon    float64 `json:"epsilon"`
 	Nodes      int     `json:"nodes"`
 	CacheHit   bool    `json:"cache_hit"`
+	StoreHit   bool    `json:"store_hit"`
 	Deduped    bool    `json:"deduped"`
 	DurationMS float64 `json:"duration_ms"`
+}
+
+// budgetResponse is the 429 body when a release would exceed the
+// per-hierarchy epsilon bound; remaining_epsilon tells the client what
+// it could still afford.
+type budgetResponse struct {
+	Error                  string  `json:"error"`
+	Hierarchy              string  `json:"hierarchy"`
+	RequestedEpsilon       float64 `json:"requested_epsilon"`
+	RemainingEpsilon       float64 `json:"remaining_epsilon"`
+	MaxEpsilonPerHierarchy float64 `json:"max_epsilon_per_hierarchy"`
+}
+
+// writeReleaseError maps a failed release to its status: budget
+// exhaustion is 429 with the remaining budget, everything else 500.
+func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
+	var be *engine.BudgetError
+	if errors.As(err, &be) {
+		writeJSON(w, http.StatusTooManyRequests, budgetResponse{
+			Error:                  err.Error(),
+			Hierarchy:              "h-" + be.Hierarchy,
+			RequestedEpsilon:       be.Requested,
+			RemainingEpsilon:       be.Remaining,
+			MaxEpsilonPerHierarchy: be.Limit,
+		})
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "release failed: %v", err)
 }
 
 func parseMethods(names []string) ([]hcoc.Method, error) {
@@ -224,8 +348,7 @@ func parseMerge(name string) (hcoc.MergeStrategy, error) {
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	var req releaseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	s.mu.RLock()
@@ -259,19 +382,41 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.eng.Release(r.Context(), st.tree, st.fp, alg, hcoc.Options{
+	opts := hcoc.Options{
 		Epsilon: req.Epsilon,
 		K:       req.K,
 		Methods: methods,
 		Merge:   merge,
 		Seed:    req.Seed,
 		Workers: req.Workers,
-	})
+	}
+
+	if req.Async {
+		// Detach from the request: the job runs under the background
+		// context and outlives this connection.
+		job, err := s.jobs.Submit(func() (engine.Result, error) {
+			return s.eng.Release(context.Background(), st.tree, st.fp, alg, opts)
+		})
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/j-"+job.ID)
+		writeJSON(w, http.StatusAccepted, jobResponse{
+			Job:       "j-" + job.ID,
+			Status:    string(job.State),
+			Hierarchy: req.Hierarchy,
+			CreatedAt: job.Created.UTC().Format(time.RFC3339Nano),
+		})
+		return
+	}
+
+	res, err := s.eng.Release(r.Context(), st.tree, st.fp, alg, opts)
 	if err != nil {
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
 			return // client went away
 		}
-		writeError(w, http.StatusInternalServerError, "release failed: %v", err)
+		s.writeReleaseError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, releaseResponse{
@@ -281,9 +426,95 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		Epsilon:    req.Epsilon,
 		Nodes:      len(res.Release),
 		CacheHit:   res.CacheHit,
+		StoreHit:   res.StoreHit,
 		Deduped:    res.Deduped,
 		DurationMS: float64(res.Duration.Microseconds()) / 1000,
 	})
+}
+
+// jobResponse is the JSON shape of an async release job.
+type jobResponse struct {
+	Job        string  `json:"job"`
+	Status     string  `json:"status"`
+	Hierarchy  string  `json:"hierarchy,omitempty"`
+	Release    string  `json:"release,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	CacheHit   bool    `json:"cache_hit"`
+	StoreHit   bool    `json:"store_hit"`
+	Deduped    bool    `json:"deduped"`
+	DurationMS float64 `json:"duration_ms"`
+	CreatedAt  string  `json:"created_at,omitempty"`
+	StartedAt  string  `json:"started_at,omitempty"`
+	FinishedAt string  `json:"finished_at,omitempty"`
+}
+
+// jobID strips the "j-" prefix job ids are served with.
+func jobID(id string) string {
+	if len(id) > 2 && id[:2] == "j-" {
+		return id[2:]
+	}
+	return id
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(jobID(r.PathValue("id")))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job; it may have been evicted after completion")
+		return
+	}
+	resp := jobResponse{
+		Job:        "j-" + j.ID,
+		Status:     string(j.State),
+		Error:      j.Err,
+		CacheHit:   j.CacheHit,
+		StoreHit:   j.StoreHit,
+		Deduped:    j.Deduped,
+		DurationMS: float64(j.Duration.Microseconds()) / 1000,
+		CreatedAt:  j.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if j.Key != "" {
+		resp.Release = "r-" + j.Key
+	}
+	if !j.Started.IsZero() {
+		resp.StartedAt = j.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.Finished.IsZero() {
+		resp.FinishedAt = j.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// releaseListEntry is one durable artifact in GET /v1/release.
+type releaseListEntry struct {
+	Release    string    `json:"release"`
+	Hierarchy  string    `json:"hierarchy"`
+	Algorithm  string    `json:"algorithm"`
+	Epsilon    float64   `json:"epsilon"`
+	CostBytes  int64     `json:"cost_bytes"`
+	DurationMS float64   `json:"duration_ms"`
+	CreatedAt  time.Time `json:"created_at"`
+}
+
+// handleListReleases lists the durable artifacts: what survives a
+// restart. Without a data dir the list is empty — in-memory cache
+// entries are intentionally excluded, they are an eviction away from
+// gone.
+func (s *Server) handleListReleases(w http.ResponseWriter, r *http.Request) {
+	out := []releaseListEntry{}
+	if s.st != nil {
+		for _, m := range s.st.List() {
+			out = append(out, releaseListEntry{
+				Release:    "r-" + m.Key,
+				Hierarchy:  "h-" + m.Hierarchy,
+				Algorithm:  m.Algorithm,
+				Epsilon:    m.Epsilon,
+				CostBytes:  m.CostBytes,
+				DurationMS: m.DurationMS,
+				CreatedAt:  m.CreatedAt,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // releaseID strips the "r-" prefix release keys are served with.
@@ -295,9 +526,11 @@ func releaseID(id string) string {
 }
 
 func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
+	// Sparse reads through both tiers: the LRU first, then the durable
+	// store (admitting a hit back into the LRU).
 	rel, epsilon, err := s.eng.Sparse(releaseID(r.PathValue("id")))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
+		writeError(w, http.StatusNotFound, "release not cached or stored; POST /v1/release to (re)compute it")
 		return
 	}
 	// The run-length v2 artifact is the default — it is what the cache
@@ -434,6 +667,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("hcoc_cache_budget_bytes", "Byte budget of the release cache (0 = unbudgeted).", m.CacheBudgetBytes)
 	put("hcoc_cache_runs", "Total histogram runs held across cached releases.", m.CacheRuns)
 	put("hcoc_cache_evictions_total", "Completed releases evicted by the LRU.", m.Evictions)
+	put("hcoc_store_hits_total", "Reads served from the durable store without recomputation.", m.StoreHits)
+	put("hcoc_store_puts_total", "Releases written through to the durable store.", m.StorePuts)
+	put("hcoc_store_errors_total", "Failed durable-store reads/writes (request still served).", m.StoreErrors)
+	put("hcoc_store_artifacts", "Releases held by the durable store.", m.StoreArtifacts)
+	put("hcoc_epsilon_spent_total", "Cumulative epsilon of actual computations across hierarchies.", m.EpsilonSpent)
+	put("hcoc_epsilon_limit_per_hierarchy", "Configured per-hierarchy epsilon bound (0 = unenforced).", m.EpsilonLimit)
+	put("hcoc_jobs", "Async release jobs currently retained.", s.jobs.Len())
 	put("hcoc_releases_total", "Completed release computations.", m.Releases)
 	put("hcoc_inflight_releases", "Release computations running now.", m.InFlight)
 	put("hcoc_queries_total", "Node query reads served.", m.Queries)

@@ -9,17 +9,34 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"hcoc"
 	"hcoc/internal/dataset"
 	"hcoc/internal/engine"
+	"hcoc/internal/store"
 )
 
 func newTestServer(t *testing.T, opts engine.Options) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(NewServer(engine.New(opts)))
+	srv, err := NewServer(engine.New(opts), opts.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// openStore opens a durable store over dir and arranges its closure.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
 }
 
 // taxiGroups generates a small synthetic taxi workload, the paper's
@@ -338,7 +355,10 @@ func TestServeErrors(t *testing.T) {
 // rejects new hierarchies at capacity while staying idempotent for
 // already-stored ones.
 func TestServeHierarchyStoreBounded(t *testing.T) {
-	srv := NewServer(engine.New(engine.Options{}))
+	srv, err := NewServer(engine.New(engine.Options{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv.maxTrees = 1
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
@@ -353,6 +373,288 @@ func TestServeHierarchyStoreBounded(t *testing.T) {
 	}, nil)
 	if status != http.StatusInsufficientStorage {
 		t.Fatalf("upload past capacity: status %d (%s), want 507", status, body)
+	}
+}
+
+// TestServeRestartDurability is the acceptance path for the durable
+// store: a release computed before a server restart is served after it
+// — artifact download, node queries, and an identical POST /v1/release
+// — from disk, without recomputation.
+func TestServeRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := NewServer(engine.New(engine.Options{Store: st1}), st1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	hr := uploadGroups(t, ts1, "US", smallGroups())
+	var first releaseResponse
+	req := releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 11}
+	if status, body := postJSON(t, ts1.URL+"/v1/release", req, &first); status != http.StatusOK {
+		t.Fatalf("release: status %d: %s", status, body)
+	}
+	var query1 queryResponse
+	if status, body := getJSON(t, ts1.URL+"/v1/query/US/CA?release="+first.Release+"&q=0.5", &query1); status != http.StatusOK {
+		t.Fatalf("query: status %d: %s", status, body)
+	}
+	// "Kill" the first server.
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh engine, fresh server, same data dir.
+	st2 := openStore(t, dir)
+	srv2, err := NewServer(engine.New(engine.Options{Store: st2}), st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(ts2.Close)
+
+	// The hierarchy survived: listed, and usable without re-upload.
+	var hierarchies []hierarchyResponse
+	if status, body := getJSON(t, ts2.URL+"/v1/hierarchy", &hierarchies); status != http.StatusOK {
+		t.Fatalf("list hierarchies: status %d: %s", status, body)
+	}
+	if len(hierarchies) != 1 || hierarchies[0].ID != hr.ID {
+		t.Fatalf("hierarchies after restart = %+v, want %s", hierarchies, hr.ID)
+	}
+
+	// The artifact is listed as durable.
+	var artifacts []releaseListEntry
+	if status, body := getJSON(t, ts2.URL+"/v1/release", &artifacts); status != http.StatusOK {
+		t.Fatalf("list releases: status %d: %s", status, body)
+	}
+	if len(artifacts) != 1 || artifacts[0].Release != first.Release || artifacts[0].Hierarchy != hr.ID {
+		t.Fatalf("artifacts after restart = %+v", artifacts)
+	}
+
+	// An identical release request is a store hit: no recomputation.
+	// (Probed first: any artifact or query read would admit the stored
+	// release into the fresh LRU and turn this into a cache hit.)
+	var again releaseResponse
+	if status, body := postJSON(t, ts2.URL+"/v1/release", req, &again); status != http.StatusOK {
+		t.Fatalf("release after restart: status %d: %s", status, body)
+	}
+	if !again.StoreHit || again.CacheHit {
+		t.Fatalf("release after restart: store_hit=%v cache_hit=%v, want a store hit", again.StoreHit, again.CacheHit)
+	}
+	if again.Release != first.Release {
+		t.Fatalf("release key changed across restart: %q vs %q", again.Release, first.Release)
+	}
+
+	// The artifact downloads from disk and decodes.
+	resp, err := http.Get(ts2.URL + "/v1/release/" + first.Release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact after restart: status %d", resp.StatusCode)
+	}
+	if _, _, err := hcoc.ReadRelease(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries serve from disk with the same answers.
+	var query2 queryResponse
+	if status, body := getJSON(t, ts2.URL+"/v1/query/US/CA?release="+first.Release+"&q=0.5", &query2); status != http.StatusOK {
+		t.Fatalf("query after restart: status %d: %s", status, body)
+	}
+	if query2.Median != query1.Median || query2.Groups != query1.Groups {
+		t.Fatalf("post-restart query %+v differs from pre-restart %+v", query2, query1)
+	}
+
+	metrics, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	raw, _ := io.ReadAll(metrics.Body)
+	for _, want := range []string{"hcoc_releases_total 0", "hcoc_store_artifacts 1"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics after restart missing %q", want)
+		}
+	}
+}
+
+// TestServeAsyncJob drives the async lifecycle: 202 with a job id,
+// polling to done, then querying the completed release.
+func TestServeAsyncJob(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	hr := uploadGroups(t, ts, "US", smallGroups())
+
+	var accepted jobResponse
+	req := releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 5, Async: true}
+	status, body := postJSON(t, ts.URL+"/v1/release", req, nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("async release: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal([]byte(body), &accepted); err != nil {
+		t.Fatalf("parsing 202 body %q: %v", body, err)
+	}
+	if accepted.Job == "" || !strings.HasPrefix(accepted.Job, "j-") {
+		t.Fatalf("202 body has no job id: %+v", accepted)
+	}
+	if accepted.Status != "queued" && accepted.Status != "running" {
+		t.Fatalf("202 status = %q", accepted.Status)
+	}
+
+	var done jobResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if status, body := getJSON(t, ts.URL+"/v1/jobs/"+accepted.Job, &done); status != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", status, body)
+		}
+		if done.Status == "done" || done.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", done.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if done.Status != "done" || done.Release == "" || done.Error != "" {
+		t.Fatalf("finished job = %+v", done)
+	}
+	if done.FinishedAt == "" || done.StartedAt == "" {
+		t.Fatalf("job missing timestamps: %+v", done)
+	}
+
+	// The job's release key answers queries.
+	var qr queryResponse
+	if status, body := getJSON(t, ts.URL+"/v1/query/US/CA?release="+done.Release+"&q=0.5", &qr); status != http.StatusOK {
+		t.Fatalf("query of async release: status %d: %s", status, body)
+	}
+	if qr.Groups == 0 {
+		t.Fatal("async release served an empty node")
+	}
+	// A sync repeat of the same request is now a cache hit.
+	sync := releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 5}
+	var rr releaseResponse
+	if status, body := postJSON(t, ts.URL+"/v1/release", sync, &rr); status != http.StatusOK {
+		t.Fatalf("sync repeat: status %d: %s", status, body)
+	}
+	if !rr.CacheHit || "r-"+strings.TrimPrefix(done.Release, "r-") != rr.Release {
+		t.Fatalf("sync repeat: %+v vs job release %q", rr, done.Release)
+	}
+
+	if status, _ := getJSON(t, ts.URL+"/v1/jobs/j-doesnotexist", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", status)
+	}
+}
+
+// TestServeBudgetExhaustion: releases beyond the per-hierarchy epsilon
+// bound get 429 with the machine-readable remaining budget; cache hits
+// stay free.
+func TestServeBudgetExhaustion(t *testing.T) {
+	ts := newTestServer(t, engine.Options{MaxEpsilonPerHierarchy: 1.5})
+	hr := uploadGroups(t, ts, "US", smallGroups())
+
+	var first releaseResponse
+	if status, body := postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 1}, &first); status != http.StatusOK {
+		t.Fatalf("first release: status %d: %s", status, body)
+	}
+	// Identical request: cache hit, free, still 200.
+	if status, body := postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 1}, nil); status != http.StatusOK {
+		t.Fatalf("cache-hit release: status %d: %s", status, body)
+	}
+	// A distinct computation needing 1.0 with 0.5 left: 429.
+	status, body := postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 2}, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-budget release: status %d: %s", status, body)
+	}
+	var br budgetResponse
+	if err := json.Unmarshal([]byte(body), &br); err != nil {
+		t.Fatalf("parsing 429 body %q: %v", body, err)
+	}
+	if br.Hierarchy != hr.ID || br.RequestedEpsilon != 1 || br.MaxEpsilonPerHierarchy != 1.5 {
+		t.Fatalf("429 body = %+v", br)
+	}
+	if br.RemainingEpsilon < 0.49 || br.RemainingEpsilon > 0.51 {
+		t.Fatalf("remaining epsilon = %g, want 0.5", br.RemainingEpsilon)
+	}
+	// A request within the remaining budget still works.
+	if status, body := postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 0.5, K: 50, Seed: 3}, nil); status != http.StatusOK {
+		t.Fatalf("within-budget release: status %d: %s", status, body)
+	}
+}
+
+// TestServeBodyStatuses: an overlong body is 413, not a generic parse
+// error; a non-JSON Content-Type is 415; an absent Content-Type is
+// accepted.
+func TestServeBodyStatuses(t *testing.T) {
+	srv, err := NewServer(engine.New(engine.Options{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.maxBody = 256
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Valid JSON that outgrows the limit mid-value, so the decoder hits
+	// the MaxBytesReader bound rather than a syntax error.
+	big := []byte(`{"root":"` + strings.Repeat("a", 512) + `"}`)
+	resp, err := http.Post(ts.URL+"/v1/hierarchy", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d (%s), want 413", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "error") {
+		t.Fatalf("413 body has no error field: %s", body)
+	}
+
+	for _, url := range []string{ts.URL + "/v1/hierarchy", ts.URL + "/v1/release"} {
+		resp, err := http.Post(url, "text/csv", strings.NewReader(`{"root":"US"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("%s with text/csv: status %d, want 415", url, resp.StatusCode)
+		}
+	}
+
+	// No Content-Type at all: treated as JSON.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/hierarchy",
+		strings.NewReader(`{"root":"US","groups":[{"path":["CA"],"size":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("missing Content-Type: status %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestServeListReleasesWithoutStore: a memory-only server lists an
+// empty durable set, not its LRU.
+func TestServeListReleasesWithoutStore(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	hr := uploadGroups(t, ts, "US", smallGroups())
+	if status, body := postJSON(t, ts.URL+"/v1/release", releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50}, nil); status != http.StatusOK {
+		t.Fatalf("release: status %d: %s", status, body)
+	}
+	var artifacts []releaseListEntry
+	if status, body := getJSON(t, ts.URL+"/v1/release", &artifacts); status != http.StatusOK {
+		t.Fatalf("list: status %d: %s", status, body)
+	}
+	if len(artifacts) != 0 {
+		t.Fatalf("memory-only server lists %d durable artifacts", len(artifacts))
 	}
 }
 

@@ -3,9 +3,15 @@
 // computation from cheap repeated query serving: release requests are
 // fingerprinted by (tree, algorithm, options), identical in-flight
 // computations are deduplicated so a burst of equal requests costs one
-// run of Algorithm 1, completed releases are held in a bounded LRU, and
-// the post-processing queries of the hcoc package are answered as reads
-// against that cache at no additional privacy cost.
+// run of Algorithm 1, completed releases are held in a bounded LRU
+// backed by an optional durable store (internal/store), and the
+// post-processing queries of the hcoc package are answered as reads
+// against those tiers at no additional privacy cost. When a
+// per-hierarchy epsilon bound is configured, every actual computation
+// is charged against a privacy.Accountant keyed by hierarchy
+// fingerprint; cache hits, store hits and deduplicated requests are
+// free, and the ledger is replayed from the store's manifest on a warm
+// start so restarts cannot reset the spend.
 package engine
 
 import (
@@ -17,6 +23,8 @@ import (
 	"time"
 
 	"hcoc"
+	"hcoc/internal/privacy"
+	"hcoc/internal/store"
 )
 
 // Options configures an Engine.
@@ -40,6 +48,16 @@ type Options struct {
 	// at once; further distinct requests queue for a slot (identical
 	// ones coalesce regardless). 0 means GOMAXPROCS, minimum 2.
 	MaxConcurrent int
+	// Store, when non-nil, is the durable tier under the LRU: completed
+	// releases are written through to it, cache misses consult it
+	// before recomputing, and its manifest seeds the per-hierarchy
+	// budget ledger on construction.
+	Store *store.Store
+	// MaxEpsilonPerHierarchy, when positive, bounds the cumulative
+	// epsilon of actual release computations per hierarchy fingerprint.
+	// A request that would exceed it fails with a *BudgetError. Cache
+	// hits, store hits and coalesced duplicates spend nothing.
+	MaxEpsilonPerHierarchy float64
 }
 
 // DefaultCacheSize is the default LRU capacity in completed releases.
@@ -80,9 +98,29 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	}
 }
 
-// ErrNotCached reports a query against a release key that is not (or no
-// longer) in the cache; the caller should run the release again.
+// ErrNotCached reports a query against a release key that is neither in
+// the cache nor in the durable store; the caller should run the release
+// again.
 var ErrNotCached = errors.New("engine: release not cached")
+
+// BudgetError reports a release refused because it would push a
+// hierarchy past its epsilon bound. The fields give a client everything
+// it needs to adapt: what it asked for, what is left, and the bound.
+type BudgetError struct {
+	// Hierarchy is the tree fingerprint whose budget is exhausted.
+	Hierarchy string
+	// Requested is the epsilon the refused computation asked for.
+	Requested float64
+	// Remaining is the epsilon still spendable for this hierarchy.
+	Remaining float64
+	// Limit is the configured per-hierarchy bound.
+	Limit float64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("engine: hierarchy %s would exceed its privacy budget: requested epsilon %g, remaining %g of %g",
+		e.Hierarchy, e.Requested, e.Remaining, e.Limit)
+}
 
 // cached is one completed release held by the LRU, in run-length form:
 // a cached release costs memory proportional to the runs it holds, not
@@ -93,14 +131,28 @@ type cached struct {
 	algorithm Algorithm
 	duration  time.Duration // of the computation that produced it
 	cost      int64         // CostBytes of release, fixed at admission
+	fromStore bool          // revived from the durable store, not computed
 }
 
-// call is one in-flight release computation; duplicate requests wait on
-// done instead of recomputing.
+// call is one in-flight release computation. The computation runs in
+// its own goroutine, detached from any single request: every interested
+// request (the creator and coalesced duplicates alike) is a waiter, and
+// the computation is abandoned only when every waiter has gone — one
+// client hanging up must not fail the others.
 type call struct {
 	done  chan struct{}
 	value *cached
 	err   error
+
+	// abandoned is closed (under Engine.mu, at most once) when waiters
+	// drops to zero before a compute slot was acquired; the runner then
+	// gives up its queue spot instead of computing for nobody.
+	abandoned chan struct{}
+
+	// The remaining fields are guarded by Engine.mu.
+	waiters       int
+	computing     bool // slot acquired; the computation can no longer be abandoned
+	abandonedSent bool
 }
 
 // Engine is safe for concurrent use.
@@ -110,18 +162,31 @@ type Engine struct {
 	// identical requests, this caps the distinct ones.
 	sem chan struct{}
 
+	store    *store.Store // nil = memory only
+	epsLimit float64      // 0 = unenforced
+
 	mu       sync.Mutex
 	cache    *lruCache
 	inflight map[string]*call
 
+	// Per-hierarchy privacy spend, guarded by mu. epsSpent is the true
+	// cumulative epsilon of every computation (including historical ones
+	// replayed from the store manifest); accts enforces epsLimit when
+	// one is set.
+	epsSpent map[string]float64
+	accts    map[string]*privacy.Accountant
+
 	// counters, guarded by mu
-	hits, misses, deduped uint64
-	evictions, releases   uint64
-	queries               uint64
-	releaseTotal, lastDur time.Duration
+	hits, misses, deduped            uint64
+	storeHits, storePuts, storeFails uint64
+	evictions, releases              uint64
+	queries                          uint64
+	releaseTotal, lastDur            time.Duration
 }
 
-// New creates an engine with the given options.
+// New creates an engine with the given options. When Options.Store is
+// set, the manifest's historical spend is replayed into the budget
+// ledger so a restart resumes enforcement where it left off.
 func New(opts Options) *Engine {
 	size := opts.CacheSize
 	if size <= 0 {
@@ -134,12 +199,40 @@ func New(opts Options) *Engine {
 			concurrent = 2
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		workers:  opts.Workers,
 		sem:      make(chan struct{}, concurrent),
+		store:    opts.Store,
+		epsLimit: opts.MaxEpsilonPerHierarchy,
 		cache:    newLRU(size, opts.CacheBytes),
 		inflight: make(map[string]*call),
+		epsSpent: make(map[string]float64),
+		accts:    make(map[string]*privacy.Accountant),
 	}
+	if e.store != nil {
+		for fp, spent := range e.store.EpsilonByHierarchy() {
+			if spent <= 0 {
+				continue
+			}
+			e.epsSpent[fp] = spent
+			if e.epsLimit > 0 {
+				a, err := privacy.NewAccountant(e.epsLimit)
+				if err != nil {
+					continue
+				}
+				if err := a.Spend("warm-start", spent); err != nil {
+					// Historical spend exceeds the (possibly lowered)
+					// bound: pin the ledger to zero remaining rather
+					// than failing the boot — the budget stays closed.
+					if rem := a.Remaining(); rem > 0 {
+						_ = a.Spend("warm-start", rem)
+					}
+				}
+				e.accts[fp] = a
+			}
+		}
+	}
+	return e
 }
 
 // Result describes how a release request was satisfied.
@@ -151,19 +244,39 @@ type Result struct {
 	// CacheHit reports the request was answered from the LRU without
 	// any computation.
 	CacheHit bool
+	// StoreHit reports the request was answered from the durable store
+	// without recomputation (and without privacy spend).
+	StoreHit bool
 	// Deduped reports the request piggybacked on an identical in-flight
 	// computation started by an earlier request.
 	Deduped bool
 	// Duration is the wall time of the computation that produced the
-	// release (zero for cache hits).
+	// release (zero for cache hits; for store hits, the recorded wall
+	// time of the original computation).
 	Duration time.Duration
 }
 
 // Release satisfies a release request: from the cache if an identical
 // release completed recently, by waiting on an identical in-flight
-// computation if one is running, and by computing otherwise. treeFP
-// must be FingerprintTree(tree); pass "" to have it computed here.
+// computation if one is running, from the durable store if a past run
+// (possibly before a restart) persisted it, and by computing otherwise.
+// treeFP must be FingerprintTree(tree); pass "" to have it computed
+// here.
+//
+// The computation itself is detached from the requesting context: a
+// request that cancels while waiting stops waiting, but the computation
+// keeps running as long as any other coalesced request still wants it
+// (and, once it holds a compute slot, runs to completion and populates
+// the cache regardless — the work is already paid for).
 func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, alg Algorithm, opts hcoc.Options) (Result, error) {
+	// Reject a methods list of the wrong length before keying:
+	// canonicalMethods collapses uniform lists to their broadcast
+	// spelling, which is only the same release when the list would have
+	// validated — an invalid request must not share a key (and thus a
+	// cache entry or coalesced error) with a valid one.
+	if n := len(opts.Methods); n > 1 && n != tree.Depth() {
+		return Result{}, fmt.Errorf("engine: got %d methods for %d levels", n, tree.Depth())
+	}
 	if treeFP == "" {
 		treeFP = FingerprintTree(tree)
 	}
@@ -175,54 +288,257 @@ func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, al
 		e.mu.Unlock()
 		return Result{Key: key, Release: v.release, CacheHit: true}, nil
 	}
-	if c, ok := e.inflight[key]; ok {
+	c, joined := e.inflight[key]
+	if joined {
 		e.deduped++
-		e.mu.Unlock()
-		select {
-		case <-c.done:
-		case <-ctx.Done():
-			return Result{}, ctx.Err()
-		}
-		if c.err != nil {
-			return Result{}, c.err
-		}
-		return Result{Key: key, Release: c.value.release, Deduped: true, Duration: c.value.duration}, nil
+		c.waiters++
+	} else {
+		c = &call{done: make(chan struct{}), abandoned: make(chan struct{}), waiters: 1}
+		e.inflight[key] = c
+		e.misses++
+		go e.run(key, treeFP, c, tree, alg, opts)
 	}
-	c := &call{done: make(chan struct{})}
-	e.inflight[key] = c
-	e.misses++
 	e.mu.Unlock()
 
-	// Wait for a compute slot; duplicate requests arriving meanwhile
-	// coalesce onto this call rather than queueing for their own slot.
 	select {
-	case e.sem <- struct{}{}:
+	case <-c.done:
 	case <-ctx.Done():
-		c.err = ctx.Err()
-		e.mu.Lock()
-		delete(e.inflight, key)
-		e.mu.Unlock()
-		close(c.done)
-		return Result{}, c.err
+		e.leave(key, c)
+		return Result{}, ctx.Err()
 	}
-	c.value, c.err = e.compute(tree, alg, opts)
-	<-e.sem
-
-	e.mu.Lock()
-	delete(e.inflight, key)
-	if c.err == nil {
-		e.evictions += uint64(e.cache.add(key, c.value))
-		e.releases++
-		e.releaseTotal += c.value.duration
-		e.lastDur = c.value.duration
-	}
-	e.mu.Unlock()
-	close(c.done)
-
 	if c.err != nil {
 		return Result{}, c.err
 	}
-	return Result{Key: key, Release: c.value.release, Duration: c.value.duration}, nil
+	return Result{
+		Key:      key,
+		Release:  c.value.release,
+		StoreHit: c.value.fromStore,
+		Deduped:  joined,
+		Duration: c.value.duration,
+	}, nil
+}
+
+// leave unregisters one waiter from a call. The last waiter to leave a
+// call that has not yet started computing abandons it: the runner's
+// queue spot is released and the key is freed for future requests. A
+// call that is already computing is never abandoned — the result will
+// be cached for whoever asks next.
+func (e *Engine) leave(key string, c *call) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c.waiters--
+	if c.waiters > 0 || c.computing || c.abandonedSent || c.abandoned == nil {
+		return
+	}
+	c.abandonedSent = true
+	close(c.abandoned)
+	if e.inflight[key] == c {
+		delete(e.inflight, key)
+	}
+}
+
+// run drives one detached release computation: durable-store lookup
+// first (free), then a compute slot, the budget charge, and the
+// computation itself, publishing the outcome to every waiter.
+func (e *Engine) run(key, treeFP string, c *call, tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) {
+	if e.store != nil {
+		if v, ok := e.loadFromStore(key); ok {
+			e.finish(key, c, v, nil)
+			return
+		}
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-c.abandoned:
+		// Every waiter hung up before a slot freed; leave() already
+		// unregistered the call.
+		c.err = context.Canceled
+		close(c.done)
+		return
+	}
+	e.mu.Lock()
+	if c.abandonedSent {
+		// The last waiter left in the instant the slot freed (the
+		// select can pick either ready case). Nobody wants the result:
+		// give the slot back and spend nothing.
+		e.mu.Unlock()
+		<-e.sem
+		c.err = context.Canceled
+		close(c.done)
+		return
+	}
+	c.computing = true
+	e.mu.Unlock()
+
+	v, err := e.computeThrough(key, treeFP, tree, alg, opts)
+	<-e.sem
+	e.finish(key, c, v, err)
+}
+
+// finish publishes a call's outcome: cache admission and counters for
+// successes, then the broadcast to waiters.
+func (e *Engine) finish(key string, c *call, v *cached, err error) {
+	e.mu.Lock()
+	if e.inflight[key] == c {
+		delete(e.inflight, key)
+	}
+	if err == nil {
+		e.evictions += uint64(e.cache.add(key, v))
+		if v.fromStore {
+			e.storeHits++
+		} else {
+			e.releases++
+			e.releaseTotal += v.duration
+			e.lastDur = v.duration
+		}
+	}
+	e.mu.Unlock()
+	c.value = v
+	c.err = err
+	close(c.done)
+}
+
+// computeThrough charges the budget (in memory and, with a store,
+// write-ahead in the manifest), runs the release, and writes the result
+// through to the durable store.
+//
+// The ledger ordering is deliberate: the charge is durable BEFORE any
+// noise is drawn, so a crash mid-computation over-counts spend rather
+// than letting a restart forget it — and if the charge cannot be made
+// durable, the computation is refused outright. A failed computation
+// refunds its charge (no noise was drawn); a failed refund append
+// leaves the spend on the books, the conservative direction. A failed
+// artifact write after a successful computation does not fail the
+// request: the release is computed, charged, cached, and served; only
+// durability of the artifact is lost (and counted).
+func (e *Engine) computeThrough(key, treeFP string, tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) (*cached, error) {
+	// Nonpositive epsilon never reaches the ledger; the release's own
+	// validation rejects it with the canonical error.
+	charged := opts.Epsilon > 0
+	if charged {
+		if err := e.charge(treeFP, opts.Epsilon); err != nil {
+			return nil, err
+		}
+		if e.store != nil {
+			ledger := store.Meta{Key: key, Hierarchy: treeFP, Algorithm: alg.String(),
+				Epsilon: opts.Epsilon, CreatedAt: time.Now().UTC()}
+			if err := e.store.AppendCharge(ledger); err != nil {
+				e.refund(treeFP, opts.Epsilon)
+				e.mu.Lock()
+				e.storeFails++
+				e.mu.Unlock()
+				return nil, fmt.Errorf("engine: recording budget charge: %w", err)
+			}
+		}
+	}
+	v, err := e.compute(tree, alg, opts)
+	if err != nil {
+		if charged {
+			e.refund(treeFP, opts.Epsilon)
+			if e.store != nil {
+				ledger := store.Meta{Key: key, Hierarchy: treeFP, Algorithm: alg.String(),
+					Epsilon: opts.Epsilon, CreatedAt: time.Now().UTC()}
+				if rerr := e.store.AppendRefund(ledger); rerr != nil {
+					e.mu.Lock()
+					e.storeFails++
+					e.mu.Unlock()
+				}
+			}
+		}
+		return nil, err
+	}
+	if e.store != nil {
+		m := store.Meta{
+			Key:        key,
+			Hierarchy:  treeFP,
+			Algorithm:  alg.String(),
+			Epsilon:    v.epsilon,
+			CostBytes:  v.cost,
+			DurationMS: float64(v.duration.Microseconds()) / 1000,
+			CreatedAt:  time.Now().UTC(),
+		}
+		err := e.store.PutRelease(m, v.release)
+		e.mu.Lock()
+		if err != nil {
+			e.storeFails++
+		} else {
+			e.storePuts++
+		}
+		e.mu.Unlock()
+	}
+	return v, nil
+}
+
+// charge reserves epsilon for one computation against the hierarchy's
+// ledger. With no configured bound it only records the spend.
+func (e *Engine) charge(fp string, eps float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.epsLimit > 0 {
+		a := e.accts[fp]
+		if a == nil {
+			var err error
+			if a, err = privacy.NewAccountant(e.epsLimit); err != nil {
+				return err
+			}
+			e.accts[fp] = a
+		}
+		if err := a.Spend("release", eps); err != nil {
+			return &BudgetError{Hierarchy: fp, Requested: eps, Remaining: a.Remaining(), Limit: e.epsLimit}
+		}
+	}
+	e.epsSpent[fp] += eps
+	return nil
+}
+
+// refund returns a charge whose computation failed before drawing noise.
+func (e *Engine) refund(fp string, eps float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if a := e.accts[fp]; a != nil {
+		_ = a.Refund("release failed", eps)
+	}
+	if e.epsSpent[fp] -= eps; e.epsSpent[fp] <= 0 {
+		delete(e.epsSpent, fp)
+	}
+}
+
+// BudgetRemaining reports the epsilon still spendable for a hierarchy
+// fingerprint, and whether a bound is enforced at all.
+func (e *Engine) BudgetRemaining(fp string) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.epsLimit <= 0 {
+		return 0, false
+	}
+	if a := e.accts[fp]; a != nil {
+		return a.Remaining(), true
+	}
+	return e.epsLimit, true
+}
+
+// loadFromStore reads a persisted release into cache shape. Store read
+// failures other than absence are counted, not fatal: the engine can
+// always recompute.
+func (e *Engine) loadFromStore(key string) (*cached, bool) {
+	rel, m, err := e.store.GetRelease(key)
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			e.mu.Lock()
+			e.storeFails++
+			e.mu.Unlock()
+		}
+		return nil, false
+	}
+	alg, _ := ParseAlgorithm(m.Algorithm)
+	return &cached{
+		release:   rel,
+		epsilon:   m.Epsilon,
+		algorithm: alg,
+		duration:  time.Duration(m.DurationMS * float64(time.Millisecond)),
+		cost:      rel.CostBytes(),
+		fromStore: true,
+	}, true
 }
 
 // compute runs the selected release algorithm through the run-length
@@ -250,14 +566,37 @@ func (e *Engine) compute(tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) (*ca
 	}, nil
 }
 
-// Sparse returns the cached run-length release for key, marking it
-// recently used, together with the epsilon it was released under.
-func (e *Engine) Sparse(key string) (hcoc.SparseHistograms, float64, error) {
+// lookup finds a completed release by key: LRU first, then the durable
+// store, admitting a store hit into the LRU so repeated reads stay in
+// memory.
+func (e *Engine) lookup(key string) (*cached, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	v, ok := e.cache.get(key)
+	e.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	if e.store == nil {
+		return nil, ErrNotCached
+	}
+	v, ok = e.loadFromStore(key)
 	if !ok {
-		return nil, 0, ErrNotCached
+		return nil, ErrNotCached
+	}
+	e.mu.Lock()
+	e.storeHits++
+	e.evictions += uint64(e.cache.add(key, v))
+	e.mu.Unlock()
+	return v, nil
+}
+
+// Sparse returns the run-length release for key — from the LRU or the
+// durable store — marking it recently used, together with the epsilon
+// it was released under.
+func (e *Engine) Sparse(key string) (hcoc.SparseHistograms, float64, error) {
+	v, err := e.lookup(key)
+	if err != nil {
+		return nil, 0, err
 	}
 	return v.release, v.epsilon, nil
 }
@@ -312,20 +651,21 @@ type NodeReport struct {
 	TopCoded   hcoc.Histogram
 }
 
-// Query answers the post-processing queries for one node of a cached
-// release, as run scans against the sparse representation. It returns
-// ErrNotCached if the key has been evicted and an error naming the node
-// if the release has no such node. The always-computed statistics are
-// omitted (zero-valued) for a zero-group node, which the Groups field
-// makes unambiguous; explicitly requested statistics on such a node
-// surface hcoc.ErrEmptyHistogram instead of silent zeros.
+// Query answers the post-processing queries for one node of a completed
+// release, as run scans against the sparse representation, reading from
+// the LRU or the durable store. It returns ErrNotCached if the key is
+// in neither tier and an error naming the node if the release has no
+// such node. The always-computed statistics are omitted (zero-valued)
+// for a zero-group node, which the Groups field makes unambiguous;
+// explicitly requested statistics on such a node surface
+// hcoc.ErrEmptyHistogram instead of silent zeros.
 func (e *Engine) Query(key, node string, p QueryParams) (NodeReport, error) {
+	v, err := e.lookup(key)
 	e.mu.Lock()
-	v, ok := e.cache.get(key)
 	e.queries++
 	e.mu.Unlock()
-	if !ok {
-		return NodeReport{}, ErrNotCached
+	if err != nil {
+		return NodeReport{}, err
 	}
 	s, ok := v.release[node]
 	if !ok {
@@ -380,11 +720,23 @@ func (e *Engine) Query(key, node string, p QueryParams) (NodeReport, error) {
 type Metrics struct {
 	// CacheHits counts release requests answered from the LRU.
 	CacheHits uint64
-	// CacheMisses counts release requests that started a computation.
+	// CacheMisses counts release requests that missed the LRU and
+	// started a runner (which may still be satisfied by the store).
 	CacheMisses uint64
 	// Deduped counts release requests that piggybacked on an identical
 	// in-flight computation.
 	Deduped uint64
+	// StoreHits counts reads served from the durable store — revived
+	// releases that cost no computation and no privacy budget.
+	StoreHits uint64
+	// StorePuts counts releases written through to the durable store.
+	StorePuts uint64
+	// StoreErrors counts failed store reads/writes (the request itself
+	// still succeeded; only durability was lost).
+	StoreErrors uint64
+	// StoreArtifacts is the number of releases the durable store holds
+	// (0 without a store).
+	StoreArtifacts int
 	// Evictions counts completed releases dropped by the LRU.
 	Evictions uint64
 	// Releases counts completed release computations.
@@ -400,6 +752,11 @@ type Metrics struct {
 	// the total number of runs held. CacheBudgetBytes echoes
 	// Options.CacheBytes (0 = unbudgeted).
 	CacheCostBytes, CacheRuns, CacheBudgetBytes int64
+	// EpsilonSpent is the cumulative epsilon of actual computations
+	// across all hierarchies, including spend replayed from the store
+	// manifest; EpsilonLimit echoes Options.MaxEpsilonPerHierarchy
+	// (0 = unenforced).
+	EpsilonSpent, EpsilonLimit float64
 	// ReleaseTotal is the cumulative computation time across Releases;
 	// LastRelease is the duration of the most recent one.
 	ReleaseTotal, LastRelease time.Duration
@@ -425,12 +782,24 @@ func (m Metrics) AvgRelease() time.Duration {
 
 // Metrics returns a snapshot of the engine's counters.
 func (e *Engine) Metrics() Metrics {
+	var artifacts int
+	if e.store != nil {
+		artifacts = e.store.Len()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var spent float64
+	for _, eps := range e.epsSpent {
+		spent += eps
+	}
 	return Metrics{
 		CacheHits:        e.hits,
 		CacheMisses:      e.misses,
 		Deduped:          e.deduped,
+		StoreHits:        e.storeHits,
+		StorePuts:        e.storePuts,
+		StoreErrors:      e.storeFails,
+		StoreArtifacts:   artifacts,
 		Evictions:        e.evictions,
 		Releases:         e.releases,
 		Queries:          e.queries,
@@ -440,6 +809,8 @@ func (e *Engine) Metrics() Metrics {
 		CacheCostBytes:   e.cache.cost,
 		CacheRuns:        e.cache.runs(),
 		CacheBudgetBytes: e.cache.budget,
+		EpsilonSpent:     spent,
+		EpsilonLimit:     e.epsLimit,
 		ReleaseTotal:     e.releaseTotal,
 		LastRelease:      e.lastDur,
 	}

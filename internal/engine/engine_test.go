@@ -2,11 +2,13 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"hcoc"
+	"hcoc/internal/store"
 )
 
 // testTree builds a small two-level hierarchy, fast enough to release
@@ -486,6 +488,331 @@ func TestCacheByteBudget(t *testing.T) {
 	}
 	if !r.CacheHit {
 		t.Fatal("most recent release was evicted")
+	}
+}
+
+// TestCancelingFirstClientDoesNotFailSecond is the regression test for
+// the cross-client cancellation bug: when the request that originated a
+// computation canceled while waiting for a compute slot, its
+// context.Canceled used to be broadcast to every coalesced waiter, so
+// clients with live contexts got "release failed: context canceled".
+// The computation must survive as long as any waiter is live.
+func TestCancelingFirstClientDoesNotFailSecond(t *testing.T) {
+	e := New(Options{MaxConcurrent: 1})
+	tree := testTree(t)
+	fp := FingerprintTree(tree)
+	e.sem <- struct{}{} // saturate the only slot so the request queues
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aErr := make(chan error, 1)
+	go func() {
+		_, err := e.Release(ctxA, tree, fp, TopDown, testOpts(1))
+		aErr <- err
+	}()
+	// Wait for A to register the in-flight call, then coalesce B onto it.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Metrics().CacheMisses < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	bRes := make(chan Result, 1)
+	bErr := make(chan error, 1)
+	go func() {
+		r, err := e.Release(context.Background(), tree, fp, TopDown, testOpts(1))
+		bRes <- r
+		bErr <- err
+	}()
+	for e.Metrics().Deduped < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Cancel the originating client while the computation is queued.
+	cancelA()
+	if err := <-aErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled client got %v, want context.Canceled", err)
+	}
+	select {
+	case r := <-bRes:
+		<-bErr
+		t.Fatalf("live client returned %+v before a slot freed", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Free the slot: the surviving waiter's computation must complete.
+	<-e.sem
+	r := <-bRes
+	if err := <-bErr; err != nil {
+		t.Fatalf("live client failed after the first canceled: %v", err)
+	}
+	if !r.Deduped || r.CacheHit {
+		t.Fatalf("live client got deduped=%v hit=%v, want a deduped computation", r.Deduped, r.CacheHit)
+	}
+	if err := hcoc.CheckSparse(tree, r.Release); err != nil {
+		t.Fatal(err)
+	}
+	// The computed release is cached for later requests.
+	again, err := e.Release(context.Background(), tree, fp, TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("release was not cached after the canceled-client run")
+	}
+}
+
+// TestStoreWriteThrough: a computed release lands in the durable store,
+// and a fresh engine over the same store serves it without
+// recomputation — the restart-survival property the store exists for.
+func TestStoreWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := testTree(t)
+	ctx := context.Background()
+
+	e1 := New(Options{Store: st})
+	first, err := e1.Release(ctx, tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || first.StoreHit {
+		t.Fatalf("first release: hit=%v storeHit=%v, want a computation", first.CacheHit, first.StoreHit)
+	}
+	if m := e1.Metrics(); m.StorePuts != 1 || m.StoreArtifacts != 1 || m.StoreErrors != 0 {
+		t.Fatalf("after write-through: %+v", m)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a new store handle and a new engine, same directory.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e2 := New(Options{Store: st2})
+	revived, err := e2.Release(ctx, tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !revived.StoreHit || revived.CacheHit {
+		t.Fatalf("post-restart release: storeHit=%v hit=%v, want a store hit", revived.StoreHit, revived.CacheHit)
+	}
+	if revived.Key != first.Key {
+		t.Fatalf("keys differ across restart: %q vs %q", revived.Key, first.Key)
+	}
+	for path, h := range first.Release {
+		if !h.Equal(revived.Release[path]) {
+			t.Fatalf("revived release differs at %q", path)
+		}
+	}
+	m := e2.Metrics()
+	if m.Releases != 0 {
+		t.Fatalf("restart recomputed: %d releases", m.Releases)
+	}
+	if m.StoreHits != 1 {
+		t.Fatalf("store hits = %d, want 1", m.StoreHits)
+	}
+	// Third request: now in the LRU.
+	if r, err := e2.Release(ctx, tree, "", TopDown, testOpts(1)); err != nil || !r.CacheHit {
+		t.Fatalf("store hit was not admitted to the LRU (err=%v, hit=%v)", err, r.CacheHit)
+	}
+}
+
+// TestStoreServesQueriesAfterRestart: Sparse and Query fall through the
+// LRU to the store.
+func TestStoreServesQueriesAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := testTree(t)
+	e1 := New(Options{Store: st})
+	first, err := e1.Release(context.Background(), tree, "", TopDown, testOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e2 := New(Options{Store: st2})
+	rel, epsilon, err := e2.Sparse(first.Key)
+	if err != nil {
+		t.Fatalf("Sparse after restart: %v", err)
+	}
+	if epsilon != 1 {
+		t.Fatalf("epsilon = %g, want 1", epsilon)
+	}
+	for path, h := range first.Release {
+		if !h.Equal(rel[path]) {
+			t.Fatalf("store-served release differs at %q", path)
+		}
+	}
+	rep, err := e2.Query(first.Key, "US/CA", QueryParams{Quantiles: []float64{0.5}})
+	if err != nil {
+		t.Fatalf("Query after restart: %v", err)
+	}
+	if rep.Groups == 0 {
+		t.Fatal("query served an empty node")
+	}
+	// An unknown key is still ErrNotCached, store or not.
+	if _, _, err := e2.Sparse("no-such-key"); err != ErrNotCached {
+		t.Fatalf("got %v, want ErrNotCached", err)
+	}
+}
+
+// TestBudgetEnforcement: with a per-hierarchy bound, computations spend,
+// hits are free, the bound rejects with a typed error carrying the
+// remaining budget, and a warm start replays historical spend from the
+// manifest.
+func TestBudgetEnforcement(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := testTree(t)
+	fp := FingerprintTree(tree)
+	ctx := context.Background()
+
+	e := New(Options{Store: st, MaxEpsilonPerHierarchy: 2.5})
+	// Two distinct eps-1 computations: 2.0 spent.
+	if _, err := e.Release(ctx, tree, fp, TopDown, testOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Release(ctx, tree, fp, TopDown, testOpts(2)); err != nil {
+		t.Fatal(err)
+	}
+	// A cache hit is free.
+	if r, err := e.Release(ctx, tree, fp, TopDown, testOpts(1)); err != nil || !r.CacheHit {
+		t.Fatalf("cache hit: %v (hit=%v)", err, r.CacheHit)
+	}
+	if m := e.Metrics(); m.EpsilonSpent != 2 {
+		t.Fatalf("spent = %g, want 2", m.EpsilonSpent)
+	}
+	// A third computation would need 1.0 with only 0.5 remaining: 429
+	// material, with the remaining budget in the typed error.
+	_, err = e.Release(ctx, tree, fp, TopDown, testOpts(3))
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BudgetError", err)
+	}
+	if be.Hierarchy != fp || be.Requested != 1 || be.Limit != 2.5 {
+		t.Fatalf("budget error = %+v", be)
+	}
+	if be.Remaining < 0.49 || be.Remaining > 0.51 {
+		t.Fatalf("remaining = %g, want 0.5", be.Remaining)
+	}
+	// The refused request must not poison the key: a smaller release
+	// within budget still works.
+	small := hcoc.Options{Epsilon: 0.5, K: 50, Seed: 3}
+	if _, err := e.Release(ctx, tree, fp, TopDown, small); err != nil {
+		t.Fatalf("within-budget release refused: %v", err)
+	}
+	if rem, ok := e.BudgetRemaining(fp); !ok || rem > 1e-6 {
+		t.Fatalf("remaining = %g enforced=%v, want ~0 and true", rem, ok)
+	}
+	st.Close()
+
+	// Warm start: the manifest replays 2.5 spent; everything is refused
+	// except store hits, which stay free.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e2 := New(Options{Store: st2, MaxEpsilonPerHierarchy: 2.5})
+	if m := e2.Metrics(); m.EpsilonSpent != 2.5 {
+		t.Fatalf("warm-start spent = %g, want 2.5", m.EpsilonSpent)
+	}
+	if r, err := e2.Release(ctx, tree, fp, TopDown, testOpts(1)); err != nil || !r.StoreHit {
+		t.Fatalf("store hit after warm start: %v (storeHit=%v)", err, r.StoreHit)
+	}
+	if _, err := e2.Release(ctx, tree, fp, TopDown, testOpts(9)); !errors.As(err, &be) {
+		t.Fatalf("post-restart overdraft got %v, want *BudgetError", err)
+	}
+
+	// A lowered bound pins an overdrawn hierarchy to zero remaining.
+	e3 := New(Options{Store: st2, MaxEpsilonPerHierarchy: 1})
+	if rem, ok := e3.BudgetRemaining(fp); !ok || rem > 1e-6 {
+		t.Fatalf("lowered-bound remaining = %g enforced=%v, want ~0 and true", rem, ok)
+	}
+}
+
+// TestBudgetRefundOnFailure: a computation that fails before drawing
+// noise refunds its charge, in memory and in the durable ledger.
+func TestBudgetRefundOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := testTree(t)
+	fp := FingerprintTree(tree)
+	e := New(Options{Store: st, MaxEpsilonPerHierarchy: 1})
+	// An out-of-range method value passes the length check but fails
+	// estimation — after the charge, before any noise is drawn.
+	bad := hcoc.Options{Epsilon: 1, K: 50, Methods: []hcoc.Method{hcoc.Method(99)}}
+	if _, err := e.Release(context.Background(), tree, fp, TopDown, bad); err == nil {
+		t.Fatal("invalid release succeeded")
+	}
+	if m := e.Metrics(); m.EpsilonSpent != 0 {
+		t.Fatalf("failed release left %g spent", m.EpsilonSpent)
+	}
+	// The full budget is still available.
+	if _, err := e.Release(context.Background(), tree, fp, TopDown, testOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// The charge/refund round trip is durable: a warm start replays
+	// only the successful computation's epsilon.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if spent := st2.EpsilonByHierarchy()[fp]; spent != 1 {
+		t.Fatalf("durable spend = %g, want 1 (charge+refund+charge)", spent)
+	}
+}
+
+// TestReleaseRejectsWrongMethodsLength: a methods list whose length
+// does not match the tree depth is rejected before keying, so it can
+// never share a cache entry (or a coalesced error) with the valid
+// broadcast spelling it would canonicalize to.
+func TestReleaseRejectsWrongMethodsLength(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t) // depth 2
+	ctx := context.Background()
+
+	valid := testOpts(1)
+	valid.Methods = []hcoc.Method{hcoc.MethodHg}
+	if _, err := e.Release(ctx, tree, "", TopDown, valid); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform but wrong length: invalid, and must NOT be served from
+	// the broadcast spelling's cache entry.
+	bad := testOpts(1)
+	bad.Methods = []hcoc.Method{hcoc.MethodHg, hcoc.MethodHg, hcoc.MethodHg}
+	if _, err := e.Release(ctx, tree, "", TopDown, bad); err == nil {
+		t.Fatal("3 methods for a 2-level tree succeeded")
+	}
+	if m := e.Metrics(); m.CacheHits != 0 {
+		t.Fatalf("invalid request hit the cache: %+v", m)
 	}
 }
 

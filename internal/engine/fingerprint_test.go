@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"hcoc"
+)
+
+// TestReleaseKeyCanonicalMethods: every spelling of the same per-level
+// method assignment must share one release key, so identical releases
+// are computed and cached once — while genuinely different assignments
+// keep distinct keys.
+func TestReleaseKeyCanonicalMethods(t *testing.T) {
+	base := testOpts(1)
+	key := func(methods []hcoc.Method) string {
+		opts := base
+		opts.Methods = methods
+		return releaseKey("fp", TopDown, opts)
+	}
+
+	// Empty defaults to MethodHc; a single entry broadcasts; a uniform
+	// list is the broadcast spelled out. All one release, one key.
+	def := key(nil)
+	for name, methods := range map[string][]hcoc.Method{
+		"single hc":  {hcoc.MethodHc},
+		"uniform x2": {hcoc.MethodHc, hcoc.MethodHc},
+		"uniform x3": {hcoc.MethodHc, hcoc.MethodHc, hcoc.MethodHc},
+	} {
+		if key(methods) != def {
+			t.Errorf("%s: key differs from the default spelling", name)
+		}
+	}
+	if key([]hcoc.Method{hcoc.MethodHg, hcoc.MethodHg}) != key([]hcoc.Method{hcoc.MethodHg}) {
+		t.Error("uniform hg list does not collapse to its broadcast spelling")
+	}
+	if key([]hcoc.Method{hcoc.MethodHg}) == def {
+		t.Error("hg shares the hc key")
+	}
+
+	// Methods[l] is the method for level l, so order is semantic:
+	// ["hc","hg"] and ["hg","hc"] are different releases and must keep
+	// different keys (sorting here would serve the wrong artifact).
+	hcHg := key([]hcoc.Method{hcoc.MethodHc, hcoc.MethodHg})
+	hgHc := key([]hcoc.Method{hcoc.MethodHg, hcoc.MethodHc})
+	if hcHg == hgHc {
+		t.Error("per-level assignments with different orders share a key")
+	}
+}
+
+// TestPerLevelMethodOrderIsSemantic pins the fact the canonicalization
+// above relies on: swapping the per-level method assignment changes the
+// released histograms, so the engine must not conflate the two.
+func TestPerLevelMethodOrderIsSemantic(t *testing.T) {
+	tree := testTree(t)
+	release := func(methods []hcoc.Method) hcoc.SparseHistograms {
+		opts := testOpts(5)
+		opts.Methods = methods
+		rel, err := hcoc.ReleaseSparse(tree, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	a := release([]hcoc.Method{hcoc.MethodHc, hcoc.MethodHg})
+	b := release([]hcoc.Method{hcoc.MethodHg, hcoc.MethodHc})
+	same := true
+	for path, h := range a {
+		if !h.Equal(b[path]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("swapped per-level methods released identical histograms; canonicalization should merge them instead of keeping order")
+	}
+}
+
+// TestEngineCachesAcrossMethodSpellings: the engine must answer the
+// broadcast spelling from the cache entry of the explicit one.
+func TestEngineCachesAcrossMethodSpellings(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	ctx := context.Background()
+
+	explicit := testOpts(1)
+	explicit.Methods = []hcoc.Method{hcoc.MethodHc, hcoc.MethodHc}
+	first, err := e.Release(ctx, tree, "", TopDown, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broadcast := testOpts(1)
+	broadcast.Methods = []hcoc.Method{hcoc.MethodHc}
+	second, err := e.Release(ctx, tree, "", TopDown, broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.Key != first.Key {
+		t.Fatalf("broadcast spelling missed the cache (hit=%v, %q vs %q)", second.CacheHit, second.Key, first.Key)
+	}
+	defaulted, err := e.Release(ctx, tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !defaulted.CacheHit {
+		t.Fatal("default methods missed the cache entry of the explicit hc spelling")
+	}
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitJob(t *testing.T, js *Jobs, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, ok := js.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if j.State.Finished() {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, j.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJobLifecycle drives a job through queued -> running -> done and
+// verifies the snapshot carries the release outcome.
+func TestJobLifecycle(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	js := NewJobs(0)
+
+	release := make(chan struct{})
+	j, err := js.Submit(func() (Result, error) {
+		<-release
+		return e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != JobQueued || j.ID == "" || j.Created.IsZero() {
+		t.Fatalf("submitted job = %+v", j)
+	}
+	if _, ok := js.Get("nope"); ok {
+		t.Fatal("unknown job id found")
+	}
+	close(release)
+
+	done := waitJob(t, js, j.ID)
+	if done.State != JobDone || done.Key == "" || done.Err != "" {
+		t.Fatalf("finished job = %+v", done)
+	}
+	if done.Started.IsZero() || done.Finished.IsZero() || done.Finished.Before(done.Started) {
+		t.Fatalf("job timestamps = %+v", done)
+	}
+	// The job's release key is queryable against the engine.
+	if _, _, err := e.Sparse(done.Key); err != nil {
+		t.Fatalf("job's release not queryable: %v", err)
+	}
+
+	// A failing release marks the job failed with the message.
+	j2, err := js.Submit(func() (Result, error) {
+		return Result{}, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitJob(t, js, j2.ID)
+	if failed.State != JobFailed || failed.Err != "boom" {
+		t.Fatalf("failed job = %+v", failed)
+	}
+}
+
+// TestJobsBoundedRetention: finished jobs are evicted oldest-first past
+// the cap; unfinished jobs are never evicted.
+func TestJobsBoundedRetention(t *testing.T) {
+	js := NewJobs(3)
+	var finished []string
+	for i := 0; i < 3; i++ {
+		j, err := js.Submit(func() (Result, error) { return Result{Key: "k"}, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		finished = append(finished, j.ID)
+		waitJob(t, js, j.ID)
+	}
+	// A blocked job plus a new submission: the table is over budget, so
+	// the two oldest finished jobs go; the blocked one stays.
+	gate := make(chan struct{})
+	blocked, err := js.Submit(func() (Result, error) { <-gate; return Result{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := js.Submit(func() (Result, error) { return Result{Key: "k"}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Len() != 3 {
+		t.Fatalf("retained %d jobs, want 3", js.Len())
+	}
+	if _, ok := js.Get(finished[0]); ok {
+		t.Fatal("oldest finished job survived eviction")
+	}
+	if _, ok := js.Get(blocked.ID); !ok {
+		t.Fatal("running job was evicted")
+	}
+	if _, ok := js.Get(last.ID); !ok {
+		t.Fatal("newest job was evicted")
+	}
+	close(gate)
+	waitJob(t, js, blocked.ID)
+	waitJob(t, js, last.ID)
+}
+
+// TestJobsActiveCap: once unfinished jobs fill the table, further
+// submissions are refused with ErrTooManyJobs — the backpressure that
+// bounds detached goroutines — and capacity returns as jobs finish.
+func TestJobsActiveCap(t *testing.T) {
+	js := NewJobs(2)
+	gate := make(chan struct{})
+	var pinned []Job
+	for i := 0; i < 2; i++ {
+		j, err := js.Submit(func() (Result, error) { <-gate; return Result{}, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, j)
+	}
+	if _, err := js.Submit(func() (Result, error) { return Result{}, nil }); !errors.Is(err, ErrTooManyJobs) {
+		t.Fatalf("over-cap submit got %v, want ErrTooManyJobs", err)
+	}
+	close(gate)
+	for _, j := range pinned {
+		waitJob(t, js, j.ID)
+	}
+	if _, err := js.Submit(func() (Result, error) { return Result{}, nil }); err != nil {
+		t.Fatalf("submit after drain refused: %v", err)
+	}
+}

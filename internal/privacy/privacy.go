@@ -51,6 +51,27 @@ func (a *Accountant) Spend(label string, epsilon float64) error {
 	return nil
 }
 
+// Refund returns previously reserved epsilon to the ledger, recorded as
+// a negative entry. It exists for reservations whose mechanism never
+// ran — e.g. a release charged up front that failed validation before
+// drawing any noise. Refunding more than is spent is an error: budget
+// that was never reserved cannot be returned.
+func (a *Accountant) Refund(label string, epsilon float64) error {
+	if epsilon <= 0 {
+		return fmt.Errorf("privacy: refund %q: epsilon must be positive, got %g", label, epsilon)
+	}
+	const slack = 1e-9
+	if epsilon > a.spent+slack {
+		return fmt.Errorf("privacy: refund %q of %g exceeds the %g spent", label, epsilon, a.spent)
+	}
+	a.spent -= epsilon
+	if a.spent < 0 {
+		a.spent = 0
+	}
+	a.log = append(a.log, Entry{Label: label, Epsilon: -epsilon})
+	return nil
+}
+
 // SpendParallel reserves budget for stages that operate on disjoint
 // partitions of the data (parallel composition): the cost is the
 // maximum of the per-partition epsilons, not their sum.

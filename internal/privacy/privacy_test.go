@@ -66,6 +66,41 @@ func TestAccountantRejectsBadInputs(t *testing.T) {
 	}
 }
 
+func TestAccountantRefund(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("release", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Refund("release failed", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if a.Spent() != 0 || a.Remaining() != 1.0 {
+		t.Errorf("after refund: spent=%g remaining=%g, want 0 and 1", a.Spent(), a.Remaining())
+	}
+	// The full budget is spendable again.
+	if err := a.Spend("release", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	// The ledger shows the round trip: spend, refund, spend.
+	log := a.Log()
+	if len(log) != 3 || log[1].Epsilon != -0.6 {
+		t.Errorf("log = %+v, want 3 entries with a -0.6 refund", log)
+	}
+
+	if err := a.Refund("x", 2.0); err == nil {
+		t.Error("refund above spent accepted")
+	}
+	if err := a.Refund("x", 0); err == nil {
+		t.Error("zero refund accepted")
+	}
+	if err := a.Refund("x", -1); err == nil {
+		t.Error("negative refund accepted")
+	}
+}
+
 func TestAccountantExactSplitTolerance(t *testing.T) {
 	// Splitting 1.0 into 3 equal parts must consume exactly the budget
 	// despite float rounding.

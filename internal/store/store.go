@@ -1,0 +1,444 @@
+// Package store is the durable layer under the serving engine's LRU: a
+// disk-backed, content-addressed artifact store that keeps every
+// completed release as an hcoc-release/v2-sparse file, plus the
+// uploaded hierarchies needed to recompute them. Releases are expensive
+// one-shot computations whose value is repeated post-processing
+// queries; persisting them makes a daemon restart a warm start instead
+// of a re-spend of both CPU and privacy budget.
+//
+// Layout under the data directory:
+//
+//	manifest.jsonl            append-only JSON lines: "charge"/"refund"
+//	                          privacy-ledger entries plus one "release"
+//	                          entry per stored artifact (key, hierarchy
+//	                          fingerprint, algorithm, epsilon, cost,
+//	                          duration)
+//	releases/<key>.json       v2-sparse release artifacts
+//	hierarchies/<fp>.json     uploaded group records, for warm starts
+//
+// All writes are crash-safe: artifacts and hierarchy files are written
+// to a temp file, fsynced, and renamed into place; manifest lines are
+// single fsynced appends, and a torn final line (a crash mid-append) is
+// dropped on reopen. The manifest is the source of truth for what the
+// store holds and for the cumulative epsilon spent per hierarchy —
+// charges are written ahead of the noise draw, so a crash can only
+// over-count spend, never under-count it.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"hcoc"
+)
+
+// ErrNotFound reports a key the store has no artifact for.
+var ErrNotFound = errors.New("store: release not found")
+
+// Manifest entry kinds. The manifest is both the artifact index and the
+// durable privacy ledger; the two concerns use different entry kinds so
+// that spend is recorded before noise is drawn, not after the artifact
+// happens to land on disk.
+const (
+	// KindCharge records an admitted computation's epsilon, appended
+	// BEFORE the noise is drawn (write-ahead): a crash mid-computation
+	// leaves the spend on the books, never the reverse.
+	KindCharge = "charge"
+	// KindRefund returns a charge whose computation failed before
+	// drawing noise (negative spend effect).
+	KindRefund = "refund"
+	// KindRelease indexes a stored artifact. It is spend-neutral — its
+	// computation's epsilon was already recorded by a KindCharge entry.
+	// The empty string decodes as KindRelease.
+	KindRelease = "release"
+)
+
+// Meta is one manifest entry. KindRelease entries carry artifact
+// provenance; KindCharge/KindRefund entries carry the privacy ledger.
+// Summing Epsilon per Hierarchy over charge (+) and refund (-) entries
+// reconstructs the spend after a restart; reads append nothing.
+type Meta struct {
+	// Kind classifies the entry; empty means KindRelease.
+	Kind string `json:"kind,omitempty"`
+	// Key is the release key (the engine's content address).
+	Key string `json:"key"`
+	// Hierarchy is the fingerprint of the tree the release was computed
+	// from (engine.FingerprintTree).
+	Hierarchy string `json:"hierarchy"`
+	// Algorithm names the release algorithm ("topdown"/"bottomup").
+	Algorithm string `json:"algorithm"`
+	// Epsilon is the privacy budget the computation consumed.
+	Epsilon float64 `json:"epsilon"`
+	// CostBytes is the release's resident cost (SparseHistograms.CostBytes).
+	CostBytes int64 `json:"cost_bytes"`
+	// DurationMS is the wall time of the computation in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// CreatedAt is when the artifact was stored.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// storedGroup is the on-disk shape of one group in a hierarchy file,
+// matching the HTTP upload schema.
+type storedGroup struct {
+	Path []string `json:"path"`
+	Size int64    `json:"size"`
+}
+
+// hierarchyFile is the on-disk shape of a persisted hierarchy upload.
+type hierarchyFile struct {
+	Root   string        `json:"root"`
+	Groups []storedGroup `json:"groups"`
+}
+
+// HierarchyRecord is one persisted hierarchy: everything needed to
+// rebuild its tree (and re-derive its fingerprint) on a warm start.
+type HierarchyRecord struct {
+	Fingerprint string
+	Root        string
+	Groups      []hcoc.Group
+}
+
+// Store is a disk-backed release store. It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	manifest *os.File        // open for append
+	metas    map[string]Meta // latest entry per key
+	order    []string        // keys in first-appearance manifest order
+	spent    map[string]float64
+}
+
+// Open creates (if needed) and loads a store rooted at dir, replaying
+// the manifest into the in-memory index. A truncated final manifest
+// line — the signature of a crash mid-append — is ignored; corruption
+// anywhere else is an error.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "releases"), filepath.Join(dir, "hierarchies")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{
+		dir:   dir,
+		metas: make(map[string]Meta),
+		spent: make(map[string]float64),
+	}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening manifest: %w", err)
+	}
+	s.manifest = f
+	return s, nil
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "manifest.jsonl") }
+
+func (s *Store) releasePath(key string) string {
+	return filepath.Join(s.dir, "releases", key+".json")
+}
+
+func (s *Store) hierarchyPath(fp string) string {
+	return filepath.Join(s.dir, "hierarchies", fp+".json")
+}
+
+func (s *Store) loadManifest() error {
+	f, err := os.Open(s.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening manifest: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		// A parse failure is only tolerated on the final line (torn
+		// append); seeing another line after one means real corruption.
+		if pendingErr != nil {
+			return pendingErr
+		}
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var m Meta
+		if err := json.Unmarshal([]byte(raw), &m); err != nil || m.Key == "" {
+			pendingErr = fmt.Errorf("store: manifest line %d is corrupt: %q", line, raw)
+			continue
+		}
+		s.record(m)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: reading manifest: %w", err)
+	}
+	return nil
+}
+
+// record indexes one manifest entry (caller holds mu or is Open).
+func (s *Store) record(m Meta) {
+	switch m.Kind {
+	case KindCharge:
+		s.spent[m.Hierarchy] += m.Epsilon
+	case KindRefund:
+		s.spent[m.Hierarchy] -= m.Epsilon
+	default: // KindRelease / legacy empty
+		if _, ok := s.metas[m.Key]; !ok {
+			s.order = append(s.order, m.Key)
+		}
+		s.metas[m.Key] = m
+	}
+}
+
+// appendEntry appends one manifest line and fsyncs it, then indexes it.
+func (s *Store) appendEntry(m Meta) error {
+	line, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest entry: %w", err)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.manifest.Write(line); err != nil {
+		return fmt.Errorf("store: appending manifest: %w", err)
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return fmt.Errorf("store: syncing manifest: %w", err)
+	}
+	s.record(m)
+	return nil
+}
+
+// AppendCharge durably records an admitted computation's epsilon. Call
+// it BEFORE drawing noise: if the charge cannot be made durable, the
+// caller must refuse to compute, or a restart would forget the spend.
+func (s *Store) AppendCharge(m Meta) error {
+	if m.Epsilon <= 0 {
+		return fmt.Errorf("store: charge epsilon must be positive, got %g", m.Epsilon)
+	}
+	m.Kind = KindCharge
+	return s.appendEntry(m)
+}
+
+// AppendRefund durably returns a charge whose computation failed before
+// drawing noise. A failed refund append leaves the spend on the books —
+// the conservative direction.
+func (s *Store) AppendRefund(m Meta) error {
+	if m.Epsilon <= 0 {
+		return fmt.Errorf("store: refund epsilon must be positive, got %g", m.Epsilon)
+	}
+	m.Kind = KindRefund
+	return s.appendEntry(m)
+}
+
+// writeAtomic writes data to path via a temp file in the same
+// directory, fsyncing the file and its directory so a crash leaves
+// either the old state or the complete new file, never a torn one.
+func writeAtomic(path string, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// PutRelease durably stores a completed release and appends its
+// (spend-neutral) manifest entry — the computation's epsilon was
+// already recorded by AppendCharge. The artifact write is atomic and
+// lands before the manifest line, so every indexed key has a complete
+// artifact on disk. Re-putting an existing key (a recomputation after
+// artifact loss) overwrites the artifact and appends a second entry.
+func (s *Store) PutRelease(m Meta, rel hcoc.SparseHistograms) error {
+	if m.Key == "" {
+		return fmt.Errorf("store: empty release key")
+	}
+	m.Kind = KindRelease
+	err := writeAtomic(s.releasePath(m.Key), func(f *os.File) error {
+		return hcoc.WriteReleaseSparse(f, rel, m.Epsilon)
+	})
+	if err != nil {
+		return fmt.Errorf("store: writing release %s: %w", m.Key, err)
+	}
+	return s.appendEntry(m)
+}
+
+// GetRelease loads a stored release and its manifest entry. It returns
+// ErrNotFound for keys the manifest does not index.
+func (s *Store) GetRelease(key string) (hcoc.SparseHistograms, Meta, error) {
+	s.mu.Lock()
+	m, ok := s.metas[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, Meta{}, ErrNotFound
+	}
+	f, err := os.Open(s.releasePath(key))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("store: opening release %s: %w", key, err)
+	}
+	defer f.Close()
+	rel, epsilon, err := hcoc.ReadReleaseSparse(f)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("store: release %s: %w", key, err)
+	}
+	if epsilon != m.Epsilon {
+		return nil, Meta{}, fmt.Errorf("store: release %s artifact epsilon %g disagrees with manifest %g", key, epsilon, m.Epsilon)
+	}
+	return rel, m, nil
+}
+
+// Has reports whether the manifest indexes key.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.metas[key]
+	return ok
+}
+
+// Len returns the number of distinct releases indexed.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.metas)
+}
+
+// List returns the latest manifest entry for every stored release, in
+// first-appearance order.
+func (s *Store) List() []Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Meta, 0, len(s.order))
+	for _, key := range s.order {
+		out = append(out, s.metas[key])
+	}
+	return out
+}
+
+// EpsilonByHierarchy returns the cumulative epsilon spent per hierarchy
+// fingerprint: the sum of charge entries minus refunds — including
+// repeated computations of the same key, each of which drew noise.
+// This is what the engine replays into its budget ledger on a warm
+// start.
+func (s *Store) EpsilonByHierarchy() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.spent))
+	for fp, eps := range s.spent {
+		out[fp] = eps
+	}
+	return out
+}
+
+// PutHierarchy persists an uploaded hierarchy's group records so a warm
+// start can rebuild the tree. The write is atomic and idempotent:
+// hierarchies are content-addressed by fingerprint, so an existing file
+// is already the same content and is left untouched.
+func (s *Store) PutHierarchy(fp, root string, groups []hcoc.Group) error {
+	if fp == "" {
+		return fmt.Errorf("store: empty hierarchy fingerprint")
+	}
+	path := s.hierarchyPath(fp)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	recs := make([]storedGroup, len(groups))
+	for i, g := range groups {
+		recs[i] = storedGroup{Path: g.Path, Size: g.Size}
+	}
+	err := writeAtomic(path, func(f *os.File) error {
+		return json.NewEncoder(f).Encode(hierarchyFile{Root: root, Groups: recs})
+	})
+	if err != nil {
+		return fmt.Errorf("store: writing hierarchy %s: %w", fp, err)
+	}
+	return nil
+}
+
+// Hierarchies loads every persisted hierarchy. Fingerprints come from
+// the file names; callers that rebuild trees should re-derive and
+// verify them.
+func (s *Store) Hierarchies() ([]HierarchyRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "hierarchies"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []HierarchyRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(s.dir, "hierarchies", name))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		var hf hierarchyFile
+		err = json.NewDecoder(f).Decode(&hf)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: hierarchy file %s: %w", name, err)
+		}
+		rec := HierarchyRecord{
+			Fingerprint: strings.TrimSuffix(name, ".json"),
+			Root:        hf.Root,
+			Groups:      make([]hcoc.Group, len(hf.Groups)),
+		}
+		for i, g := range hf.Groups {
+			rec.Groups[i] = hcoc.Group{Path: g.Path, Size: g.Size}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Close releases the manifest handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifest == nil {
+		return nil
+	}
+	err := s.manifest.Close()
+	s.manifest = nil
+	return err
+}
