@@ -3,7 +3,7 @@
 GO ?= go
 BASE ?= origin/main
 
-.PHONY: all build test bench bench-compare coverage lint staticcheck fuzz serve
+.PHONY: all build test bench bench-compare coverage lint staticcheck fuzz serve docs-check
 
 all: lint build test
 
@@ -69,3 +69,9 @@ fuzz:
 
 serve:
 	$(GO) run ./cmd/hcoc-serve
+
+# Documentation contract: godoc conventions (package comments in
+# doc.go, documented exported symbols) and OpenAPI route coverage.
+docs-check:
+	$(GO) test -run TestGodocConventions .
+	$(GO) test -run 'TestOpenAPI|TestRoutesStable' ./internal/serve

@@ -1,0 +1,423 @@
+package client_test
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hcoc"
+	"hcoc/client"
+	"hcoc/internal/engine"
+	"hcoc/internal/serve"
+)
+
+// newDaemon runs the real serving stack in-process.
+func newDaemon(t *testing.T, opts engine.Options) *httptest.Server {
+	t.Helper()
+	srv, err := serve.NewServer(engine.New(opts), opts.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newClient(t *testing.T, url string, opts ...client.Option) *client.Client {
+	t.Helper()
+	c, err := client.New(url, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testGroups() []hcoc.Group {
+	var groups []hcoc.Group
+	for i := 0; i < 40; i++ {
+		groups = append(groups, hcoc.Group{Path: []string{"CA"}, Size: int64(i%5 + 1)})
+		groups = append(groups, hcoc.Group{Path: []string{"WA"}, Size: int64(i%3 + 1)})
+	}
+	return groups
+}
+
+// TestClientEndToEnd drives every endpoint through the SDK against the
+// real server: upload, list, sync release, single and batch queries,
+// artifact downloads in both formats, budget, async job, health,
+// metrics.
+func TestClientEndToEnd(t *testing.T) {
+	ts := newDaemon(t, engine.Options{MaxEpsilonPerHierarchy: 10})
+	c := newClient(t, ts.URL)
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	h, err := c.UploadHierarchy(ctx, "US", testGroups())
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if h.Depth != 2 || h.Groups != 80 {
+		t.Fatalf("hierarchy: %+v", h)
+	}
+	listed, err := c.Hierarchies(ctx)
+	if err != nil || len(listed) != 1 || listed[0].ID != h.ID {
+		t.Fatalf("hierarchies: %+v, %v", listed, err)
+	}
+
+	rel, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 7})
+	if err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if rel.Nodes != 3 || rel.CacheHit {
+		t.Fatalf("release: %+v", rel)
+	}
+
+	// Single query and batch query must agree.
+	single, err := c.Query(ctx, rel.Release, "US/CA", client.QueryParams{Quantiles: []float64{0.5, 0.9}, TopCode: 6})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	batch, err := c.BatchQuery(ctx, rel.Release, []client.NodeQuery{
+		{Node: "US/CA", Quantiles: []float64{0.5, 0.9}, TopCode: 6},
+		{Node: "US/??"},
+	})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if batch[0].Error != "" || batch[1].Error == "" {
+		t.Fatalf("batch errors: %+v", batch)
+	}
+	a, _ := json.Marshal(single)
+	b, _ := json.Marshal(batch[0].NodeReport)
+	if string(a) != string(b) {
+		t.Fatalf("single %s != batch %s", a, b)
+	}
+
+	// Downloads in both formats decode to the same histograms.
+	sparse, eps, err := c.DownloadRelease(ctx, rel.Release)
+	if err != nil || eps != 1 {
+		t.Fatalf("download sparse: %v (eps %g)", err, eps)
+	}
+	dense, _, err := c.DownloadReleaseDense(ctx, rel.Release)
+	if err != nil {
+		t.Fatalf("download dense: %v", err)
+	}
+	if len(sparse) != len(dense) {
+		t.Fatalf("sparse has %d nodes, dense %d", len(sparse), len(dense))
+	}
+	for node, s := range sparse {
+		if hcoc.EMD(s.Hist(), dense[node]) != 0 {
+			t.Fatalf("node %s: sparse and dense artifacts differ", node)
+		}
+	}
+
+	bud, err := c.Budget(ctx, h.ID)
+	if err != nil {
+		t.Fatalf("budget: %v", err)
+	}
+	if !bud.Enforced || bud.SpentEpsilon != 1 || bud.RemainingEpsilon != 9 {
+		t.Fatalf("budget: %+v", bud)
+	}
+
+	// Async: submit, wait, query the produced release.
+	job, err := c.ReleaseAsync(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 8})
+	if err != nil {
+		t.Fatalf("async: %v", err)
+	}
+	if job.Finished() {
+		t.Fatalf("fresh job already terminal: %+v", job)
+	}
+	done, err := c.WaitJob(ctx, job.Job, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if done.Status != "done" || done.Release == "" {
+		t.Fatalf("job: %+v", done)
+	}
+	if _, err := c.Query(ctx, done.Release, "US", client.QueryParams{}); err != nil {
+		t.Fatalf("query async release: %v", err)
+	}
+
+	// Durable listing is empty without a store — but succeeds.
+	arts, err := c.Releases(ctx)
+	if err != nil || len(arts) != 0 {
+		t.Fatalf("releases: %+v, %v", arts, err)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil || !strings.Contains(metrics, "hcoc_releases_total") {
+		t.Fatalf("metrics: %v", err)
+	}
+
+	if _, err := c.Query(ctx, "r-missing", "US", client.QueryParams{}); !client.IsNotFound(err) {
+		t.Fatalf("missing release: %v, want 404", err)
+	}
+}
+
+// TestClientRetry503 verifies backpressure handling: 503 responses are
+// retried with backoff until the server recovers, and a Retry-After
+// header is honored.
+func TestClientRetry503(t *testing.T) {
+	var attempts atomic.Int32
+	var sawRetryAfterGap atomic.Bool
+	var last atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 && now-prev >= int64(time.Second) {
+			sawRetryAfterGap.Store(true)
+		}
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"too many active jobs"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"job":"j-1","status":"queued"}`))
+	}))
+	defer stub.Close()
+
+	// Max backoff sits above the server's Retry-After so the header is
+	// honored (the cap, tested separately, would otherwise clamp it).
+	c := newClient(t, stub.URL, client.WithBackoff(time.Millisecond, 2*time.Second))
+	job, err := c.ReleaseAsync(context.Background(), client.ReleaseRequest{Hierarchy: "h-x", Epsilon: 1})
+	if err != nil {
+		t.Fatalf("expected recovery, got %v", err)
+	}
+	if job.Job != "j-1" {
+		t.Fatalf("job: %+v", job)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if !sawRetryAfterGap.Load() {
+		t.Fatal("Retry-After: 1 was not honored (retries came back faster than 1s)")
+	}
+}
+
+// TestClientRetryAfterCapped: a server-supplied Retry-After cannot
+// stall the client past its configured maximum backoff.
+func TestClientRetryAfterCapped(t *testing.T) {
+	var attempts atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "3600")
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer stub.Close()
+
+	c := newClient(t, stub.URL, client.WithMaxRetries(2), client.WithBackoff(time.Millisecond, 20*time.Millisecond))
+	start := time.Now()
+	err := c.Healthz(context.Background())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retries took %v; Retry-After was not capped at the 20ms max backoff", elapsed)
+	}
+}
+
+// TestClientRetriesExhausted: a server that never recovers surfaces the
+// final *APIError after the configured number of retries.
+func TestClientRetriesExhausted(t *testing.T) {
+	var attempts atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"still overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer stub.Close()
+
+	c := newClient(t, stub.URL, client.WithMaxRetries(2), client.WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Release(context.Background(), client.ReleaseRequest{Hierarchy: "h-x", Epsilon: 1})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if got := attempts.Load(); got != 3 { // initial + 2 retries
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+// TestClientBudgetRefusalNotRetried: a 429 carrying the machine-readable
+// budget body is terminal — exactly one attempt, a typed *BudgetError
+// with the remaining budget.
+func TestClientBudgetRefusalNotRetried(t *testing.T) {
+	var attempts atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"would exceed budget","hierarchy":"h-abc",
+			"requested_epsilon":1,"remaining_epsilon":0.25,"max_epsilon_per_hierarchy":2}`))
+	}))
+	defer stub.Close()
+
+	c := newClient(t, stub.URL, client.WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Release(context.Background(), client.ReleaseRequest{Hierarchy: "h-abc", Epsilon: 1})
+	var be *client.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	if be.Hierarchy != "h-abc" || be.RemainingEpsilon != 0.25 || be.MaxEpsilonPerHierarchy != 2 || be.RequestedEpsilon != 1 {
+		t.Fatalf("budget error fields: %+v", be)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (budget refusals must not be retried)", got)
+	}
+}
+
+// TestClientGeneric429Retried: a 429 without the budget body (a rate
+// limiter, a proxy) is backpressure and is retried.
+func TestClientGeneric429Retried(t *testing.T) {
+	var attempts atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			http.Error(w, `{"error":"slow down"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer stub.Close()
+
+	c := newClient(t, stub.URL, client.WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("expected recovery, got %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+}
+
+// TestClientCancellationMidRetry: canceling the context while the
+// client is backing off aborts promptly with the context error, not
+// after the full backoff schedule.
+func TestClientCancellationMidRetry(t *testing.T) {
+	var attempts atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer stub.Close()
+
+	c := newClient(t, stub.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: "h-x", Epsilon: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the 30s Retry-After was not interrupted", elapsed)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (canceled during the first backoff)", got)
+	}
+}
+
+// TestClientCancellationNoRetryAfterwards: a request whose context ends
+// mid-flight is not retried.
+func TestClientCancellationNoRetryAfterwards(t *testing.T) {
+	var attempts atomic.Int32
+	block := make(chan struct{})
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		<-block
+	}))
+	defer stub.Close()
+	defer close(block)
+
+	c := newClient(t, stub.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := c.Healthz(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+}
+
+// TestClientDecodeFailureNotRetried: a 2xx whose body does not decode
+// is a deterministic failure — one attempt, no backoff.
+func TestClientDecodeFailureNotRetried(t *testing.T) {
+	var attempts atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"job": truncated`))
+	}))
+	defer stub.Close()
+
+	c := newClient(t, stub.URL, client.WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if _, err := c.Job(context.Background(), "j-1"); err == nil || !strings.Contains(err.Error(), "decoding") {
+		t.Fatalf("err = %v, want decode failure", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (decode failures must not be retried)", got)
+	}
+}
+
+// TestClientGzipRequestBodies: large POST bodies arrive gzip-compressed
+// and decode server-side; the real server handles them transparently.
+func TestClientGzipRequestBodies(t *testing.T) {
+	var sawGzip atomic.Bool
+	var decoded atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := r.Body
+		if r.Header.Get("Content-Encoding") == "gzip" {
+			sawGzip.Store(true)
+			zr, err := gzip.NewReader(r.Body)
+			if err != nil {
+				t.Errorf("bad gzip body: %v", err)
+			}
+			body = zr
+		}
+		n, _ := io.Copy(io.Discard, body)
+		decoded.Add(n)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":"h-1"}`))
+	}))
+	defer stub.Close()
+
+	c := newClient(t, stub.URL)
+	if _, err := c.UploadHierarchy(context.Background(), "US", testGroups()); err != nil {
+		t.Fatal(err)
+	}
+	if !sawGzip.Load() {
+		t.Fatal("large upload was not gzip-compressed")
+	}
+	if decoded.Load() < 1024 {
+		t.Fatalf("decompressed only %d bytes", decoded.Load())
+	}
+
+	// And with compression disabled, the body arrives plain.
+	sawGzip.Store(false)
+	c2 := newClient(t, stub.URL, client.WithoutRequestCompression())
+	if _, err := c2.UploadHierarchy(context.Background(), "US", testGroups()); err != nil {
+		t.Fatal(err)
+	}
+	if sawGzip.Load() {
+		t.Fatal("compression was not disabled")
+	}
+}

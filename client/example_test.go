@@ -1,0 +1,70 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"hcoc"
+	"hcoc/client"
+	"hcoc/internal/engine"
+	"hcoc/internal/serve"
+)
+
+// Example walks the whole consumption loop against an in-process
+// daemon: upload a hierarchy, compute a seeded release, then answer
+// several node questions in one batch round trip.
+func Example() {
+	// Stand up the daemon in-process; in production this is a running
+	// hcoc-serve and New takes its URL.
+	srv, err := serve.NewServer(engine.New(engine.Options{}), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// One group record per household: its leaf region and its size.
+	var groups []hcoc.Group
+	for i := 0; i < 30; i++ {
+		groups = append(groups, hcoc.Group{Path: []string{"CA"}, Size: int64(i%4 + 1)})
+		groups = append(groups, hcoc.Group{Path: []string{"WA"}, Size: int64(i%2 + 1)})
+	}
+	h, err := c.UploadHierarchy(ctx, "US", groups)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded %d groups across %d nodes\n", h.Groups, h.Nodes)
+
+	// A seeded release is reproducible; epsilon is the privacy budget.
+	rel, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 5, K: 50, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// N post-processing questions, one round trip, one engine pass.
+	results, err := c.BatchQuery(ctx, rel.Release, []client.NodeQuery{
+		{Node: "US", Quantiles: []float64{0.5}},
+		{Node: "US/CA", Quantiles: []float64{0.5}},
+		{Node: "US/WA", Quantiles: []float64{0.5}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: %d groups, median size %d\n", r.Node, r.Groups, r.Median)
+	}
+
+	// Output:
+	// uploaded 60 groups across 3 nodes
+	// US: 60 groups, median size 2
+	// US/CA: 30 groups, median size 2
+	// US/WA: 30 groups, median size 1
+}

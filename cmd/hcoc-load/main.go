@@ -1,0 +1,473 @@
+// Command hcoc-load replays configurable workloads against a live
+// hcoc-serve daemon and reports latency percentiles and an error
+// breakdown — the measuring stick for every serving-layer change.
+//
+// The workload is a weighted mix of the three serving operations:
+//
+//	release  POST /v1/release with a seed drawn from a small space, so
+//	         a warmed daemon answers most of them from its cache tiers
+//	query    GET /v1/query/{node} on a random node with random stats
+//	batch    POST /v1/query/batch: -batch-size node queries, one trip
+//
+// Two loop shapes are supported. The default closed loop runs
+// -concurrency workers issuing requests back to back — throughput
+// floats with latency, as when every user waits for the previous
+// answer. With -rate R the generator runs an open loop instead: it
+// fires R requests per second from a timer regardless of how fast the
+// daemon answers, the shape that exposes queueing collapse.
+//
+// Before generating load it uploads a synthetic hierarchy (-dataset,
+// -scale) and computes one seeded release, so queries always have a
+// release to read.
+//
+// Example:
+//
+//	hcoc-serve -addr :8080 &
+//	hcoc-load -addr http://localhost:8080 -duration 30s \
+//	    -mix release=1,query=8,batch=1 -concurrency 16
+//
+// The exit status is 0 when the error-rate stays within
+// -max-error-rate, 1 otherwise — CI-friendly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hcoc"
+	"hcoc/client"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcoc-load: %v\n", err)
+		os.Exit(2)
+	}
+	sum, err := run(context.Background(), cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcoc-load: %v\n", err)
+		os.Exit(1)
+	}
+	if rate := sum.errorRate(); rate > cfg.maxErrorRate {
+		fmt.Fprintf(os.Stderr, "hcoc-load: error rate %.4f exceeds the %.4f bound\n", rate, cfg.maxErrorRate)
+		os.Exit(1)
+	}
+}
+
+// config is everything a load run needs; flags parse into it and tests
+// construct it directly.
+type config struct {
+	addr         string
+	duration     time.Duration
+	concurrency  int
+	rate         float64 // >0 selects the open loop
+	mix          map[string]int
+	batchSize    int
+	epsilon      float64
+	k            int
+	seed         int64
+	seedSpace    int64
+	dataset      string
+	scale        float64
+	maxErrorRate float64
+	timeout      time.Duration
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("hcoc-load", flag.ContinueOnError)
+	cfg := config{}
+	var mix string
+	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "base URL of the hcoc-serve daemon")
+	fs.DurationVar(&cfg.duration, "duration", 30*time.Second, "how long to generate load")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers; the open loop bounds in-flight requests at 64x this")
+	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop request rate per second (0 = closed loop)")
+	fs.StringVar(&mix, "mix", "release=1,query=8,batch=1", "weighted operation mix (release/query/batch)")
+	fs.IntVar(&cfg.batchSize, "batch-size", 16, "node queries per batch operation")
+	fs.Float64Var(&cfg.epsilon, "epsilon", 1, "epsilon per release request")
+	fs.IntVar(&cfg.k, "k", 1000, "public group-size bound for releases")
+	fs.Int64Var(&cfg.seed, "seed", 1, "base seed for the workload generator")
+	fs.Int64Var(&cfg.seedSpace, "seed-space", 8, "distinct release seeds in the mix; smaller = more cache hits")
+	fs.StringVar(&cfg.dataset, "dataset", "housing", "synthetic dataset to upload (housing|taxi|race-white|race-hawaiian)")
+	fs.Float64Var(&cfg.scale, "scale", 0.02, "synthetic dataset scale factor")
+	fs.Float64Var(&cfg.maxErrorRate, "max-error-rate", 0.01, "failed-request fraction above which the exit status is 1")
+	fs.DurationVar(&cfg.timeout, "timeout", time.Minute, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	var err error
+	if cfg.mix, err = parseMix(mix); err != nil {
+		return config{}, err
+	}
+	if cfg.concurrency < 1 || cfg.batchSize < 1 || cfg.duration <= 0 {
+		return config{}, fmt.Errorf("concurrency, batch-size and duration must be positive")
+	}
+	return cfg, nil
+}
+
+// parseMix reads "release=1,query=8,batch=1" into weights; omitted ops
+// get weight 0, and at least one weight must be positive.
+func parseMix(s string) (map[string]int, error) {
+	out := map[string]int{"release": 0, "query": 0, "batch": 0}
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		if _, known := out[name]; !known {
+			return nil, fmt.Errorf("unknown op %q in mix (want release|query|batch)", name)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight %q for %s", val, name)
+		}
+		out[name] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix has no positive weights")
+	}
+	return out, nil
+}
+
+func datasetKind(name string) (hcoc.DatasetKind, error) {
+	switch name {
+	case "housing":
+		return hcoc.DatasetHousing, nil
+	case "taxi":
+		return hcoc.DatasetTaxi, nil
+	case "race-white":
+		return hcoc.DatasetRaceWhite, nil
+	case "race-hawaiian":
+		return hcoc.DatasetRaceHawaiian, nil
+	default:
+		return 0, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+// sample is one completed operation.
+type sample struct {
+	op      string
+	latency time.Duration
+	err     error
+}
+
+// recorder accumulates samples; safe for concurrent use.
+type recorder struct {
+	mu      sync.Mutex
+	samples []sample
+}
+
+func (r *recorder) add(s sample) {
+	r.mu.Lock()
+	r.samples = append(r.samples, s)
+	r.mu.Unlock()
+}
+
+// summary is the digested outcome of a run.
+type summary struct {
+	total, failed int
+	elapsed       time.Duration
+	// byOp maps op name to its latencies (successes only) and error count.
+	byOp map[string]*opStats
+	// errors maps an error class ("429", "503", "net", ...) to a count.
+	errors map[string]int
+}
+
+type opStats struct {
+	latencies []time.Duration
+	errors    int
+}
+
+func (s *summary) errorRate() float64 {
+	if s.total == 0 {
+		return 1 // a run that did nothing is a failed run
+	}
+	return float64(s.failed) / float64(s.total)
+}
+
+// digest turns raw samples into the summary.
+func digest(samples []sample, elapsed time.Duration) *summary {
+	sum := &summary{elapsed: elapsed, byOp: map[string]*opStats{}, errors: map[string]int{}}
+	for _, s := range samples {
+		st := sum.byOp[s.op]
+		if st == nil {
+			st = &opStats{}
+			sum.byOp[s.op] = st
+		}
+		sum.total++
+		if s.err != nil {
+			sum.failed++
+			st.errors++
+			sum.errors[classify(s.err)]++
+			continue
+		}
+		st.latencies = append(st.latencies, s.latency)
+	}
+	return sum
+}
+
+// classify buckets an error for the breakdown: HTTP statuses by code,
+// budget refusals and transport failures by name.
+func classify(err error) string {
+	var be *client.BudgetError
+	if errors.As(err, &be) {
+		return "budget"
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return strconv.Itoa(ae.StatusCode)
+	}
+	return "net"
+}
+
+// percentile returns the p-th percentile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// report prints the human summary table.
+func (s *summary) report(w io.Writer, cfg config) {
+	shape := fmt.Sprintf("closed loop, %d workers", cfg.concurrency)
+	if cfg.rate > 0 {
+		shape = fmt.Sprintf("open loop, %.0f req/s target", cfg.rate)
+	}
+	fmt.Fprintf(w, "hcoc-load: %s for %s against %s\n", shape, cfg.duration, cfg.addr)
+	fmt.Fprintf(w, "%-8s %8s %7s %10s %10s %10s %10s\n", "op", "count", "errors", "p50", "p90", "p99", "max")
+	ops := make([]string, 0, len(s.byOp))
+	for op := range s.byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := s.byOp[op]
+		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+		fmt.Fprintf(w, "%-8s %8d %7d %10s %10s %10s %10s\n",
+			op, len(st.latencies)+st.errors, st.errors,
+			percentile(st.latencies, 0.50).Round(10*time.Microsecond),
+			percentile(st.latencies, 0.90).Round(10*time.Microsecond),
+			percentile(st.latencies, 0.99).Round(10*time.Microsecond),
+			percentile(st.latencies, 1.00).Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(w, "total    %8d %7d  (%.1f req/s over %s)\n",
+		s.total, s.failed, float64(s.total)/s.elapsed.Seconds(), s.elapsed.Round(time.Millisecond))
+	if len(s.errors) > 0 {
+		classes := make([]string, 0, len(s.errors))
+		for c := range s.errors {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(w, "error breakdown:")
+		for _, c := range classes {
+			fmt.Fprintf(w, " %s x%d", c, s.errors[c])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// run sets up the target (hierarchy upload + one warm release) and
+// drives the configured loop, returning the digested summary.
+func run(ctx context.Context, cfg config, out io.Writer) (*summary, error) {
+	c, err := client.New(cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("daemon not healthy at %s: %w", cfg.addr, err)
+	}
+
+	kind, err := datasetKind(cfg.dataset)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := hcoc.SyntheticGroups(kind, hcoc.DatasetConfig{Seed: cfg.seed, Scale: cfg.scale})
+	if err != nil {
+		return nil, err
+	}
+	tree, err := hcoc.BuildHierarchy("root", groups)
+	if err != nil {
+		return nil, err
+	}
+	var nodes []string
+	for _, n := range tree.Nodes() {
+		nodes = append(nodes, n.Path)
+	}
+
+	h, err := c.UploadHierarchy(ctx, "root", groups)
+	if err != nil {
+		return nil, fmt.Errorf("uploading hierarchy: %w", err)
+	}
+	fmt.Fprintf(out, "hcoc-load: uploaded %s (%d nodes, %d groups)\n", h.ID, h.Nodes, h.Groups)
+
+	// Warm release: queries need a release key from second zero.
+	warm, err := c.Release(ctx, client.ReleaseRequest{
+		Hierarchy: h.ID, Epsilon: cfg.epsilon, K: cfg.k, Seed: cfg.seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("warm release: %w", err)
+	}
+	fmt.Fprintf(out, "hcoc-load: warm release %s (%d nodes, %.1fms)\n", warm.Release, warm.Nodes, warm.DurationMS)
+
+	w := &worker{cfg: cfg, c: c, hierarchy: h.ID, release: warm.Release, nodes: nodes}
+	rec := &recorder{}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+	if cfg.rate > 0 {
+		w.openLoop(ctx, rec)
+	} else {
+		w.closedLoop(ctx, rec)
+	}
+	sum := digest(rec.samples, time.Since(start))
+	sum.report(out, cfg)
+	return sum, nil
+}
+
+// worker holds the shared state of the load loops.
+type worker struct {
+	cfg       config
+	c         *client.Client
+	hierarchy string
+	release   string
+	nodes     []string
+}
+
+// closedLoop runs cfg.concurrency goroutines issuing operations back
+// to back until the context ends.
+func (w *worker) closedLoop(ctx context.Context, rec *recorder) {
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.concurrency; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(w.cfg.seed + int64(id)))
+			for ctx.Err() == nil {
+				w.step(ctx, rng, rec)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// openLoop fires operations at cfg.rate per second regardless of
+// response times, bounding in-flight requests at cfg.concurrency*64;
+// operations that would exceed the bound are recorded as dropped — the
+// honest open-loop signal that the daemon is not keeping up.
+func (w *worker) openLoop(ctx context.Context, rec *recorder) {
+	interval := time.Duration(float64(time.Second) / w.cfg.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	slots := make(chan struct{}, w.cfg.concurrency*64)
+	rng := rand.New(rand.NewSource(w.cfg.seed))
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-ticker.C:
+		}
+		select {
+		case slots <- struct{}{}:
+		default:
+			rec.add(sample{op: w.pick(rng), err: fmt.Errorf("dropped: %d requests already in flight", cap(slots))})
+			continue
+		}
+		op, seed := w.pick(rng), rng.Int63()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			w.issue(ctx, op, rand.New(rand.NewSource(seed)), rec)
+		}()
+	}
+}
+
+// step issues one weighted-random operation (closed loop).
+func (w *worker) step(ctx context.Context, rng *rand.Rand, rec *recorder) {
+	w.issue(ctx, w.pick(rng), rng, rec)
+}
+
+// pick draws an operation from the weighted mix.
+func (w *worker) pick(rng *rand.Rand) string {
+	total := 0
+	for _, weight := range w.cfg.mix {
+		total += weight
+	}
+	n := rng.Intn(total)
+	for _, op := range []string{"release", "query", "batch"} {
+		if n -= w.cfg.mix[op]; n < 0 {
+			return op
+		}
+	}
+	return "query"
+}
+
+// issue runs one operation and records its outcome. Operations cut off
+// by the run deadline are not recorded — they measure the deadline, not
+// the daemon — but per-request -timeout expiries are failures and
+// count.
+func (w *worker) issue(parent context.Context, op string, rng *rand.Rand, rec *recorder) {
+	ctx, cancel := context.WithTimeout(parent, w.cfg.timeout)
+	defer cancel()
+	start := time.Now()
+	var err error
+	switch op {
+	case "release":
+		_, err = w.c.Release(ctx, client.ReleaseRequest{
+			Hierarchy: w.hierarchy,
+			Epsilon:   w.cfg.epsilon,
+			K:         w.cfg.k,
+			Seed:      w.cfg.seed + rng.Int63n(w.cfg.seedSpace),
+		})
+	case "query":
+		_, err = w.c.Query(ctx, w.release, w.node(rng), client.QueryParams{
+			Quantiles: []float64{0.5, 0.9, 0.99},
+			TopCode:   8,
+		})
+	case "batch":
+		qs := make([]client.NodeQuery, w.cfg.batchSize)
+		for i := range qs {
+			qs[i] = client.NodeQuery{Node: w.node(rng), Quantiles: []float64{0.5, 0.9}, TopCode: 8}
+		}
+		var results []client.NodeResult
+		results, err = w.c.BatchQuery(ctx, w.release, qs)
+		for _, r := range results {
+			if err == nil && r.Error != "" {
+				err = fmt.Errorf("batch item %s: %s", r.Node, r.Error)
+			}
+		}
+	}
+	if parent.Err() != nil && err != nil {
+		return // run shutdown, not a daemon failure
+	}
+	rec.add(sample{op: op, latency: time.Since(start), err: err})
+}
+
+func (w *worker) node(rng *rand.Rand) string {
+	return w.nodes[rng.Intn(len(w.nodes))]
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"hcoc/internal/engine"
+	"hcoc/internal/serve"
+
+	"net/http/httptest"
+)
+
+func testConfig(addr string) config {
+	mix, _ := parseMix("release=1,query=8,batch=1")
+	return config{
+		addr:         addr,
+		duration:     time.Second,
+		concurrency:  4,
+		mix:          mix,
+		batchSize:    8,
+		epsilon:      1,
+		k:            200,
+		seed:         1,
+		seedSpace:    4,
+		dataset:      "housing",
+		scale:        0.005,
+		maxErrorRate: 0,
+		timeout:      30 * time.Second,
+	}
+}
+
+func newDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := serve.NewServer(engine.New(engine.Options{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadClosedLoop runs a short mixed closed-loop workload against
+// the real serving stack and requires a clean error-free summary
+// covering every op in the mix.
+func TestLoadClosedLoop(t *testing.T) {
+	ts := newDaemon(t)
+	sum, err := run(context.Background(), testConfig(ts.URL), os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.failed != 0 {
+		t.Fatalf("%d of %d operations failed: %v", sum.failed, sum.total, sum.errors)
+	}
+	if sum.total < 10 {
+		t.Fatalf("only %d operations in 1s; the loop is not running", sum.total)
+	}
+	for _, op := range []string{"release", "query", "batch"} {
+		if sum.byOp[op] == nil || len(sum.byOp[op].latencies) == 0 {
+			t.Fatalf("op %s never ran: %+v", op, sum.byOp)
+		}
+	}
+	if sum.errorRate() != 0 {
+		t.Fatalf("error rate %g", sum.errorRate())
+	}
+}
+
+// TestLoadOpenLoop drives the rate-paced loop and requires the pacing
+// to hold: an open loop at 50 req/s for a second issues about 50
+// operations, not thousands.
+func TestLoadOpenLoop(t *testing.T) {
+	ts := newDaemon(t)
+	cfg := testConfig(ts.URL)
+	cfg.rate = 50
+	sum, err := run(context.Background(), cfg, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.failed != 0 {
+		t.Fatalf("%d of %d operations failed: %v", sum.failed, sum.total, sum.errors)
+	}
+	if sum.total < 20 || sum.total > 80 {
+		t.Fatalf("open loop at 50/s for 1s issued %d operations", sum.total)
+	}
+}
+
+// TestLoadUnreachableDaemon fails fast with a useful error.
+func TestLoadUnreachableDaemon(t *testing.T) {
+	cfg := testConfig("http://127.0.0.1:1")
+	cfg.duration = 100 * time.Millisecond
+	if _, err := run(context.Background(), cfg, os.Stderr); err == nil || !strings.Contains(err.Error(), "not healthy") {
+		t.Fatalf("err = %v, want health failure", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("query=3,batch=1")
+	if err != nil || mix["query"] != 3 || mix["batch"] != 1 || mix["release"] != 0 {
+		t.Fatalf("mix %+v, err %v", mix, err)
+	}
+	for _, bad := range []string{"", "query", "query=-1", "frob=1", "query=0,batch=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "http://x:1", "-duration", "2s", "-rate", "10", "-mix", "query=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "http://x:1" || cfg.duration != 2*time.Second || cfg.rate != 10 || cfg.mix["query"] != 1 {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-mix", "bogus"}); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+}
+
+// TestPercentile pins the percentile index math.
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lat, 0.5); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := percentile(lat, 1.0); p != 10 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %d", p)
+	}
+}

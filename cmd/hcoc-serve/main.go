@@ -18,8 +18,13 @@
 //	GET  /v1/release/{id}     download a release artifact
 //	GET  /v1/jobs/{id}        poll an async release job
 //	GET  /v1/query/{node}     quantiles, k-th largest, top-coded, Gini
+//	POST /v1/query/batch      N node queries in one engine pass
+//	GET  /v1/budget/{id}      per-hierarchy privacy-budget position
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text metrics
+//
+// The full request/response contract is docs/openapi.yaml; the Go SDK
+// over it is the repository's client package.
 //
 // Example session:
 //
@@ -43,6 +48,7 @@ import (
 	"time"
 
 	"hcoc/internal/engine"
+	"hcoc/internal/serve"
 	"hcoc/internal/store"
 )
 
@@ -79,7 +85,7 @@ func run(addr string, workers, cache int, cacheBytes int64, dataDir string, maxE
 		Store:                  st,
 		MaxEpsilonPerHierarchy: maxEps,
 	})
-	handler, err := NewServer(eng, st)
+	handler, err := serve.NewServer(eng, st)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,192 @@
+package hcoc
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGodocConventions is the in-tree mirror of staticcheck's
+// ST1000/ST1020-class checks, so `go test` enforces the documentation
+// contract even where staticcheck is not installed:
+//
+//   - every package has a package comment, and library packages keep it
+//     in a dedicated doc.go;
+//   - every exported top-level symbol (and exported method) carries a
+//     doc comment;
+//   - func and type comments start with the symbol's name (articles
+//     allowed on types, per the stdlib convention).
+//
+// Commands (package main) only need their package comment; they export
+// nothing.
+func TestGodocConventions(t *testing.T) {
+	dirs := packageDirs(t)
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			checkPackage(t, fset, dir, name, pkg)
+		}
+	}
+}
+
+// packageDirs lists every directory holding non-test Go files.
+func packageDirs(t *testing.T) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+func checkPackage(t *testing.T, fset *token.FileSet, dir, name string, pkg *ast.Package) {
+	t.Helper()
+
+	// Package comment: somewhere for commands, in doc.go for libraries
+	// (hcoc itself, client, internal/*).
+	var commentFile string
+	for path, f := range pkg.Files {
+		if f.Doc != nil {
+			commentFile = filepath.Base(path)
+		}
+	}
+	if commentFile == "" {
+		t.Errorf("%s: package %s has no package comment", dir, name)
+	} else if name != "main" && commentFile != "doc.go" {
+		t.Errorf("%s: package comment lives in %s; move it to doc.go", dir, commentFile)
+	}
+	if name == "main" {
+		return
+	}
+
+	for path, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				checkComment(t, fset, path, d.Name.Name, d.Doc, false)
+			case *ast.GenDecl:
+				checkGenDecl(t, fset, path, d)
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (functions without receivers count as exported contexts).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr:
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func checkGenDecl(t *testing.T, fset *token.FileSet, path string, d *ast.GenDecl) {
+	t.Helper()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil {
+				doc = d.Doc
+			}
+			checkComment(t, fset, path, s.Name.Name, doc, true)
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if !n.IsExported() {
+					continue
+				}
+				// A comment on the spec or on the enclosing const/var
+				// block documents the group.
+				if s.Doc == nil && d.Doc == nil && s.Comment == nil {
+					t.Errorf("%s: exported %s has no doc comment", rel(fset, n.Pos(), path), n.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkComment requires a doc comment that starts with the symbol's
+// name; articles are tolerated for types.
+func checkComment(t *testing.T, fset *token.FileSet, path, name string, doc *ast.CommentGroup, isType bool) {
+	t.Helper()
+	where := rel(fset, token.NoPos, path)
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		t.Errorf("%s: exported %s has no doc comment", where, name)
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	if strings.HasPrefix(text, "Deprecated:") {
+		return
+	}
+	first := strings.FieldsFunc(text, func(r rune) bool { return r == ' ' || r == '\n' })[0]
+	if isType {
+		for _, article := range []string{"A", "An", "The"} {
+			if first == article {
+				rest := strings.TrimSpace(strings.TrimPrefix(text, article))
+				first = strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == '\n' })[0]
+				break
+			}
+		}
+	}
+	if trimmed := strings.TrimRight(first, ":,.'s"); trimmed != name && first != name {
+		t.Errorf("%s: doc comment for %s should start with its name (got %q)", where, name, first)
+	}
+}
+
+// rel renders a short location for failure messages.
+func rel(fset *token.FileSet, pos token.Pos, fallback string) string {
+	if pos.IsValid() {
+		p := fset.Position(pos)
+		return p.Filename + ":" + strconv.Itoa(p.Line)
+	}
+	return fallback
+}

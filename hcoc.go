@@ -1,28 +1,3 @@
-// Package hcoc releases differentially private hierarchical
-// count-of-counts histograms, implementing "Differentially Private
-// Hierarchical Count-of-Counts Histograms" (Kuo, Chiu, Kifer, Hay,
-// Machanavajjhala; PVLDB 11(12), 2018).
-//
-// A count-of-counts histogram H reports, for every integer j, the number
-// of groups (households, taxis, census blocks, ...) of size j. Given a
-// region hierarchy in which every group lives in exactly one leaf, this
-// package releases an estimate of H for every hierarchy node under
-// epsilon-differential privacy at the entity level, guaranteeing that
-// every released count is a nonnegative integer, that each node's counts
-// sum to its public group count, and that each parent's histogram equals
-// the sum of its children's.
-//
-// Basic use:
-//
-//	tree, err := hcoc.BuildHierarchy("US", groups)
-//	rel, err := hcoc.Release(tree, hcoc.Options{Epsilon: 1.0})
-//	national := rel[tree.Root.Path]
-//
-// The error metric throughout is the earthmover's distance (EMD): the
-// number of entities that must move to turn one histogram into another.
-//
-// For serving releases over HTTP — with caching, request coalescing and
-// cheap post-processing queries — see cmd/hcoc-serve and README.md.
 package hcoc
 
 import (

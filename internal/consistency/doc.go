@@ -1,0 +1,7 @@
+// Package consistency implements the hierarchical algorithms of
+// Section 5: the top-down consistency algorithm (Algorithm 1) built on
+// optimal matching and variance-weighted merging, plus the two baselines
+// the paper evaluates against — bottom-up aggregation (Section 6.2.2)
+// and Hay-style mean-consistency (shown in Section 5 to violate the
+// problem requirements).
+package consistency

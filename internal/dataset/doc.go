@@ -1,0 +1,20 @@
+// Package dataset generates the synthetic workloads that stand in for
+// the four evaluation datasets of Section 6.1. The real inputs (2010
+// Census Summary File 1, the 2013 NYC taxi trips) are not
+// redistributable, so each generator reproduces the statistical shape
+// the paper's evaluation depends on:
+//
+//   - Housing: the partially-synthetic housing data — household sizes
+//     1..7 from a census-like distribution, a geometric heavy tail for
+//     group-quarters sizes >= 8 extended per state by the H[7]/H[6]
+//     ratio, and 50 uniform outliers up to size 10000. Sparse at the
+//     national level with long gaps between large sizes.
+//   - Taxi: Manhattan taxi pickups per medallion — dense, large group
+//     sizes, 3-level geography Manhattan / upper-lower / neighborhoods.
+//   - RaceWhite: dense per-block race counts (many distinct sizes).
+//   - RaceHawaiian: sparse per-block counts (mostly 0..3, few distinct
+//     sizes).
+//
+// All generators are deterministic under a seed and expose a Scale knob
+// so the same shapes can be produced at laptop- or paper-scale.
+package dataset

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// TestBatchQuery pins the batch path to the single-query path: every
+// item's report must match what Query returns for the same node and
+// parameters, per-item errors must not fail the batch, and the whole
+// batch must count as one engine pass.
+func TestBatchQuery(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	r, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qs := []NodeQuery{
+		{Node: "US", Params: QueryParams{Quantiles: []float64{0.5, 0.9}, TopCode: 4}},
+		{Node: "US/CA", Params: QueryParams{KthLargest: []int64{1, 2}}},
+		{Node: "US/NV"}, // unknown node
+		{Node: "US/WA", Params: QueryParams{Quantiles: []float64{2}}}, // bad quantile
+		{Node: "US/WA"},
+	}
+	items, err := e.BatchQuery(r.Key, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(qs) {
+		t.Fatalf("got %d items for %d queries", len(items), len(qs))
+	}
+	if items[2].Err == nil {
+		t.Fatal("unknown node did not error")
+	}
+	if items[3].Err == nil {
+		t.Fatal("bad quantile did not error")
+	}
+	for i, q := range qs {
+		want, wantErr := e.Query(r.Key, q.Node, q.Params)
+		if (items[i].Err == nil) != (wantErr == nil) {
+			t.Fatalf("item %d: err %v, Query err %v", i, items[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			if items[i].Err.Error() != wantErr.Error() {
+				t.Fatalf("item %d: err %q, Query err %q", i, items[i].Err, wantErr)
+			}
+			continue
+		}
+		got, wantRep := items[i].Report, want
+		if got.Groups != wantRep.Groups || got.People != wantRep.People ||
+			got.Mean != wantRep.Mean || got.Median != wantRep.Median || got.Gini != wantRep.Gini {
+			t.Fatalf("item %d: report %+v, Query %+v", i, got, wantRep)
+		}
+		for j := range wantRep.Quantiles {
+			if got.Quantiles[j] != wantRep.Quantiles[j] {
+				t.Fatalf("item %d quantile %d: %+v, want %+v", i, j, got.Quantiles[j], wantRep.Quantiles[j])
+			}
+		}
+		for j := range wantRep.KthLargest {
+			if got.KthLargest[j] != wantRep.KthLargest[j] {
+				t.Fatalf("item %d kth %d: %+v, want %+v", i, j, got.KthLargest[j], wantRep.KthLargest[j])
+			}
+		}
+	}
+
+	m := e.Metrics()
+	if m.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", m.Batches)
+	}
+
+	if _, err := e.BatchQuery("no-such-key", qs); err != ErrNotCached {
+		t.Fatalf("missing release: err %v, want ErrNotCached", err)
+	}
+}

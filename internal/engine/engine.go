@@ -1,17 +1,3 @@
-// Package engine is the concurrent release manager behind
-// cmd/hcoc-serve. It separates the expensive private release
-// computation from cheap repeated query serving: release requests are
-// fingerprinted by (tree, algorithm, options), identical in-flight
-// computations are deduplicated so a burst of equal requests costs one
-// run of Algorithm 1, completed releases are held in a bounded LRU
-// backed by an optional durable store (internal/store), and the
-// post-processing queries of the hcoc package are answered as reads
-// against those tiers at no additional privacy cost. When a
-// per-hierarchy epsilon bound is configured, every actual computation
-// is charged against a privacy.Accountant keyed by hierarchy
-// fingerprint; cache hits, store hits and deduplicated requests are
-// free, and the ledger is replayed from the store's manifest on a warm
-// start so restarts cannot reset the spend.
 package engine
 
 import (
@@ -117,6 +103,7 @@ type BudgetError struct {
 	Limit float64
 }
 
+// Error implements error.
 func (e *BudgetError) Error() string {
 	return fmt.Sprintf("engine: hierarchy %s would exceed its privacy budget: requested epsilon %g, remaining %g of %g",
 		e.Hierarchy, e.Requested, e.Remaining, e.Limit)
@@ -180,7 +167,7 @@ type Engine struct {
 	hits, misses, deduped            uint64
 	storeHits, storePuts, storeFails uint64
 	evictions, releases              uint64
-	queries                          uint64
+	queries, batches                 uint64
 	releaseTotal, lastDur            time.Duration
 }
 
@@ -517,6 +504,25 @@ func (e *Engine) BudgetRemaining(fp string) (float64, bool) {
 	return e.epsLimit, true
 }
 
+// BudgetStatus reports a hierarchy fingerprint's cumulative privacy
+// spend, the configured per-hierarchy bound, and — when that bound is
+// enforced — what is still spendable under it. Without enforcement
+// remaining and limit are zero and enforced is false; spent is tracked
+// either way.
+func (e *Engine) BudgetStatus(fp string) (spent, remaining, limit float64, enforced bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	spent = e.epsSpent[fp]
+	if e.epsLimit <= 0 {
+		return spent, 0, 0, false
+	}
+	remaining = e.epsLimit
+	if a := e.accts[fp]; a != nil {
+		remaining = a.Remaining()
+	}
+	return spent, remaining, e.epsLimit, true
+}
+
 // loadFromStore reads a persisted release into cache shape. Store read
 // failures other than absence are counted, not fatal: the engine can
 // always recompute.
@@ -667,53 +673,7 @@ func (e *Engine) Query(key, node string, p QueryParams) (NodeReport, error) {
 	if err != nil {
 		return NodeReport{}, err
 	}
-	s, ok := v.release[node]
-	if !ok {
-		return NodeReport{}, fmt.Errorf("engine: release has no node %q", node)
-	}
-
-	rep := NodeReport{
-		Node:   node,
-		Groups: s.Groups(),
-		People: s.People(),
-	}
-	if rep.Groups > 0 {
-		var err error
-		if rep.Mean, err = hcoc.MeanGroupSizeSparse(s); err != nil {
-			return NodeReport{}, err
-		}
-		if rep.Gini, err = hcoc.GiniSparse(s); err != nil {
-			return NodeReport{}, err
-		}
-		if rep.Median, err = hcoc.MedianSparse(s); err != nil {
-			return NodeReport{}, err
-		}
-	}
-	if len(p.Quantiles) > 0 {
-		sizes, err := hcoc.QuantilesSparse(s, p.Quantiles)
-		if err != nil {
-			return NodeReport{}, err
-		}
-		rep.Quantiles = make([]QuantileValue, len(sizes))
-		for i, size := range sizes {
-			rep.Quantiles[i] = QuantileValue{Q: p.Quantiles[i], Size: size}
-		}
-	}
-	for _, k := range p.KthLargest {
-		size, err := hcoc.KthLargestSparse(s, k)
-		if err != nil {
-			return NodeReport{}, err
-		}
-		rep.KthLargest = append(rep.KthLargest, OrderStat{K: k, Size: size})
-	}
-	if p.TopCode > 0 {
-		t, err := hcoc.TopCodedSparse(s, p.TopCode)
-		if err != nil {
-			return NodeReport{}, err
-		}
-		rep.TopCoded = t
-	}
-	return rep, nil
+	return evalNode(v.release, node, p)
 }
 
 // Metrics is a point-in-time snapshot of the engine's counters.
@@ -741,8 +701,12 @@ type Metrics struct {
 	Evictions uint64
 	// Releases counts completed release computations.
 	Releases uint64
-	// Queries counts node-query reads.
+	// Queries counts node-query reads (batch entries count
+	// individually).
 	Queries uint64
+	// Batches counts BatchQuery calls; each is one engine pass however
+	// many node queries it carried.
+	Batches uint64
 	// InFlight is the number of release computations running now.
 	InFlight int
 	// CacheEntries and CacheCapacity describe LRU occupancy.
@@ -803,6 +767,7 @@ func (e *Engine) Metrics() Metrics {
 		Evictions:        e.evictions,
 		Releases:         e.releases,
 		Queries:          e.queries,
+		Batches:          e.batches,
 		InFlight:         len(e.inflight),
 		CacheEntries:     e.cache.len(),
 		CacheCapacity:    e.cache.capacity,

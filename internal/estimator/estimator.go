@@ -1,25 +1,3 @@
-// Package estimator implements the three single-node differentially
-// private count-of-counts estimators of Section 4:
-//
-//   - Naive: double-geometric noise (scale 2/eps) on every cell of the
-//     truncated histogram H', then projection onto {x >= 0, sum = G}
-//     with largest-remainder rounding.
-//   - Hg method: noise (scale 1/eps) on the unattributed histogram,
-//     L2 isotonic regression, rounding.
-//   - Hc method: noise (scale 1/eps) on the cumulative histogram,
-//     L1 (default) or L2 isotonic regression with the boundary
-//     constraint Hc[K] = G, rounding.
-//
-// Every estimator also produces the per-group variance estimates of
-// Section 5.1, which the hierarchical consistency step consumes. Those
-// variances are constant over runs of equally-estimated groups, so each
-// method has two output forms: Estimate returns the dense Result (one
-// histogram cell per size, one variance per group) and EstimateRuns
-// returns the run-length form (one SizeRun per block of groups sharing
-// a value and a variance). Both are driven by the same noise draws and
-// describe bit-for-bit the same estimate; the run form is what the
-// sparse release pipeline consumes, and for G groups it avoids the
-// O(G) per-group arrays entirely.
 package estimator
 
 import (

@@ -1,12 +1,3 @@
-// Package experiments reproduces every table and figure of the paper's
-// evaluation (Section 6) on the synthetic stand-in datasets: the dataset
-// statistics table, the naive-method table (6.2.1), the bottom-up
-// comparison (6.2.2), the error-location visualization (Figure 1), the
-// merge-strategy comparison (Figure 4), and the 2-level and 3-level
-// consistency results (Figures 5 and 6).
-//
-// Each experiment returns structured Tables/Series and can render itself
-// as text; cmd/hcoc-bench and the root bench_test.go drive them.
 package experiments
 
 import "math"

@@ -1,0 +1,10 @@
+// Package hierarchy models the region hierarchy of Section 3: a tree of
+// regions (level 0 is the root; level i+1 subdivides level i) where every
+// group lives in exactly one leaf region, and every node carries the true
+// count-of-counts histogram of the groups under it.
+//
+// The Hierarchy and Groups tables are public; only the group sizes
+// (derived from the private Entities table) are private. Accordingly a
+// Node exposes its group count G() as public knowledge while its Hist is
+// the sensitive input consumed by the estimators.
+package hierarchy

@@ -1,12 +1,3 @@
-// Package hierarchy models the region hierarchy of Section 3: a tree of
-// regions (level 0 is the root; level i+1 subdivides level i) where every
-// group lives in exactly one leaf region, and every node carries the true
-// count-of-counts histogram of the groups under it.
-//
-// The Hierarchy and Groups tables are public; only the group sizes
-// (derived from the private Entities table) are private. Accordingly a
-// Node exposes its group count G() as public knowledge while its Hist is
-// the sensitive input consumed by the estimators.
 package hierarchy
 
 import (
@@ -213,7 +204,9 @@ func convert(src *node, parent *Node, path string, level int) *Node {
 	return n
 }
 
-// FromGroups builds a tree directly from a list of (path, size) records.
+// Group is one group record: the region path of the leaf it belongs to
+// and the number of entities it contains. BuildTree consumes a list of
+// these.
 type Group struct {
 	// Path holds the region names below the root, outermost first.
 	Path []string

@@ -1,0 +1,14 @@
+// Package histogram provides the three representations of a
+// count-of-counts histogram used throughout the paper:
+//
+//   - Hist (H): H[i] is the number of groups of size i.
+//   - Cumulative (Hc): Hc[i] is the number of groups of size <= i.
+//   - GroupSizes (Hg): the "unattributed histogram", a non-decreasing
+//     list of group sizes; Hg[k] is the size of the k-th smallest group.
+//
+// Conversions between the representations are lossless. The error metric
+// between two count-of-counts histograms is the earthmover's distance,
+// which equals the L1 distance between cumulative histograms (Lemma 1 of
+// the paper) and the L1 distance between the GroupSizes representations
+// when the number of groups is equal.
+package histogram

@@ -1,13 +1,3 @@
-// Package isotonic implements isotonic regression: given a sequence of
-// noisy values, find the non-decreasing sequence minimizing the L2 or L1
-// distance to it. The paper post-processes every noisy Hg and Hc
-// histogram this way (Sections 4.2 and 4.3), solving L2 with
-// pool-adjacent-violators (PAV) and L1 with what a commercial solver
-// would do; here the L1 problem is solved exactly with the slope-trick
-// algorithm in O(n log n).
-//
-// Both fits return piecewise-constant solutions; Blocks recovers the
-// solution partition, which Section 5.1 uses for variance estimation.
 package isotonic
 
 // FitL2 returns the non-decreasing sequence minimizing sum (z_i - y_i)^2

@@ -1,14 +1,3 @@
-// Package matching implements Algorithm 2 of the paper: the optimal
-// least-cost perfect matching between the groups of a parent node and the
-// groups of its children, where the cost of matching parent group i to
-// child group j is |parentSizes[i] - childSizes[j]|.
-//
-// Because both sides are sorted and the weights have this absolute-
-// difference structure, a greedy smallest-vs-smallest sweep is optimal
-// (Lemma 5) and runs in O(G log G) — versus O(G^3) for a generic
-// assignment solver. Ties across children are split proportionally to
-// the number of tied groups each child holds, with fractional shares
-// resolved by largest-remainder rounding (footnote 10).
 package matching
 
 import (

@@ -1,0 +1,11 @@
+// Package privacy provides an explicit ledger for the epsilon budget of
+// a multi-stage release, encoding the two composition rules the paper's
+// Theorem 1 relies on: sequential composition (budgets add across
+// stages that touch the same rows) and parallel composition (stages over
+// disjoint row partitions cost only their maximum).
+//
+// The core algorithms in this module scale their own noise correctly;
+// the accountant exists for pipelines that combine stages — e.g. the
+// examples/private-groups flow, which spends budget on a size bound, a
+// method choice, group counts, and the histograms themselves.
+package privacy

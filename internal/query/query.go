@@ -1,12 +1,3 @@
-// Package query answers the downstream questions count-of-counts
-// histograms exist to serve: order statistics over group sizes ("what is
-// the size of the k-th largest household?", the unattributed-histogram
-// query of Hay et al. that Section 2 discusses), quantiles, skewness
-// summaries, and the truncated "census-style" tables (households of
-// size 1..7+) whose publication motivated the paper.
-//
-// All functions are pure post-processing of a released histogram and
-// therefore incur no privacy cost.
 package query
 
 import (

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hcoc/internal/histogram"
+)
+
+// randomSparse draws a valid run-length histogram: strictly increasing
+// sizes, positive counts.
+func randomSparse(rng *rand.Rand, maxRuns int) histogram.Sparse {
+	n := rng.Intn(maxRuns + 1)
+	out := make(histogram.Sparse, 0, n)
+	size := int64(rng.Intn(3))
+	for i := 0; i < n; i++ {
+		out = append(out, histogram.Run{Size: size, Count: 1 + int64(rng.Intn(50))})
+		size += 1 + int64(rng.Intn(200))
+	}
+	return out
+}
+
+// TestReportSparseDifferential pins ReportSparse's single-scan answers
+// to the individual query functions over randomized histograms and
+// parameter sets.
+func TestReportSparseDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		s := randomSparse(rng, 12)
+		g := s.Groups()
+
+		p := Params{TopCode: 1 + rng.Intn(9)}
+		for i := rng.Intn(4); i > 0; i-- {
+			p.Quantiles = append(p.Quantiles, rng.Float64())
+		}
+		if g > 0 {
+			for i := rng.Intn(4); i > 0; i-- {
+				p.KthLargest = append(p.KthLargest, 1+rng.Int63n(g))
+			}
+		}
+
+		rep, err := ReportSparse(s, p)
+		if g == 0 {
+			if err != ErrEmptyHistogram {
+				t.Fatalf("trial %d: empty histogram with requested stats: got err %v", trial, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: ReportSparse: %v", trial, err)
+		}
+
+		if rep.Groups != g || rep.People != s.People() {
+			t.Fatalf("trial %d: totals %d/%d, want %d/%d", trial, rep.Groups, rep.People, g, s.People())
+		}
+		wantMean, err := MeanSparse(s)
+		if err != nil || math.Abs(rep.Mean-wantMean) > 1e-12 {
+			t.Fatalf("trial %d: mean %g (err %v), want %g", trial, rep.Mean, err, wantMean)
+		}
+		wantMedian, err := MedianSparse(s)
+		if err != nil || rep.Median != wantMedian {
+			t.Fatalf("trial %d: median %d (err %v), want %d", trial, rep.Median, err, wantMedian)
+		}
+		wantGini, err := GiniSparse(s)
+		if err != nil || math.Abs(rep.Gini-wantGini) > 1e-12 {
+			t.Fatalf("trial %d: gini %g (err %v), want %g", trial, rep.Gini, err, wantGini)
+		}
+		for i, q := range p.Quantiles {
+			want, err := QuantileSparse(s, q)
+			if err != nil || rep.Quantiles[i] != want {
+				t.Fatalf("trial %d: quantile %g = %d (err %v), want %d", trial, q, rep.Quantiles[i], err, want)
+			}
+		}
+		for i, k := range p.KthLargest {
+			want, err := KthLargestSparse(s, k)
+			if err != nil || rep.KthLargest[i] != want {
+				t.Fatalf("trial %d: kth %d = %d (err %v), want %d", trial, k, rep.KthLargest[i], err, want)
+			}
+		}
+		wantTable, err := TopCodedSparse(s, p.TopCode)
+		if err != nil {
+			t.Fatalf("trial %d: TopCodedSparse: %v", trial, err)
+		}
+		if len(rep.TopCoded) != len(wantTable) {
+			t.Fatalf("trial %d: topcoded length %d, want %d", trial, len(rep.TopCoded), len(wantTable))
+		}
+		for i := range wantTable {
+			if rep.TopCoded[i] != wantTable[i] {
+				t.Fatalf("trial %d: topcoded[%d] = %d, want %d", trial, i, rep.TopCoded[i], wantTable[i])
+			}
+		}
+	}
+}
+
+func TestReportSparseEmpty(t *testing.T) {
+	rep, err := ReportSparse(nil, Params{})
+	if err != nil {
+		t.Fatalf("empty node, no requested stats: %v", err)
+	}
+	if rep.Groups != 0 || rep.People != 0 || rep.Mean != 0 || rep.Median != 0 || rep.Gini != 0 {
+		t.Fatalf("empty node: non-zero report %+v", rep)
+	}
+	for _, p := range []Params{
+		{Quantiles: []float64{0.5}},
+		{KthLargest: []int64{1}},
+		{TopCode: 8},
+	} {
+		if _, err := ReportSparse(nil, p); err != ErrEmptyHistogram {
+			t.Fatalf("empty node with %+v: err %v, want ErrEmptyHistogram", p, err)
+		}
+	}
+}
+
+func TestReportSparseBadParams(t *testing.T) {
+	s := histogram.Sparse{{Size: 1, Count: 3}}
+	if _, err := ReportSparse(s, Params{Quantiles: []float64{1.5}}); err == nil {
+		t.Fatal("quantile out of range accepted")
+	}
+	if _, err := ReportSparse(s, Params{Quantiles: []float64{math.NaN()}}); err == nil {
+		t.Fatal("NaN quantile accepted")
+	}
+	if _, err := ReportSparse(s, Params{KthLargest: []int64{4}}); err == nil {
+		t.Fatal("rank beyond group count accepted")
+	}
+	if _, err := ReportSparse(s, Params{KthLargest: []int64{0}}); err == nil {
+		t.Fatal("zero rank accepted")
+	}
+	if _, err := ReportSparse(s, Params{TopCode: -3}); err == nil {
+		t.Fatal("negative topcode accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+
+	"hcoc/internal/engine"
+)
+
+// maxBatchQueries bounds one POST /v1/query/batch body; a request this
+// size still costs only one engine pass, the bound just keeps a single
+// call from monopolizing the serving goroutine.
+const maxBatchQueries = 4096
+
+// batchQueryEntry is one query of a batch: a node plus the same
+// optional statistics the single-query endpoint accepts as URL
+// parameters.
+type batchQueryEntry struct {
+	Node       string    `json:"node"`
+	Quantiles  []float64 `json:"q,omitempty"`
+	KthLargest []int64   `json:"k,omitempty"`
+	TopCode    int       `json:"topcode,omitempty"`
+}
+
+// batchQueryRequest is the body of POST /v1/query/batch.
+type batchQueryRequest struct {
+	Release string            `json:"release"`
+	Queries []batchQueryEntry `json:"queries"`
+}
+
+// batchQueryItem is one result of a batch query: a node report, or an
+// error naming why this query (and only this query) failed.
+type batchQueryItem struct {
+	queryResponse
+	Error string `json:"error,omitempty"`
+}
+
+// batchQueryResponse is the body of a successful POST /v1/query/batch:
+// results index-aligned with the request's queries.
+type batchQueryResponse struct {
+	Release string           `json:"release"`
+	Results []batchQueryItem `json:"results"`
+}
+
+// handleBatchQuery evaluates N node queries against one release in a
+// single engine pass — one cache/store read and one lock acquisition
+// for the whole batch. Individual query failures (unknown node, bad
+// parameter, empty histogram) are reported per item; only an
+// unavailable release fails the request.
+func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	var req batchQueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	key := releaseID(req.Release)
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "missing release")
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries in batch")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the %d-query limit", len(req.Queries), maxBatchQueries)
+		return
+	}
+	qs := make([]engine.NodeQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		qs[i] = engine.NodeQuery{Node: q.Node, Params: engine.QueryParams{
+			Quantiles:  q.Quantiles,
+			KthLargest: q.KthLargest,
+			TopCode:    q.TopCode,
+		}}
+	}
+	items, err := s.eng.BatchQuery(key, qs)
+	if errors.Is(err, engine.ErrNotCached) {
+		writeError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "batch query failed: %v", err)
+		return
+	}
+	resp := batchQueryResponse{Release: req.Release, Results: make([]batchQueryItem, len(items))}
+	for i, item := range items {
+		if item.Err != nil {
+			resp.Results[i] = batchQueryItem{
+				queryResponse: queryResponse{Node: req.Queries[i].Node},
+				Error:         item.Err.Error(),
+			}
+			continue
+		}
+		resp.Results[i] = batchQueryItem{queryResponse: toQueryResponse(item.Report)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// toQueryResponse converts an engine node report to the wire shape
+// shared by the single-query and batch endpoints.
+func toQueryResponse(rep engine.NodeReport) queryResponse {
+	resp := queryResponse{
+		Node:     rep.Node,
+		Groups:   rep.Groups,
+		People:   rep.People,
+		Mean:     rep.Mean,
+		Median:   rep.Median,
+		Gini:     rep.Gini,
+		TopCoded: rep.TopCoded,
+	}
+	for _, v := range rep.Quantiles {
+		resp.Quantiles = append(resp.Quantiles, quantileValue{Q: v.Q, Size: v.Size})
+	}
+	for _, v := range rep.KthLargest {
+		resp.KthLargest = append(resp.KthLargest, orderStatValue{K: v.K, Size: v.Size})
+	}
+	return resp
+}
+
+// budgetStatusResponse is the body of GET /v1/budget/{id}: the
+// hierarchy's cumulative privacy spend and, when a bound is configured,
+// what remains under it.
+type budgetStatusResponse struct {
+	Hierarchy              string  `json:"hierarchy"`
+	SpentEpsilon           float64 `json:"spent_epsilon"`
+	RemainingEpsilon       float64 `json:"remaining_epsilon"`
+	MaxEpsilonPerHierarchy float64 `json:"max_epsilon_per_hierarchy"`
+	Enforced               bool    `json:"enforced"`
+}
+
+// hierarchyID strips the "h-" prefix hierarchy ids are served with.
+func hierarchyID(id string) string {
+	if len(id) > 2 && id[:2] == "h-" {
+		return id[2:]
+	}
+	return id
+}
+
+// handleBudget reports a hierarchy's privacy-budget position without
+// spending anything: what past computations cost, what remains under
+// -max-epsilon-per-hierarchy, and whether the bound is enforced at all.
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	fp := hierarchyID(r.PathValue("id"))
+	s.mu.RLock()
+	_, known := s.trees["h-"+fp]
+	s.mu.RUnlock()
+	if !known {
+		writeError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", "h-"+fp)
+		return
+	}
+	spent, remaining, limit, enforced := s.eng.BudgetStatus(fp)
+	writeJSON(w, http.StatusOK, budgetStatusResponse{
+		Hierarchy:              "h-" + fp,
+		SpentEpsilon:           spent,
+		RemainingEpsilon:       remaining,
+		MaxEpsilonPerHierarchy: limit,
+		Enforced:               enforced,
+	})
+}

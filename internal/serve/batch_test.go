@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hcoc/internal/engine"
+)
+
+// releaseSmall uploads smallGroups and runs one seeded release,
+// returning the hierarchy and release ids.
+func releaseSmall(t *testing.T, ts *httptest.Server) (string, string) {
+	t.Helper()
+	hr := uploadGroups(t, ts, "US", smallGroups())
+	var rr releaseResponse
+	req := releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 7}
+	if status, body := postJSON(t, ts.URL+"/v1/release", req, &rr); status != http.StatusOK {
+		t.Fatalf("release: status %d: %s", status, body)
+	}
+	return hr.ID, rr.Release
+}
+
+// TestServeBatchQuery pins the batch endpoint to the single-query
+// endpoint: same nodes, same parameters, same answers — with per-query
+// errors that do not fail the batch.
+func TestServeBatchQuery(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	_, release := releaseSmall(t, ts)
+
+	reqBody := batchQueryRequest{
+		Release: release,
+		Queries: []batchQueryEntry{
+			{Node: "US", Quantiles: []float64{0.5, 0.9}, TopCode: 4},
+			{Node: "US/CA", KthLargest: []int64{1}},
+			{Node: "US/XX"},                          // unknown node
+			{Node: "US/WA", Quantiles: []float64{7}}, // bad quantile
+			{Node: "US/WA", TopCode: -3},             // bad topcode
+		},
+	}
+	var resp batchQueryResponse
+	if status, body := postJSON(t, ts.URL+"/v1/query/batch", reqBody, &resp); status != http.StatusOK {
+		t.Fatalf("batch query: status %d: %s", status, body)
+	}
+	if len(resp.Results) != len(reqBody.Queries) {
+		t.Fatalf("got %d results for %d queries", len(resp.Results), len(reqBody.Queries))
+	}
+
+	// Items 0 and 1 must match the single-query endpoint bit for bit.
+	var single queryResponse
+	url := fmt.Sprintf("%s/v1/query/US?release=%s&q=0.5&q=0.9&topcode=4", ts.URL, release)
+	if status, body := getJSON(t, url, &single); status != http.StatusOK {
+		t.Fatalf("single query: status %d: %s", status, body)
+	}
+	got, want := mustJSON(t, resp.Results[0].queryResponse), mustJSON(t, single)
+	if got != want {
+		t.Fatalf("batch item 0 = %s\nsingle query = %s", got, want)
+	}
+	if resp.Results[1].Node != "US/CA" || len(resp.Results[1].KthLargest) != 1 {
+		t.Fatalf("batch item 1: %+v", resp.Results[1])
+	}
+
+	// Per-query failures are errors on their item only.
+	if resp.Results[2].Error == "" || !strings.Contains(resp.Results[2].Error, "US/XX") {
+		t.Fatalf("unknown node error: %q", resp.Results[2].Error)
+	}
+	if resp.Results[3].Error == "" || !strings.Contains(resp.Results[3].Error, "quantile") {
+		t.Fatalf("bad quantile error: %q", resp.Results[3].Error)
+	}
+	if resp.Results[4].Error == "" || !strings.Contains(resp.Results[4].Error, "cap") {
+		t.Fatalf("bad topcode error: %q", resp.Results[4].Error)
+	}
+
+	// Whole-batch failures.
+	if status, _ := postJSON(t, ts.URL+"/v1/query/batch", batchQueryRequest{Release: "r-nope", Queries: reqBody.Queries}, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown release: status %d, want 404", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/query/batch", batchQueryRequest{Release: release}, nil); status != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/query/batch", batchQueryRequest{Queries: reqBody.Queries}, nil); status != http.StatusBadRequest {
+		t.Fatalf("missing release: status %d, want 400", status)
+	}
+	big := batchQueryRequest{Release: release, Queries: make([]batchQueryEntry, maxBatchQueries+1)}
+	if status, _ := postJSON(t, ts.URL+"/v1/query/batch", big, nil); status != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", status)
+	}
+
+	// Batch attempts count once per call however many queries they
+	// carry: the successful 4-query batch plus the unknown-release one.
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	metrics, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(metrics), "hcoc_batch_queries_total 2") {
+		t.Fatalf("metrics missing batch counter:\n%s", metrics)
+	}
+}
+
+// TestServeBudgetEndpoint walks a hierarchy's budget through spend and
+// refusal: fresh upload shows the full bound, a release moves spend,
+// and the 429 refusal leaves the reported remainder consistent.
+func TestServeBudgetEndpoint(t *testing.T) {
+	ts := newTestServer(t, engine.Options{MaxEpsilonPerHierarchy: 1.5})
+	hr := uploadGroups(t, ts, "US", smallGroups())
+
+	var bs budgetStatusResponse
+	if status, body := getJSON(t, ts.URL+"/v1/budget/"+hr.ID, &bs); status != http.StatusOK {
+		t.Fatalf("budget: status %d: %s", status, body)
+	}
+	if !bs.Enforced || bs.SpentEpsilon != 0 || bs.RemainingEpsilon != 1.5 || bs.MaxEpsilonPerHierarchy != 1.5 {
+		t.Fatalf("fresh budget: %+v", bs)
+	}
+
+	req := releaseRequest{Hierarchy: hr.ID, Epsilon: 1, K: 50, Seed: 7}
+	if status, body := postJSON(t, ts.URL+"/v1/release", req, nil); status != http.StatusOK {
+		t.Fatalf("release: status %d: %s", status, body)
+	}
+	if _, _ = getJSON(t, ts.URL+"/v1/budget/"+hr.ID, &bs); bs.SpentEpsilon != 1 || bs.RemainingEpsilon != 0.5 {
+		t.Fatalf("after release: %+v", bs)
+	}
+
+	// A refusal keeps the ledger; its body and the budget endpoint agree.
+	req.Seed = 8
+	status, body := postJSON(t, ts.URL+"/v1/release", req, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-budget release: status %d: %s", status, body)
+	}
+	var refusal budgetResponse
+	if err := json.Unmarshal([]byte(body), &refusal); err != nil {
+		t.Fatal(err)
+	}
+	if refusal.RemainingEpsilon != 0.5 {
+		t.Fatalf("refusal remaining = %g, want 0.5", refusal.RemainingEpsilon)
+	}
+	if _, _ = getJSON(t, ts.URL+"/v1/budget/"+hr.ID, &bs); bs.SpentEpsilon != 1 || bs.RemainingEpsilon != 0.5 {
+		t.Fatalf("after refusal: %+v", bs)
+	}
+
+	if status, _ := getJSON(t, ts.URL+"/v1/budget/h-doesnotexist", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown hierarchy: status %d, want 404", status)
+	}
+}
+
+// TestServeBudgetUnenforced: without -max-epsilon-per-hierarchy the
+// endpoint still reports spend, with enforced=false.
+func TestServeBudgetUnenforced(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+	hr := uploadGroups(t, ts, "US", smallGroups())
+	req := releaseRequest{Hierarchy: hr.ID, Epsilon: 2, K: 50, Seed: 7}
+	if status, body := postJSON(t, ts.URL+"/v1/release", req, nil); status != http.StatusOK {
+		t.Fatalf("release: status %d: %s", status, body)
+	}
+	var bs budgetStatusResponse
+	if _, _ = getJSON(t, ts.URL+"/v1/budget/"+hr.ID, &bs); bs.Enforced || bs.SpentEpsilon != 2 {
+		t.Fatalf("unenforced budget: %+v", bs)
+	}
+}
+
+// TestServeGzip exercises the transport in both directions: a
+// gzip-compressed upload body, a gzip-compressed response, a malformed
+// gzip stream, and an unsupported Content-Encoding.
+func TestServeGzip(t *testing.T) {
+	ts := newTestServer(t, engine.Options{})
+
+	recs := make([]groupRecord, 0, len(smallGroups()))
+	for _, g := range smallGroups() {
+		recs = append(recs, groupRecord{Path: g.Path, Size: g.Size})
+	}
+	raw, err := json.Marshal(hierarchyRequest{Root: "US", Groups: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zipped bytes.Buffer
+	zw := gzip.NewWriter(&zipped)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compressed upload.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/hierarchy", bytes.NewReader(zipped.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr hierarchyResponse
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gzip upload: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The plain upload of the same groups must be idempotent with it.
+	plain := uploadGroups(t, ts, "US", smallGroups())
+	if plain.ID != hr.ID {
+		t.Fatalf("gzip upload id %q != plain upload id %q", hr.ID, plain.ID)
+	}
+
+	// Compressed response: ask for gzip explicitly (the default
+	// transport would transparently decompress; do it by hand to see the
+	// header).
+	req, err = http.NewRequest("GET", ts.URL+"/v1/hierarchy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("response Content-Encoding = %q, want gzip", got)
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed []hierarchyResponse
+	if err := json.NewDecoder(zr).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0].ID != hr.ID {
+		t.Fatalf("gzip-listed hierarchies: %+v", listed)
+	}
+
+	// Malformed gzip body is a 400, not a hang or a 500.
+	req, err = http.NewRequest("POST", ts.URL+"/v1/hierarchy", strings.NewReader("not gzip at all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed gzip: status %d, want 400", resp.StatusCode)
+	}
+
+	// An encoding the server does not speak is a 415.
+	req, err = http.NewRequest("POST", ts.URL+"/v1/hierarchy", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "br")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("br encoding: status %d, want 415", resp.StatusCode)
+	}
+}
+
+// TestAcceptsGzip pins the Accept-Encoding negotiation: tokens are
+// case-insensitive and every RFC spelling of a zero q-value refuses.
+func TestAcceptsGzip(t *testing.T) {
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"gzip", true},
+		{"GZIP", true},
+		{"br, gzip;q=0.5", true},
+		{"*", true},
+		{"gzip;q=0", false},
+		{"gzip;q=0.0", false},
+		{"gzip;q=0.000", false},
+		{"br", false},
+		{"identity", false},
+	}
+	for _, tc := range cases {
+		r, _ := http.NewRequest("GET", "/healthz", nil)
+		if tc.header != "" {
+			r.Header.Set("Accept-Encoding", tc.header)
+		}
+		if got := acceptsGzip(r); got != tc.want {
+			t.Errorf("acceptsGzip(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// mustJSON marshals v for structural comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

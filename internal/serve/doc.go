@@ -1,0 +1,16 @@
+// Package serve is the HTTP layer of the hcoc-serve daemon: routing,
+// request decoding and validation, error mapping, and the gzip
+// transport over the release engine (internal/engine) and the durable
+// store (internal/store).
+//
+// The package exists separately from cmd/hcoc-serve so the full
+// serving stack can be run in-process — httptest servers in the client
+// SDK's tests and examples, cmd/hcoc-load's tests, and benchmarks all
+// exercise the real handlers rather than stubs.
+//
+// Routes are registered from a single table (see Routes), which the
+// OpenAPI coverage test compares against docs/openapi.yaml so the spec
+// cannot silently drift from the implementation. Endpoint semantics —
+// status codes, request/response shapes, the async job lifecycle — are
+// documented in that spec and in the repository README.
+package serve

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// gzipWriters pools response compressors: a flate writer's internal
+// state is large (hundreds of KB), and allocating one per response
+// dominated the serving allocation profile.
+var gzipWriters = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// The transport layer speaks gzip in both directions: POST bodies may
+// arrive with Content-Encoding: gzip (a hierarchy upload is highly
+// repetitive JSON, typically 10-20x smaller compressed), and any
+// response is compressed when the client advertised Accept-Encoding:
+// gzip. Decompressed request bodies are bounded exactly like plain
+// ones, so a gzip bomb hits the same 413 as an oversized upload.
+
+// gzipBody lazily decompresses a request body. The gzip reader is
+// created on first Read so an empty or malformed stream surfaces as a
+// decode error on the request, not a panic at wrap time; the
+// decompressed byte count is bounded by limit, surfacing the same
+// *http.MaxBytesError an oversized plain body produces.
+type gzipBody struct {
+	src   io.ReadCloser
+	zr    *gzip.Reader
+	limit int64
+	read  int64
+}
+
+func (b *gzipBody) Read(p []byte) (int, error) {
+	if b.zr == nil {
+		zr, err := gzip.NewReader(b.src)
+		if err != nil {
+			return 0, fmt.Errorf("gzip request body: %w", err)
+		}
+		b.zr = zr
+	}
+	n, err := b.zr.Read(p)
+	b.read += int64(n)
+	if b.read > b.limit {
+		// The n bytes already written to p must still be reported
+		// alongside the error (io.Reader contract).
+		return n, &http.MaxBytesError{Limit: b.limit}
+	}
+	return n, err
+}
+
+func (b *gzipBody) Close() error {
+	if b.zr != nil {
+		_ = b.zr.Close()
+	}
+	return b.src.Close()
+}
+
+// gzipResponseWriter compresses the response body; headers are fixed up
+// on the first write, when the handler has committed to a body.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	zw *gzip.Writer
+}
+
+func (w *gzipResponseWriter) WriteHeader(status int) {
+	w.Header().Del("Content-Length")
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *gzipResponseWriter) Write(p []byte) (int, error) {
+	return w.zw.Write(p)
+}
+
+// acceptsGzip reports whether the request advertises gzip response
+// encoding. Content-coding tokens are case-insensitive, and a zero
+// q-value in any RFC-valid spelling (q=0, q=0.0, ...) is a refusal.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if c := strings.ToLower(strings.TrimSpace(coding)); c != "gzip" && c != "*" {
+			continue
+		}
+		if hasQ {
+			if val, ok := strings.CutPrefix(strings.TrimSpace(q), "q="); ok {
+				if f, err := strconv.ParseFloat(val, 64); err == nil && f == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}

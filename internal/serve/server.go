@@ -1,7 +1,8 @@
-package main
+package serve
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,19 +64,54 @@ func NewServer(eng *engine.Engine, st *store.Store) (*Server, error) {
 		trees:    make(map[string]*storedTree),
 		maxTrees: maxHierarchies,
 	}
-	s.mux.HandleFunc("POST /v1/hierarchy", s.handleHierarchy)
-	s.mux.HandleFunc("GET /v1/hierarchy", s.handleListHierarchies)
-	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
-	s.mux.HandleFunc("GET /v1/release", s.handleListReleases)
-	s.mux.HandleFunc("GET /v1/release/{id}", s.handleGetRelease)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("GET /v1/query/{node...}", s.handleQuery)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, rt := range s.routeTable() {
+		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+	}
 	if err := s.loadHierarchies(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Route is one registered endpoint: an HTTP method and a net/http mux
+// pattern (path parameters spelled {id}, {node...}).
+type Route struct {
+	Method  string
+	Pattern string
+}
+
+// routeEntry pairs a Route with its handler; routeTable is the single
+// source of truth for registration and for Routes.
+type routeEntry struct {
+	Route
+	handler http.HandlerFunc
+}
+
+func (s *Server) routeTable() []routeEntry {
+	return []routeEntry{
+		{Route{"POST", "/v1/hierarchy"}, s.handleHierarchy},
+		{Route{"GET", "/v1/hierarchy"}, s.handleListHierarchies},
+		{Route{"POST", "/v1/release"}, s.handleRelease},
+		{Route{"GET", "/v1/release"}, s.handleListReleases},
+		{Route{"GET", "/v1/release/{id}"}, s.handleGetRelease},
+		{Route{"GET", "/v1/jobs/{id}"}, s.handleGetJob},
+		{Route{"POST", "/v1/query/batch"}, s.handleBatchQuery},
+		{Route{"GET", "/v1/query/{node...}"}, s.handleQuery},
+		{Route{"GET", "/v1/budget/{id}"}, s.handleBudget},
+		{Route{"GET", "/healthz"}, s.handleHealthz},
+		{Route{"GET", "/metrics"}, s.handleMetrics},
+	}
+}
+
+// Routes lists every registered endpoint. The OpenAPI coverage test
+// uses it to fail the build when docs/openapi.yaml misses a route.
+func (s *Server) Routes() []Route {
+	table := s.routeTable()
+	out := make([]Route, len(table))
+	for i, rt := range table {
+		out[i] = rt.Route
+	}
+	return out
 }
 
 // loadHierarchies warm-starts the uploaded-tree table from the store.
@@ -113,9 +150,30 @@ func (s *Server) loadHierarchies() error {
 	return nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Request bodies are bounded (and,
+// with Content-Encoding: gzip, transparently decompressed under the
+// same bound); responses are gzip-compressed when the client accepts
+// it.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if ce := r.Header.Get("Content-Encoding"); strings.EqualFold(ce, "gzip") {
+		r.Body = &gzipBody{src: r.Body, limit: s.maxBody}
+		r.Header.Del("Content-Encoding")
+	} else if ce != "" && !strings.EqualFold(ce, "identity") {
+		writeError(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q; send gzip or identity", ce)
+		return
+	}
+	if acceptsGzip(r) {
+		zw := gzipWriters.Get().(*gzip.Writer)
+		zw.Reset(w)
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Add("Vary", "Accept-Encoding")
+		w = &gzipResponseWriter{ResponseWriter: w, zw: zw}
+		defer func() {
+			_ = zw.Close()
+			gzipWriters.Put(zw)
+		}()
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -623,22 +681,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := queryResponse{
-		Node:     rep.Node,
-		Groups:   rep.Groups,
-		People:   rep.People,
-		Mean:     rep.Mean,
-		Median:   rep.Median,
-		Gini:     rep.Gini,
-		TopCoded: rep.TopCoded,
-	}
-	for _, v := range rep.Quantiles {
-		resp.Quantiles = append(resp.Quantiles, quantileValue{Q: v.Q, Size: v.Size})
-	}
-	for _, v := range rep.KthLargest {
-		resp.KthLargest = append(resp.KthLargest, orderStatValue{K: v.K, Size: v.Size})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, toQueryResponse(rep))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -676,7 +719,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("hcoc_jobs", "Async release jobs currently retained.", s.jobs.Len())
 	put("hcoc_releases_total", "Completed release computations.", m.Releases)
 	put("hcoc_inflight_releases", "Release computations running now.", m.InFlight)
-	put("hcoc_queries_total", "Node query reads served.", m.Queries)
+	put("hcoc_queries_total", "Node query reads served (batch entries counted individually).", m.Queries)
+	put("hcoc_batch_queries_total", "Batch query requests served, each one engine pass.", m.Batches)
 	put("hcoc_release_seconds_total", "Cumulative release computation time.", m.ReleaseTotal.Seconds())
 	put("hcoc_release_seconds_last", "Duration of the most recent release computation.", m.LastRelease.Seconds())
 	put("hcoc_hierarchies", "Hierarchies currently uploaded.", hierarchies)

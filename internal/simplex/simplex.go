@@ -1,13 +1,3 @@
-// Package simplex provides Euclidean projection onto the scaled simplex
-// {x : x >= 0, sum x = total} and largest-remainder integer rounding.
-//
-// The projection is the closed-form solution to the "quadratic program"
-// of Section 4.1 (minimize ||noisy - x||^2 subject to nonnegativity and a
-// fixed total), solved by water-filling in O(n log n) instead of a
-// commercial QP solver. The rounding rule — round up the cells with the
-// largest fractional parts until the total matches — is the one the
-// paper specifies both for the naive method (Section 4.1) and for the
-// proportional matching split (footnote 10).
 package simplex
 
 import "sort"

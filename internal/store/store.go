@@ -1,28 +1,3 @@
-// Package store is the durable layer under the serving engine's LRU: a
-// disk-backed, content-addressed artifact store that keeps every
-// completed release as an hcoc-release/v2-sparse file, plus the
-// uploaded hierarchies needed to recompute them. Releases are expensive
-// one-shot computations whose value is repeated post-processing
-// queries; persisting them makes a daemon restart a warm start instead
-// of a re-spend of both CPU and privacy budget.
-//
-// Layout under the data directory:
-//
-//	manifest.jsonl            append-only JSON lines: "charge"/"refund"
-//	                          privacy-ledger entries plus one "release"
-//	                          entry per stored artifact (key, hierarchy
-//	                          fingerprint, algorithm, epsilon, cost,
-//	                          duration)
-//	releases/<key>.json       v2-sparse release artifacts
-//	hierarchies/<fp>.json     uploaded group records, for warm starts
-//
-// All writes are crash-safe: artifacts and hierarchy files are written
-// to a temp file, fsynced, and renamed into place; manifest lines are
-// single fsynced appends, and a torn final line (a crash mid-append) is
-// dropped on reopen. The manifest is the source of truth for what the
-// store holds and for the cumulative epsilon spent per hierarchy —
-// charges are written ahead of the noise draw, so a crash can only
-// over-count spend, never under-count it.
 package store
 
 import (
