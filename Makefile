@@ -71,7 +71,8 @@ serve:
 	$(GO) run ./cmd/hcoc-serve
 
 # Documentation contract: godoc conventions (package comments in
-# doc.go, documented exported symbols) and OpenAPI route coverage.
+# doc.go, documented exported symbols) and OpenAPI route coverage
+# across both serving tiers (backend + gateway).
 docs-check:
 	$(GO) test -run TestGodocConventions .
-	$(GO) test -run 'TestOpenAPI|TestRoutesStable' ./internal/serve
+	$(GO) test -run 'TestOpenAPI|TestRoutesStable|TestGatewayRoutesStable' ./internal/serve ./internal/gateway

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -236,6 +237,25 @@ func (c *Client) DownloadRelease(ctx context.Context, id string) (hcoc.SparseHis
 	return rel, epsilon, err
 }
 
+// DownloadReleaseBytes fetches a release artifact verbatim, without
+// decoding it: format "" or "sparse" selects the run-length v2 shape,
+// "dense" the v1 array shape. The gateway tier uses it to proxy
+// artifacts without a redundant decode/re-encode round trip; most
+// callers want DownloadRelease.
+func (c *Client) DownloadReleaseBytes(ctx context.Context, id, format string) ([]byte, error) {
+	path := "/v1/release/" + url.PathEscape(id)
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	var out []byte
+	err := c.download(ctx, path, func(r io.Reader) error {
+		var err error
+		out, err = io.ReadAll(r)
+		return err
+	})
+	return out, err
+}
+
 // DownloadReleaseDense fetches a release artifact in the dense v1 array
 // shape (?format=dense).
 func (c *Client) DownloadReleaseDense(ctx context.Context, id string) (hcoc.Histograms, float64, error) {
@@ -247,6 +267,37 @@ func (c *Client) DownloadReleaseDense(ctx context.Context, id string) (hcoc.Hist
 		return err
 	})
 	return rel, epsilon, err
+}
+
+// ImportRelease PUTs a release artifact into a daemon's cache/store
+// tiers — the cluster replication path: an artifact computed by one
+// backend is copied into its replicas so failover reads serve the
+// exact same bytes. algorithm and durationMS describe the original
+// computation ("" and 0 select the defaults). The returned bool
+// reports whether the daemon admitted the artifact (false = it already
+// held the key; importing is idempotent). No privacy budget is spent
+// server-side.
+func (c *Client) ImportRelease(ctx context.Context, id, hierarchy, algorithm string, durationMS float64, rel hcoc.SparseHistograms, epsilon float64) (bool, error) {
+	var buf bytes.Buffer
+	if err := hcoc.WriteReleaseSparse(&buf, rel, epsilon); err != nil {
+		return false, fmt.Errorf("client: encoding artifact: %w", err)
+	}
+	q := url.Values{}
+	q.Set("hierarchy", hierarchy)
+	if algorithm != "" {
+		q.Set("algorithm", algorithm)
+	}
+	if durationMS > 0 {
+		q.Set("duration_ms", strconv.FormatFloat(durationMS, 'g', -1, 64))
+	}
+	var out struct {
+		Release  string `json:"release"`
+		Imported bool   `json:"imported"`
+	}
+	err := c.attempt(ctx, func() error {
+		return c.once(ctx, http.MethodPut, "/v1/release/"+url.PathEscape(id)+"?"+q.Encode(), buf.Bytes(), &out)
+	})
+	return out.Imported, err
 }
 
 // download streams a GET body into decode, through the same retry loop

@@ -1,0 +1,154 @@
+package client
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// ClusterClient is a Client that fails over across several equivalent
+// endpoints — hcoc-gateway instances, or the backends of a cluster
+// directly. Every Client method works unchanged; underneath, each
+// request is tried against the targets in rotation starting from the
+// last one that worked (sticky routing, so a healthy deployment pays
+// no failover cost), moving to the next on connection failures and
+// gateway-dead statuses (502, 504). Per-target backpressure (429, 503)
+// is left to the inherited retry loop, which understands Retry-After.
+//
+// Failing over a request whose body has already started streaming
+// requires replaying it; bodies built by this package are always
+// replayable. A request that fails against every target surfaces the
+// last error through the usual retry machinery.
+type ClusterClient struct {
+	*Client
+	ft *failoverTransport
+}
+
+// NewCluster creates a client over one or more equivalent base URLs.
+// Options apply as in New; the failover layer wraps whatever transport
+// the resulting client uses.
+func NewCluster(targets []string, opts ...Option) (*ClusterClient, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("client: cluster needs at least one target URL")
+	}
+	parsed := make([]*url.URL, len(targets))
+	for i, t := range targets {
+		u, err := url.Parse(t)
+		if err != nil {
+			return nil, fmt.Errorf("client: parsing target %q: %w", t, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("client: target URL %q needs a scheme and host", t)
+		}
+		parsed[i] = u
+		// Failover rewrites only scheme and host — the path comes from
+		// the first target's base URL. Targets with differing path
+		// prefixes would silently receive requests built for another
+		// prefix, so require them to agree.
+		if strings.TrimSuffix(u.Path, "/") != strings.TrimSuffix(parsed[0].Path, "/") {
+			return nil, fmt.Errorf("client: target %q has path %q but %q has %q; cluster targets must share one path prefix",
+				t, u.Path, targets[0], parsed[0].Path)
+		}
+	}
+	c, err := New(targets[0], opts...)
+	if err != nil {
+		return nil, err
+	}
+	ft := &failoverTransport{targets: parsed, next: c.hc.Transport}
+	if ft.next == nil {
+		ft.next = http.DefaultTransport
+	}
+	// Shallow-copy the http.Client so a caller-supplied one (via
+	// WithHTTPClient) is not mutated behind their back.
+	hc := *c.hc
+	hc.Transport = ft
+	c.hc = &hc
+	return &ClusterClient{Client: c, ft: ft}, nil
+}
+
+// Targets lists the configured endpoints in rotation order.
+func (c *ClusterClient) Targets() []string {
+	out := make([]string, len(c.ft.targets))
+	for i, u := range c.ft.targets {
+		out[i] = u.String()
+	}
+	return out
+}
+
+// failoverTransport retargets requests across equivalent hosts. It
+// sits below the Client's retry loop: the loop decides whether a
+// request is worth re-attempting at all; this layer decides which host
+// an attempt lands on, burning through dead hosts within one attempt.
+type failoverTransport struct {
+	next    http.RoundTripper
+	targets []*url.URL
+
+	mu      sync.Mutex
+	current int // index of the last target that answered
+}
+
+// failoverStatus reports responses that mean "this endpoint is dead or
+// unreachable", not "the service refuses the request": a different
+// target may genuinely succeed. Backpressure (429/503) is deliberately
+// excluded — it carries Retry-After semantics the retry loop owns.
+func failoverStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusGatewayTimeout
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *failoverTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	start := t.current
+	t.mu.Unlock()
+
+	attempts := len(t.targets)
+	if req.Body != nil && req.GetBody == nil {
+		// The body cannot be replayed; failing over mid-stream would
+		// resend a truncated request. One target only.
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if err := req.Context().Err(); err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		idx := (start + i) % len(t.targets)
+		target := t.targets[idx]
+		r := req.Clone(req.Context())
+		r.URL.Scheme, r.URL.Host = target.Scheme, target.Host
+		r.Host = "" // derive the Host header from the rewritten URL
+		if i > 0 && req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, fmt.Errorf("replaying request body: %w", err)
+			}
+			r.Body = body
+		}
+		resp, err := t.next.RoundTrip(r)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if failoverStatus(resp.StatusCode) {
+			if i < attempts-1 {
+				resp.Body.Close()
+				lastErr = fmt.Errorf("%s answered %d", target.Host, resp.StatusCode)
+				continue
+			}
+			// Out of targets: surface the response, but do NOT stick to
+			// this endpoint — it just told us it is dead, and pinning it
+			// would start every future request at a known corpse.
+			return resp, nil
+		}
+		t.mu.Lock()
+		t.current = idx
+		t.mu.Unlock()
+		return resp, nil
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,170 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"hcoc"
+)
+
+// okServer is a minimal daemon double that counts hits and echoes a
+// canned hierarchy for uploads.
+func okServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Method == http.MethodPost {
+			// The body must arrive whole — a failover that replays a
+			// truncated body would fail decoding here.
+			var req struct {
+				Root   string `json:"root"`
+				Groups []any  `json:"groups"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = io.WriteString(w, `{"id":"h-abc","nodes":1}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{"status":"ok"}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil); err == nil {
+		t.Fatal("no targets accepted")
+	}
+	if _, err := NewCluster([]string{"not a url", "http://x"}); err == nil {
+		t.Fatal("unparsable target accepted")
+	}
+	if _, err := NewCluster([]string{"relative/path"}); err == nil {
+		t.Fatal("schemeless target accepted")
+	}
+	cc, err := NewCluster([]string{"http://a:1", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Targets(); len(got) != 2 || got[0] != "http://a:1" {
+		t.Fatalf("targets = %v", got)
+	}
+	// Failover rewrites scheme+host only, so targets must agree on the
+	// path prefix: a shared one is fine, divergent ones are refused.
+	if _, err := NewCluster([]string{"http://a:1/gw/", "http://b:2/gw"}); err != nil {
+		t.Fatalf("shared path prefix rejected: %v", err)
+	}
+	if _, err := NewCluster([]string{"http://a:1/gw", "http://b:2"}); err == nil {
+		t.Fatal("divergent path prefixes accepted")
+	}
+}
+
+// TestClusterFailoverOnDeadTarget: a request against a dead first
+// target transparently lands on the live second one, and the client
+// then sticks to the live target instead of re-dialing the corpse.
+func TestClusterFailoverOnDeadTarget(t *testing.T) {
+	var hits1, hits2 atomic.Int64
+	t1 := okServer(t, &hits1)
+	t2 := okServer(t, &hits2)
+
+	cc, err := NewCluster([]string{t1.URL, t2.URL}, WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cc.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if hits1.Load() != 1 || hits2.Load() != 0 {
+		t.Fatalf("healthy routing hit t1=%d t2=%d", hits1.Load(), hits2.Load())
+	}
+
+	t1.Close()
+	// A POST with a body: the failover must replay it against t2.
+	h, err := cc.UploadHierarchy(ctx, "root", []hcoc.Group{{Path: []string{"CA"}, Size: 3}})
+	if err != nil {
+		t.Fatalf("upload after killing t1: %v", err)
+	}
+	if h.ID != "h-abc" {
+		t.Fatalf("upload response %+v", h)
+	}
+	if hits2.Load() != 1 {
+		t.Fatalf("t2 hits = %d, want 1", hits2.Load())
+	}
+
+	// Sticky: the next request goes straight to t2, no dial of t1.
+	if err := cc.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if hits2.Load() != 2 {
+		t.Fatalf("t2 hits = %d, want 2 (client did not stick)", hits2.Load())
+	}
+}
+
+// TestClusterFailoverOnGatewayStatus: 502 from one target moves to the
+// next; backpressure statuses (503) do not fail over — they belong to
+// the retry loop.
+func TestClusterFailoverOnGatewayStatus(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "dead gateway", http.StatusBadGateway)
+	}))
+	t.Cleanup(bad.Close)
+	var hits atomic.Int64
+	good := okServer(t, &hits)
+
+	cc, err := NewCluster([]string{bad.URL, good.URL}, WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz did not fail over on 502: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("good target hits = %d", hits.Load())
+	}
+
+	var calls503 atomic.Int64
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls503.Add(1)
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(busy.Close)
+	cc2, err := NewCluster([]string{busy.URL, good.URL}, WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cc2.Healthz(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("503 err = %v, want APIError 503 from the first target", err)
+	}
+	if calls503.Load() != 1 {
+		t.Fatalf("503 target called %d times", calls503.Load())
+	}
+}
+
+// TestClusterAllTargetsDown: with every target dead the last transport
+// error surfaces (and the retry loop treats it as retryable).
+func TestClusterAllTargetsDown(t *testing.T) {
+	var hits atomic.Int64
+	t1 := okServer(t, &hits)
+	t2 := okServer(t, &hits)
+	cc, err := NewCluster([]string{t1.URL, t2.URL}, WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1.Close()
+	t2.Close()
+	if err := cc.Healthz(context.Background()); err == nil {
+		t.Fatal("healthz succeeded with every target down")
+	}
+}

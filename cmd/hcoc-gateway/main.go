@@ -1,0 +1,141 @@
+// Command hcoc-gateway is the sharded-serving front end: it exposes
+// the same /v1 surface as a single hcoc-serve daemon, but routes every
+// request across a fleet of them on a consistent-hash ring keyed by
+// hierarchy fingerprint.
+//
+// Placement and durability: each hierarchy is owned by -replication
+// backends in a deterministic primary→replica order. Uploads fan out
+// to every owner; a synchronous release runs on the primary and its
+// artifact is replicated to the other owners (PUT /v1/release/{id}),
+// so when a backend dies mid-fleet, reads fail over down the replica
+// order and keep serving the exact same bytes. Cluster-wide listings
+// scatter-gather over the live backends and merge deduplicated
+// results.
+//
+// Health: every backend is probed at -probe-interval; -fail-threshold
+// consecutive failures (probes and forwarded requests share the
+// counter) eject a backend from preferred routing, and the first
+// success re-admits it. GET /v1/cluster shows the topology — ring
+// parameters, per-backend health, traffic counters, and, with
+// ?key=h-<fp>, a key's current failover route.
+//
+// Example:
+//
+//	hcoc-serve -addr :8081 & hcoc-serve -addr :8082 & hcoc-serve -addr :8083 &
+//	hcoc-gateway -addr :8080 \
+//	    -backends http://localhost:8081,http://localhost:8082,http://localhost:8083 \
+//	    -replication 2
+//	curl -s localhost:8080/v1/cluster | jq .
+//
+// Clients speak to the gateway exactly as they would to a single
+// daemon — the client SDK and hcoc-load work unchanged (hcoc-load can
+// also target several gateways at once with -targets).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hcoc/internal/gateway"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		backends = flag.String("backends", "", "comma-separated hcoc-serve base URLs (required)")
+		repl     = flag.Int("replication", 0, "backends owning each hierarchy (0 = default 2, clamped to the fleet size)")
+		vnodes   = flag.Int("virtual-nodes", 0, "ring points per backend (0 = default 128)")
+		interval = flag.Duration("probe-interval", 0, "health-probe period (0 = default 2s)")
+		thresh   = flag.Int("fail-threshold", 0, "consecutive failures that eject a backend (0 = default 3)")
+	)
+	flag.Parse()
+	urls, err := parseBackends(*backends)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcoc-gateway: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, urls, *repl, *vnodes, *interval, *thresh); err != nil {
+		fmt.Fprintf(os.Stderr, "hcoc-gateway: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBackends splits and validates the -backends list.
+func parseBackends(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-backends is required (comma-separated base URLs)")
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		u := strings.TrimSuffix(strings.TrimSpace(part), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			return nil, fmt.Errorf("backend %q needs a scheme (http://host:port)", part)
+		}
+		out = append(out, u)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-backends lists no URLs")
+	}
+	return out, nil
+}
+
+func run(addr string, backends []string, repl, vnodes int, interval time.Duration, thresh int) error {
+	gw, err := gateway.New(gateway.Options{
+		Backends:      backends,
+		Replication:   repl,
+		VirtualNodes:  vnodes,
+		ProbeInterval: interval,
+		FailThreshold: thresh,
+	})
+	if err != nil {
+		return err
+	}
+	gw.Start()
+	defer gw.Stop()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("hcoc-gateway: listening on %s over %d backends (replication=%d)\n",
+			addr, len(backends), gw.Cluster().Replication())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("hcoc-gateway: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

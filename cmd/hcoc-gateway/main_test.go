@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseBackends(t *testing.T) {
+	got, err := parseBackends("http://a:8081, http://b:8082/,http://c:8083")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:8081", "http://b:8082", "http://c:8083"}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "  ", ",,", "localhost:8081"} {
+		if _, err := parseBackends(bad); err == nil {
+			t.Fatalf("parseBackends(%q) accepted", bad)
+		}
+	}
+}

@@ -20,11 +20,17 @@
 // -scale) and computes one seeded release, so queries always have a
 // release to read.
 //
+// A whole cluster can be driven as easily as one daemon: -targets
+// takes several comma-separated base URLs (hcoc-gateway instances, or
+// backends directly) and the generator fails over between them
+// client-side, sticking to the last target that answered.
+//
 // Example:
 //
 //	hcoc-serve -addr :8080 &
 //	hcoc-load -addr http://localhost:8080 -duration 30s \
 //	    -mix release=1,query=8,batch=1 -concurrency 16
+//	hcoc-load -targets http://gw1:8080,http://gw2:8080 -duration 30s
 //
 // The exit status is 0 when the error-rate stays within
 // -max-error-rate, 1 otherwise — CI-friendly.
@@ -69,6 +75,7 @@ func main() {
 // construct it directly.
 type config struct {
 	addr         string
+	targets      []string // >1 base URL selects the failover ClusterClient
 	duration     time.Duration
 	concurrency  int
 	rate         float64 // >0 selects the open loop
@@ -87,8 +94,9 @@ type config struct {
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("hcoc-load", flag.ContinueOnError)
 	cfg := config{}
-	var mix string
+	var mix, targets string
 	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "base URL of the hcoc-serve daemon")
+	fs.StringVar(&targets, "targets", "", "comma-separated base URLs of a cluster (gateways or backends); overrides -addr and enables client-side failover")
 	fs.DurationVar(&cfg.duration, "duration", 30*time.Second, "how long to generate load")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers; the open loop bounds in-flight requests at 64x this")
 	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop request rate per second (0 = closed loop)")
@@ -108,6 +116,11 @@ func parseFlags(args []string) (config, error) {
 	var err error
 	if cfg.mix, err = parseMix(mix); err != nil {
 		return config{}, err
+	}
+	for _, part := range strings.Split(targets, ",") {
+		if u := strings.TrimSpace(part); u != "" {
+			cfg.targets = append(cfg.targets, u)
+		}
 	}
 	if cfg.concurrency < 1 || cfg.batchSize < 1 || cfg.duration <= 0 {
 		return config{}, fmt.Errorf("concurrency, batch-size and duration must be positive")
@@ -139,6 +152,14 @@ func parseMix(s string) (map[string]int, error) {
 		return nil, fmt.Errorf("mix has no positive weights")
 	}
 	return out, nil
+}
+
+// target names what the run is aimed at, for messages.
+func (c config) target() string {
+	if len(c.targets) > 0 {
+		return strings.Join(c.targets, ",")
+	}
+	return c.addr
 }
 
 func datasetKind(name string) (hcoc.DatasetKind, error) {
@@ -175,13 +196,28 @@ func (r *recorder) add(s sample) {
 	r.mu.Unlock()
 }
 
+// errDropped marks an open-loop operation shed at the in-flight bound
+// instead of being issued. Drops are attempted ops that the system
+// failed to absorb, so they count in BOTH the numerator and the
+// denominator of the error rate — excluding them from the denominator
+// would overstate the failure fraction of the work actually offered,
+// and excluding them from the numerator would hide queueing collapse
+// entirely. TestDigestDropAccounting pins this math.
+var errDropped = errors.New("dropped: in-flight bound reached")
+
 // summary is the digested outcome of a run.
 type summary struct {
+	// total counts every attempted operation: issued requests
+	// (succeeded or failed) AND open-loop drops.
 	total, failed int
-	elapsed       time.Duration
+	// dropped is how many of failed were never issued (open-loop
+	// in-flight bound); always <= failed.
+	dropped int
+	elapsed time.Duration
 	// byOp maps op name to its latencies (successes only) and error count.
 	byOp map[string]*opStats
-	// errors maps an error class ("429", "503", "net", ...) to a count.
+	// errors maps an error class ("429", "503", "net", "dropped", ...)
+	// to a count.
 	errors map[string]int
 }
 
@@ -190,6 +226,7 @@ type opStats struct {
 	errors    int
 }
 
+// errorRate is failed/total with drops included on both sides.
 func (s *summary) errorRate() float64 {
 	if s.total == 0 {
 		return 1 // a run that did nothing is a failed run
@@ -211,6 +248,9 @@ func digest(samples []sample, elapsed time.Duration) *summary {
 			sum.failed++
 			st.errors++
 			sum.errors[classify(s.err)]++
+			if errors.Is(s.err, errDropped) {
+				sum.dropped++
+			}
 			continue
 		}
 		st.latencies = append(st.latencies, s.latency)
@@ -218,9 +258,13 @@ func digest(samples []sample, elapsed time.Duration) *summary {
 	return sum
 }
 
-// classify buckets an error for the breakdown: HTTP statuses by code,
-// budget refusals and transport failures by name.
+// classify buckets an error for the breakdown: open-loop drops and
+// budget refusals by name, HTTP statuses by code, transport failures
+// as "net".
 func classify(err error) string {
+	if errors.Is(err, errDropped) {
+		return "dropped"
+	}
 	var be *client.BudgetError
 	if errors.As(err, &be) {
 		return "budget"
@@ -253,7 +297,7 @@ func (s *summary) report(w io.Writer, cfg config) {
 	if cfg.rate > 0 {
 		shape = fmt.Sprintf("open loop, %.0f req/s target", cfg.rate)
 	}
-	fmt.Fprintf(w, "hcoc-load: %s for %s against %s\n", shape, cfg.duration, cfg.addr)
+	fmt.Fprintf(w, "hcoc-load: %s for %s against %s\n", shape, cfg.duration, cfg.target())
 	fmt.Fprintf(w, "%-8s %8s %7s %10s %10s %10s %10s\n", "op", "count", "errors", "p50", "p90", "p99", "max")
 	ops := make([]string, 0, len(s.byOp))
 	for op := range s.byOp {
@@ -270,8 +314,12 @@ func (s *summary) report(w io.Writer, cfg config) {
 			percentile(st.latencies, 0.99).Round(10*time.Microsecond),
 			percentile(st.latencies, 1.00).Round(10*time.Microsecond))
 	}
-	fmt.Fprintf(w, "total    %8d %7d  (%.1f req/s over %s)\n",
-		s.total, s.failed, float64(s.total)/s.elapsed.Seconds(), s.elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "total    %8d %7d  (%.1f req/s over %s", s.total, s.failed,
+		float64(s.total)/s.elapsed.Seconds(), s.elapsed.Round(time.Millisecond))
+	if s.dropped > 0 {
+		fmt.Fprintf(w, "; %d dropped at the in-flight bound", s.dropped)
+	}
+	fmt.Fprintln(w, ")")
 	if len(s.errors) > 0 {
 		classes := make([]string, 0, len(s.errors))
 		for c := range s.errors {
@@ -289,12 +337,21 @@ func (s *summary) report(w io.Writer, cfg config) {
 // run sets up the target (hierarchy upload + one warm release) and
 // drives the configured loop, returning the digested summary.
 func run(ctx context.Context, cfg config, out io.Writer) (*summary, error) {
-	c, err := client.New(cfg.addr)
+	var c *client.Client
+	var err error
+	if len(cfg.targets) > 0 {
+		var cc *client.ClusterClient
+		if cc, err = client.NewCluster(cfg.targets); err == nil {
+			c = cc.Client
+		}
+	} else {
+		c, err = client.New(cfg.addr)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if err := c.Healthz(ctx); err != nil {
-		return nil, fmt.Errorf("daemon not healthy at %s: %w", cfg.addr, err)
+		return nil, fmt.Errorf("daemon not healthy at %s: %w", cfg.target(), err)
 	}
 
 	kind, err := datasetKind(cfg.dataset)
@@ -394,7 +451,7 @@ func (w *worker) openLoop(ctx context.Context, rec *recorder) {
 		select {
 		case slots <- struct{}{}:
 		default:
-			rec.add(sample{op: w.pick(rng), err: fmt.Errorf("dropped: %d requests already in flight", cap(slots))})
+			rec.add(sample{op: w.pick(rng), err: fmt.Errorf("%w (%d in flight)", errDropped, cap(slots))})
 			continue
 		}
 		op, seed := w.pick(rng), rng.Int63()

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -47,6 +49,9 @@ func newDaemon(t *testing.T) *httptest.Server {
 // the real serving stack and requires a clean error-free summary
 // covering every op in the mix.
 func TestLoadClosedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load integration skipped in -short mode")
+	}
 	ts := newDaemon(t)
 	sum, err := run(context.Background(), testConfig(ts.URL), os.Stderr)
 	if err != nil {
@@ -72,6 +77,9 @@ func TestLoadClosedLoop(t *testing.T) {
 // to hold: an open loop at 50 req/s for a second issues about 50
 // operations, not thousands.
 func TestLoadOpenLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load integration skipped in -short mode")
+	}
 	ts := newDaemon(t)
 	cfg := testConfig(ts.URL)
 	cfg.rate = 50
@@ -84,6 +92,28 @@ func TestLoadOpenLoop(t *testing.T) {
 	}
 	if sum.total < 20 || sum.total > 80 {
 		t.Fatalf("open loop at 50/s for 1s issued %d operations", sum.total)
+	}
+}
+
+// TestLoadClusterTargets drives the generator through the failover
+// client against two daemons, one of which is already dead — every
+// operation must transparently land on the live one.
+func TestLoadClusterTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load integration skipped in -short mode")
+	}
+	dead := newDaemon(t)
+	dead.Close()
+	live := newDaemon(t)
+	cfg := testConfig("")
+	cfg.targets = []string{dead.URL, live.URL}
+	cfg.duration = 500 * time.Millisecond
+	sum, err := run(context.Background(), cfg, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.failed != 0 || sum.total < 5 {
+		t.Fatalf("cluster run: %d/%d failed (%v)", sum.failed, sum.total, sum.errors)
 	}
 }
 
@@ -118,6 +148,55 @@ func TestParseFlags(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-mix", "bogus"}); err == nil {
 		t.Fatal("bad mix accepted")
+	}
+	cfg, err = parseFlags([]string{"-targets", "http://a:1, http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.targets) != 2 || cfg.targets[0] != "http://a:1" || cfg.targets[1] != "http://b:2" {
+		t.Fatalf("targets %v", cfg.targets)
+	}
+	if cfg.target() != "http://a:1,http://b:2" {
+		t.Fatalf("target() = %q", cfg.target())
+	}
+}
+
+// TestDigestDropAccounting pins the error-rate math: open-loop drops
+// are attempted operations, counted in the denominator as well as the
+// numerator, and classified separately from real failures.
+func TestDigestDropAccounting(t *testing.T) {
+	var samples []sample
+	for i := 0; i < 6; i++ {
+		samples = append(samples, sample{op: "query", latency: time.Millisecond})
+	}
+	samples = append(samples,
+		sample{op: "query", err: errors.New("connection refused")},
+		sample{op: "release", err: errors.New("boom")},
+		sample{op: "query", err: fmt.Errorf("%w (512 in flight)", errDropped)},
+		sample{op: "batch", err: errDropped},
+	)
+	sum := digest(samples, time.Second)
+	if sum.total != 10 {
+		t.Fatalf("total = %d, want 10 (drops count as attempted ops)", sum.total)
+	}
+	if sum.failed != 4 {
+		t.Fatalf("failed = %d, want 4 (drops count as failures)", sum.failed)
+	}
+	if sum.dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", sum.dropped)
+	}
+	if got := sum.errorRate(); got != 0.4 {
+		t.Fatalf("errorRate = %g, want 4/10", got)
+	}
+	if sum.errors["dropped"] != 2 || sum.errors["net"] != 2 {
+		t.Fatalf("error classes = %v", sum.errors)
+	}
+	// The report names the drops so an operator cannot mistake them
+	// for daemon failures.
+	var buf strings.Builder
+	sum.report(&buf, testConfig("http://x"))
+	if !strings.Contains(buf.String(), "2 dropped at the in-flight bound") {
+		t.Fatalf("report does not surface drops:\n%s", buf.String())
 	}
 }
 

@@ -16,6 +16,8 @@
 //	                          ("async": true => 202 + job id)
 //	GET  /v1/release          list durable release artifacts
 //	GET  /v1/release/{id}     download a release artifact
+//	PUT  /v1/release/{id}     import an artifact computed by another
+//	                          node (cluster replication; spends nothing)
 //	GET  /v1/jobs/{id}        poll an async release job
 //	GET  /v1/query/{node}     quantiles, k-th largest, top-coded, Gini
 //	POST /v1/query/batch      N node queries in one engine pass
@@ -24,7 +26,8 @@
 //	GET  /metrics             Prometheus text metrics
 //
 // The full request/response contract is docs/openapi.yaml; the Go SDK
-// over it is the repository's client package.
+// over it is the repository's client package. To shard this surface
+// across several daemons behind one front end, see cmd/hcoc-gateway.
 //
 // Example session:
 //

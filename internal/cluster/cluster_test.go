@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hcoc/internal/engine"
+	"hcoc/internal/serve"
+)
+
+func newCluster(t *testing.T, backends []string, repl, thresh int) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Backends:      backends,
+		Replication:   repl,
+		FailThreshold: thresh,
+		Probe: func(ctx context.Context, url string) (string, error) {
+			return "test-instance", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("no backends accepted")
+	}
+	if _, err := New(Options{Backends: []string{""}}); err == nil {
+		t.Fatal("empty backend URL accepted")
+	}
+	// Duplicates collapse; replication clamps to membership.
+	c, err := New(Options{Backends: []string{"u1", "u1", "u2"}, Replication: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Backends(); len(got) != 2 {
+		t.Fatalf("backends = %v", got)
+	}
+	if c.Replication() != 2 {
+		t.Fatalf("replication = %d, want clamped to 2", c.Replication())
+	}
+}
+
+// TestRouteFailoverOrder: ejecting the primary reorders routing so the
+// live replica is tried first, with the ejected owner kept at the tail
+// as a last resort.
+func TestRouteFailoverOrder(t *testing.T) {
+	c := newCluster(t, []string{"u1", "u2", "u3"}, 2, 1)
+	const key = "fp-123"
+	owners := c.Owners(key)
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v", owners)
+	}
+	route, err := c.Route(key)
+	if err != nil || fmt.Sprint(route) != fmt.Sprint(owners) {
+		t.Fatalf("all-healthy route %v (err %v), want ring order %v", route, err, owners)
+	}
+
+	c.ReportFailure(owners[0], errors.New("connection refused"))
+	route, err = c.Route(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[0] != owners[1] || route[1] != owners[0] {
+		t.Fatalf("route after ejecting primary = %v, want [%s %s]", route, owners[1], owners[0])
+	}
+
+	// Re-admission via request-path success restores ring order.
+	c.ReportSuccess(owners[0])
+	route, _ = c.Route(key)
+	if fmt.Sprint(route) != fmt.Sprint(owners) {
+		t.Fatalf("route after re-admission = %v, want %v", route, owners)
+	}
+}
+
+// TestRouteAllDown pins the typed all-backends-down error.
+func TestRouteAllDown(t *testing.T) {
+	c := newCluster(t, []string{"u1", "u2"}, 2, 1)
+	c.ReportFailure("u1", errors.New("down"))
+	c.ReportFailure("u2", errors.New("down"))
+	if _, err := c.Route("k"); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("err = %v, want ErrNoBackends", err)
+	}
+	if live := c.Live(); len(live) != 0 {
+		t.Fatalf("live = %v", live)
+	}
+	// One backend recovering reopens routing.
+	c.ReportSuccess("u2")
+	if _, err := c.Route("k"); err != nil {
+		t.Fatalf("route after recovery: %v", err)
+	}
+}
+
+// TestFailureThreshold: ejection takes the configured number of
+// consecutive failures, and any success resets the count.
+func TestFailureThreshold(t *testing.T) {
+	c := newCluster(t, []string{"u1"}, 1, 3)
+	fail := func() { c.ReportFailure("u1", errors.New("x")) }
+	fail()
+	fail()
+	if len(c.Live()) != 1 {
+		t.Fatal("ejected below the threshold")
+	}
+	c.ReportSuccess("u1") // resets the streak
+	fail()
+	fail()
+	if len(c.Live()) != 1 {
+		t.Fatal("success did not reset the failure streak")
+	}
+	fail()
+	if len(c.Live()) != 0 {
+		t.Fatal("not ejected at the threshold")
+	}
+	st := c.States()
+	if len(st) != 1 || st[0].Ejections != 1 || st[0].Healthy || st[0].LastError != "x" {
+		t.Fatalf("states = %+v", st)
+	}
+}
+
+// TestProbeEjectsAndReadmits drives health purely from the probe loop:
+// a failing probe ejects at the threshold, a succeeding one re-admits
+// and records the instance identity.
+func TestProbeEjectsAndReadmits(t *testing.T) {
+	var mu sync.Mutex
+	healthy := true
+	c, err := New(Options{
+		Backends:      []string{"u1"},
+		FailThreshold: 2,
+		Probe: func(ctx context.Context, url string) (string, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if !healthy {
+				return "", errors.New("probe refused")
+			}
+			return "inst-7", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c.ProbeNow(ctx)
+	if st := c.States()[0]; !st.Healthy || st.Instance != "inst-7" || st.LastProbe.IsZero() {
+		t.Fatalf("after healthy probe: %+v", st)
+	}
+
+	mu.Lock()
+	healthy = false
+	mu.Unlock()
+	c.ProbeNow(ctx)
+	if st := c.States()[0]; !st.Healthy {
+		t.Fatalf("ejected after one failure (threshold 2): %+v", st)
+	}
+	c.ProbeNow(ctx)
+	if st := c.States()[0]; st.Healthy || st.LastError == "" {
+		t.Fatalf("not ejected at threshold: %+v", st)
+	}
+
+	mu.Lock()
+	healthy = true
+	mu.Unlock()
+	c.ProbeNow(ctx)
+	if st := c.States()[0]; !st.Healthy || st.ConsecutiveFailures != 0 || st.LastError != "" {
+		t.Fatalf("not re-admitted: %+v", st)
+	}
+}
+
+// TestStartStop runs the real probe loop briefly.
+func TestStartStop(t *testing.T) {
+	c, err := New(Options{
+		Backends:      []string{"u1"},
+		ProbeInterval: DefaultProbeInterval,
+		Probe: func(ctx context.Context, url string) (string, error) {
+			return "i", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Start() // repeated Start is a no-op, not a second loop
+	c.Stop()
+	c.Stop() // and repeated Stop does not panic or hang
+	if st := c.States()[0]; !st.Healthy || st.Instance != "i" {
+		t.Fatalf("initial sweep missing: %+v", st)
+	}
+}
+
+// TestStopWithoutStart: Stop on a never-started cluster returns
+// instead of waiting for a probe loop that does not exist.
+func TestStopWithoutStart(t *testing.T) {
+	c := newCluster(t, []string{"u1"}, 1, 1)
+	done := make(chan struct{})
+	go func() { c.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop without Start blocked")
+	}
+}
+
+// TestHTTPProbe exercises the default probe against a real hcoc-serve
+// handler: it must extract the engine's instance identity, and fail
+// against a dead socket.
+func TestHTTPProbe(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	srv, err := serve.NewServer(eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	instance, err := httpProbe(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instance != eng.ID() {
+		t.Fatalf("probe instance %q, engine ID %q", instance, eng.ID())
+	}
+
+	ts.Close()
+	if _, err := httpProbe(context.Background(), ts.URL); err == nil {
+		t.Fatal("probe succeeded against a closed server")
+	}
+}
+
+// TestReportUnknownBackend: reports for URLs outside the membership are
+// ignored rather than growing state.
+func TestReportUnknownBackend(t *testing.T) {
+	c := newCluster(t, []string{"u1"}, 1, 1)
+	c.ReportFailure("stranger", errors.New("x"))
+	c.ReportSuccess("stranger")
+	if got := c.States(); len(got) != 1 || !strings.HasPrefix(got[0].URL, "u1") {
+		t.Fatalf("states = %+v", got)
+	}
+}

@@ -1,0 +1,12 @@
+// Package cluster is the membership and routing brain of a sharded
+// hcoc deployment: a consistent-hash ring (virtual nodes, replication
+// factor R) keyed by hierarchy fingerprint, plus per-backend health
+// tracking with failure-count ejection and probe-driven re-admission.
+//
+// The ring decides ownership — which R backends hold a hierarchy and
+// its releases, in a deterministic primary→replica order — while the
+// health tracker decides availability, reordering that list so live
+// replicas are tried first and ejected ones only as a last resort. The
+// hcoc-gateway front end composes the two into request routing; the
+// package itself performs no I/O beyond the pluggable health probe.
+package cluster

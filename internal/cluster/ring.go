@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVirtualNodes is the number of ring points each backend
+// projects. More points smooth the key distribution (and tighten the
+// rebalance bound toward the ideal 1/N) at the cost of a slightly
+// larger sorted ring; 128 keeps the imbalance within a few percent for
+// realistic cluster sizes.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over backend names. Each backend owns
+// many pseudo-randomly scattered points ("virtual nodes"), so keys
+// spread evenly and adding or removing one backend moves only ~1/N of
+// the keyspace instead of reshuffling everything. A Ring is safe for
+// concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point // sorted by hash
+	nodes  map[string]struct{}
+}
+
+// point is one virtual node: a position on the ring and the backend
+// that owns it.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing creates an empty ring with the given number of virtual nodes
+// per backend (0 selects DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+// ringHash positions a string on the ring: FNV-1a followed by a
+// 64-bit avalanche finalizer. FNV alone is not enough — for the short,
+// nearly identical strings hashed here ("node#0", "node#1", …) its
+// output differs mostly in the low bits, which clumps a backend's
+// virtual nodes together and wrecks the balance the virtual nodes
+// exist to provide. The multiply-xorshift finalizer (MurmurHash3's
+// fmix64) spreads those differences across all 64 bits. Nothing here
+// is cryptographic, which is fine: ring placement needs spread, not
+// collision resistance — keys are already content fingerprints.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a backend's virtual nodes; adding a present backend is a
+// no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: ringHash(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a backend and all its virtual nodes; removing an
+// absent backend is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes lists the ring's backends, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the number of backends on the ring.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Replicas returns the n distinct backends owning key, primary first,
+// walking clockwise from the key's ring position. The order is
+// deterministic for a given membership, which is what makes failover
+// predictable: every router in the fleet tries the same backends in
+// the same sequence. Fewer than n backends returns all of them; an
+// empty ring returns nil.
+func (r *Ring) Replicas(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Primary is shorthand for the first replica; "" on an empty ring.
+func (r *Ring) Primary(key string) string {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}

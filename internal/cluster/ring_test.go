@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Replicas("k", 3); got != nil {
+		t.Fatalf("empty ring returned replicas %v", got)
+	}
+	if p := r.Primary("k"); p != "" {
+		t.Fatalf("empty ring primary %q", p)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+}
+
+// TestRingSingleBackend pins the degenerate cluster: every key maps to
+// the one node, for any requested replication.
+func TestRingSingleBackend(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a")
+	for _, k := range keys(20) {
+		for _, n := range []int{1, 2, 5} {
+			got := r.Replicas(k, n)
+			if len(got) != 1 || got[0] != "a" {
+				t.Fatalf("Replicas(%q, %d) = %v", k, n, got)
+			}
+		}
+	}
+}
+
+// TestRingReplicasExceedNodes pins R > live backends: the full
+// membership is returned, each node exactly once, primary first.
+func TestRingReplicasExceedNodes(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n)
+	}
+	got := r.Replicas("some-key", 10)
+	if len(got) != 3 {
+		t.Fatalf("Replicas with n=10 over 3 nodes = %v", got)
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Fatalf("duplicate node %q in %v", n, got)
+		}
+		seen[n] = true
+	}
+	if got[0] != r.Primary("some-key") {
+		t.Fatalf("first replica %q != primary %q", got[0], r.Primary("some-key"))
+	}
+}
+
+// TestRingDeterministic: the replica order for a key is a pure function
+// of membership — same inputs, same order, regardless of Add order.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"n4", "n2", "n1", "n3"} {
+		b.Add(n)
+	}
+	for _, k := range keys(50) {
+		ra, rb := a.Replicas(k, 3), b.Replicas(k, 3)
+		if fmt.Sprint(ra) != fmt.Sprint(rb) {
+			t.Fatalf("key %q: order depends on insertion: %v vs %v", k, ra, rb)
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no backend owns a wildly
+// disproportionate share of the keyspace.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"a", "b", "c", "d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const total = 4000
+	for _, k := range keys(total) {
+		counts[r.Primary(k)]++
+	}
+	ideal := total / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < ideal/2 || c > ideal*2 {
+			t.Fatalf("node %s owns %d of %d keys (ideal %d): ring is unbalanced: %v", n, c, total, ideal, counts)
+		}
+	}
+}
+
+// TestRingRebalanceBound pins consistent hashing's defining property:
+// adding one node to an N-node ring moves at most ~1/(N+1) of the keys
+// (plus slack for virtual-node variance), instead of reshuffling
+// everything the way modulo hashing would.
+func TestRingRebalanceBound(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"a", "b", "c", "d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const total = 4000
+	before := make(map[string]string, total)
+	for _, k := range keys(total) {
+		before[k] = r.Primary(k)
+	}
+	r.Add("e")
+	moved, movedElsewhere := 0, 0
+	for _, k := range keys(total) {
+		now := r.Primary(k)
+		if now != before[k] {
+			moved++
+			if now != "e" {
+				movedElsewhere++
+			}
+		}
+	}
+	// Ideal movement is total/(N+1); allow 8 points of slack for hash
+	// variance at 128 virtual nodes.
+	bound := total/(len(nodes)+1) + total*8/100
+	if moved > bound {
+		t.Fatalf("adding one node moved %d of %d keys (bound %d)", moved, total, bound)
+	}
+	if moved == 0 {
+		t.Fatal("adding a node moved no keys; the ring is not redistributing")
+	}
+	// Every moved key must have moved TO the new node; keys shuffling
+	// between survivors would defeat the point.
+	if movedElsewhere != 0 {
+		t.Fatalf("%d keys moved between pre-existing nodes", movedElsewhere)
+	}
+	// And removing it again restores the original assignment exactly.
+	r.Remove("e")
+	for _, k := range keys(total) {
+		if got := r.Primary(k); got != before[k] {
+			t.Fatalf("key %q owned by %q after remove, was %q", k, got, before[k])
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(16)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 || len(r.points) != 16 {
+		t.Fatalf("double add: Len=%d points=%d", r.Len(), len(r.points))
+	}
+	r.Remove("missing")
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("after removes: Len=%d points=%d", r.Len(), len(r.points))
+	}
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
@@ -144,6 +146,7 @@ type call struct {
 
 // Engine is safe for concurrent use.
 type Engine struct {
+	id      string
 	workers int
 	// sem bounds concurrent release computations; dedup dodges it for
 	// identical requests, this caps the distinct ones.
@@ -187,6 +190,7 @@ func New(opts Options) *Engine {
 		}
 	}
 	e := &Engine{
+		id:       newInstanceID(),
 		workers:  opts.Workers,
 		sem:      make(chan struct{}, concurrent),
 		store:    opts.Store,
@@ -220,6 +224,80 @@ func New(opts Options) *Engine {
 		}
 	}
 	return e
+}
+
+// newInstanceID mints the engine's random identity. 8 hex characters
+// is plenty: the id only disambiguates the handful of nodes in one
+// cluster, and health probes re-learn it after every restart.
+func newInstanceID() string {
+	var buf [4]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// ID returns this engine instance's random identity, minted at
+// construction and stable until the process exits. A cluster gateway
+// uses it to tell backends apart across restarts and address changes:
+// two probes seeing different IDs at one URL have seen a restart.
+func (e *Engine) ID() string { return e.id }
+
+// Admit injects a release computed elsewhere (another node of a
+// cluster) into this engine's tiers: the durable store when one is
+// configured, then the LRU. No privacy budget is charged — the noise
+// was drawn and accounted by the computing node, and a replicated
+// artifact is post-processing of that one draw. The store write is a
+// plain release entry, not a budget charge, so a warm start does not
+// mistake replication for spend. Admitting a key that is already
+// cached or stored is a no-op (reported by the bool), which makes
+// replication idempotent and safe to race.
+func (e *Engine) Admit(key, treeFP string, alg Algorithm, rel hcoc.SparseHistograms, epsilon float64, duration time.Duration) (bool, error) {
+	if key == "" || len(rel) == 0 {
+		return false, fmt.Errorf("engine: admit needs a key and a non-empty release")
+	}
+	if epsilon <= 0 {
+		return false, fmt.Errorf("engine: admit needs a positive epsilon, got %g", epsilon)
+	}
+	e.mu.Lock()
+	_, inCache := e.cache.get(key)
+	e.mu.Unlock()
+	if inCache || (e.store != nil && e.store.Has(key)) {
+		return false, nil
+	}
+	v := &cached{
+		release:   rel,
+		epsilon:   epsilon,
+		algorithm: alg,
+		duration:  duration,
+		cost:      rel.CostBytes(),
+	}
+	if e.store != nil {
+		m := store.Meta{
+			Key:        key,
+			Hierarchy:  treeFP,
+			Algorithm:  alg.String(),
+			Epsilon:    epsilon,
+			CostBytes:  v.cost,
+			DurationMS: float64(duration.Microseconds()) / 1000,
+			CreatedAt:  time.Now().UTC(),
+		}
+		err := e.store.PutRelease(m, rel)
+		e.mu.Lock()
+		if err != nil {
+			e.storeFails++
+		} else {
+			e.storePuts++
+		}
+		e.mu.Unlock()
+		if err != nil {
+			return false, fmt.Errorf("engine: persisting admitted release: %w", err)
+		}
+	}
+	e.mu.Lock()
+	e.evictions += uint64(e.cache.add(key, v))
+	e.mu.Unlock()
+	return true, nil
 }
 
 // Result describes how a release request was satisfied.

@@ -1,0 +1,624 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hcoc"
+	"hcoc/client"
+	"hcoc/internal/cluster"
+	"hcoc/internal/engine"
+	"hcoc/internal/serve"
+)
+
+// groupRecord and hierarchyRequest mirror the backend upload shape —
+// the gateway must parse uploads itself to fingerprint the tree, which
+// is the ring key.
+type groupRecord struct {
+	Path []string `json:"path"`
+	Size int64    `json:"size"`
+}
+
+type hierarchyRequest struct {
+	Root   string        `json:"root"`
+	Groups []groupRecord `json:"groups"`
+}
+
+// handleHierarchy fingerprints the upload locally and fans it out to
+// all R ring owners in parallel, so replicas already hold the tree
+// when a failover read or release arrives. One success is enough to
+// answer (uploads are content-addressed and idempotent, so stragglers
+// converge on retry); zero successes surface the last failure.
+func (g *Gateway) handleHierarchy(w http.ResponseWriter, r *http.Request) {
+	var req hierarchyRequest
+	if !serve.DecodeJSON(w, r, &req) {
+		return
+	}
+	if req.Root == "" {
+		req.Root = "root"
+	}
+	if len(req.Groups) == 0 {
+		serve.WriteError(w, http.StatusBadRequest, "no groups in upload")
+		return
+	}
+	groups := make([]hcoc.Group, len(req.Groups))
+	for i, gr := range req.Groups {
+		if gr.Size < 0 {
+			serve.WriteError(w, http.StatusBadRequest, "group %d has negative size %d", i, gr.Size)
+			return
+		}
+		groups[i] = hcoc.Group{Path: gr.Path, Size: gr.Size}
+	}
+	tree, err := hcoc.BuildHierarchy(req.Root, groups)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "building hierarchy: %v", err)
+		return
+	}
+	fp := engine.FingerprintTree(tree)
+	owners := g.cluster.Owners(fp)
+	if len(owners) == 0 {
+		writeClientError(w, cluster.ErrNoBackends)
+		return
+	}
+	g.mu.Lock()
+	g.fanouts++
+	g.mu.Unlock()
+
+	var wg sync.WaitGroup
+	results := make([]client.Hierarchy, len(owners))
+	errs := make([]error, len(owners))
+	for i, u := range owners {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			start := time.Now()
+			h, err := g.clients[u].UploadHierarchy(r.Context(), req.Root, groups)
+			g.record(u, time.Since(start), err)
+			g.reportHealth(u, err)
+			results[i], errs[i] = h, err
+		}(i, u)
+	}
+	wg.Wait()
+	for i := range owners {
+		if errs[i] == nil {
+			serve.WriteJSON(w, http.StatusOK, results[i])
+			return
+		}
+	}
+	// All owners failed. Prefer an authoritative refusal (a terminal
+	// APIError such as 507 store-full) over whichever transport error
+	// happened to come last — it names what the caller can actually fix.
+	for _, err := range errs {
+		if terminal(err) {
+			writeClientError(w, err)
+			return
+		}
+	}
+	writeClientError(w, errs[len(errs)-1])
+}
+
+// scatter fans op across every live backend in parallel and
+// concatenates the successful results (op closures carry their own
+// request context). All-failed returns the last error; a dead cluster
+// the typed ErrNoBackends.
+func scatter[T any](g *Gateway, op func(c *client.Client) ([]T, error)) ([]T, error) {
+	backends := g.cluster.Live()
+	if len(backends) == 0 {
+		return nil, cluster.ErrNoBackends
+	}
+	var wg sync.WaitGroup
+	results := make([][]T, len(backends))
+	errs := make([]error, len(backends))
+	for i, u := range backends {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			start := time.Now()
+			out, err := op(g.clients[u])
+			g.record(u, time.Since(start), err)
+			g.reportHealth(u, err)
+			results[i], errs[i] = out, err
+		}(i, u)
+	}
+	wg.Wait()
+	var out []T
+	ok := false
+	var lastErr error
+	for i := range backends {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		ok = true
+		out = append(out, results[i]...)
+	}
+	if !ok {
+		return nil, lastErr
+	}
+	return out, nil
+}
+
+// handleListHierarchies merges the hierarchy listings of every live
+// backend, deduplicated by id (replication stores each tree R times).
+func (g *Gateway) handleListHierarchies(w http.ResponseWriter, r *http.Request) {
+	all, err := scatter(g, func(c *client.Client) ([]client.Hierarchy, error) {
+		return c.Hierarchies(r.Context())
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	seen := make(map[string]bool, len(all))
+	out := make([]client.Hierarchy, 0, len(all))
+	for _, h := range all {
+		if seen[h.ID] {
+			continue
+		}
+		seen[h.ID] = true
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	serve.WriteJSON(w, http.StatusOK, out)
+}
+
+// handleListReleases merges the durable-artifact listings across the
+// cluster, deduplicated by release id — and opportunistically learns
+// release→hierarchy ownership from the merged metadata.
+func (g *Gateway) handleListReleases(w http.ResponseWriter, r *http.Request) {
+	all, err := scatter(g, func(c *client.Client) ([]client.ReleaseArtifact, error) {
+		return c.Releases(r.Context())
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	seen := make(map[string]bool, len(all))
+	out := make([]client.ReleaseArtifact, 0, len(all))
+	for _, a := range all {
+		if seen[a.Release] {
+			continue
+		}
+		seen[a.Release] = true
+		out = append(out, a)
+		g.learnRelease(a.Release, hierarchyFP(a.Hierarchy))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Release < out[j].Release })
+	serve.WriteJSON(w, http.StatusOK, out)
+}
+
+// releaseRequest mirrors the backend body, async flag included.
+type releaseRequest struct {
+	Hierarchy string   `json:"hierarchy"`
+	Algorithm string   `json:"algorithm"`
+	Epsilon   float64  `json:"epsilon"`
+	K         int      `json:"k"`
+	Methods   []string `json:"methods"`
+	Merge     string   `json:"merge"`
+	Seed      int64    `json:"seed"`
+	Workers   int      `json:"workers"`
+	Async     bool     `json:"async"`
+}
+
+// handleRelease routes a release to the hierarchy's primary, failing
+// over down the replica order; a fresh synchronous computation is then
+// replicated to the remaining owners so failover reads serve identical
+// bytes. Async jobs stay backend-local (the job table is not
+// replicated) — the gateway records which backend runs each job.
+func (g *Gateway) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if !serve.DecodeJSON(w, r, &req) {
+		return
+	}
+	if req.Hierarchy == "" {
+		serve.WriteError(w, http.StatusBadRequest, "missing hierarchy; POST /v1/hierarchy first")
+		return
+	}
+	fp := hierarchyFP(req.Hierarchy)
+	order := g.routeHierarchy(fp)
+	creq := client.ReleaseRequest{
+		Hierarchy: req.Hierarchy,
+		Algorithm: req.Algorithm,
+		Epsilon:   req.Epsilon,
+		K:         req.K,
+		Methods:   req.Methods,
+		Merge:     req.Merge,
+		Seed:      req.Seed,
+		Workers:   req.Workers,
+	}
+
+	if req.Async {
+		var job client.Job
+		err := g.forward(order, func(c *client.Client, u string) error {
+			j, err := c.ReleaseAsync(r.Context(), creq)
+			if err != nil {
+				return err
+			}
+			job = j
+			g.learnJob(j.Job, u)
+			return nil
+		})
+		if err != nil {
+			writeClientError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+job.Job)
+		serve.WriteJSON(w, http.StatusAccepted, job)
+		return
+	}
+
+	var rel client.Release
+	var servedBy string
+	err := g.forward(order, func(c *client.Client, u string) error {
+		res, err := c.Release(r.Context(), creq)
+		if err != nil {
+			return err
+		}
+		rel, servedBy = res, u
+		return nil
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	g.learnRelease(rel.Release, fp)
+	// Replicate only what this request actually computed: hits and
+	// deduped answers were either replicated when first computed or
+	// predate the gateway, and re-pushing them on every cache hit would
+	// turn the hot path into artifact traffic.
+	if !rel.CacheHit && !rel.StoreHit && !rel.Deduped {
+		g.replicate(r.Context(), rel, servedBy, g.cluster.Owners(fp))
+	}
+	serve.WriteJSON(w, http.StatusOK, rel)
+}
+
+// replicate copies a freshly computed artifact from the backend that
+// computed it to the remaining ring owners (idempotent PUT). Best
+// effort: a failed copy costs availability-on-failover, not
+// correctness, and the next fresh computation retries the path.
+func (g *Gateway) replicate(ctx context.Context, rel client.Release, servedBy string, owners []string) {
+	targets := make([]string, 0, len(owners))
+	for _, u := range owners {
+		if u != servedBy {
+			targets = append(targets, u)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	sparse, epsilon, err := g.clients[servedBy].DownloadRelease(ctx, rel.Release)
+	if err != nil {
+		g.mu.Lock()
+		g.replFailures++
+		g.mu.Unlock()
+		return
+	}
+	// The copies go out in parallel: the client's release response is
+	// waiting on this, and R-1 sequential PUTs would stack transfer
+	// latencies onto it.
+	var wg sync.WaitGroup
+	for _, u := range targets {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			_, err := g.clients[u].ImportRelease(ctx, rel.Release, rel.Hierarchy, rel.Algorithm, rel.DurationMS, sparse, epsilon)
+			g.reportHealth(u, err)
+			g.mu.Lock()
+			if err != nil {
+				g.replFailures++
+			} else {
+				g.replications++
+			}
+			g.mu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+}
+
+// handleGetRelease proxies an artifact from the first replica that
+// holds it, verbatim — the backend already renders both formats, so
+// decoding and re-encoding here would only burn gateway CPU and
+// memory. The body is buffered (not streamed) so a mid-transfer
+// backend death can still fail over to the next replica cleanly.
+func (g *Gateway) handleGetRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "sparse" && format != "dense" {
+		serve.WriteError(w, http.StatusBadRequest, "unknown artifact format %q (want sparse|dense)", format)
+		return
+	}
+	order, err := g.orderForRelease(id)
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	var body []byte
+	err = g.forward(order, func(c *client.Client, u string) error {
+		b, err := c.DownloadReleaseBytes(r.Context(), id, format)
+		if err != nil {
+			return err
+		}
+		body = b
+		return nil
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// handleGetJob polls the backend that runs the job when known, every
+// live backend otherwise (a restarted gateway forgets the hint).
+func (g *Gateway) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.mu.Lock()
+	owner, ok := g.jobOwner[id]
+	g.mu.Unlock()
+	var order []string
+	if ok {
+		order = []string{owner}
+	} else if order = g.cluster.Live(); len(order) == 0 {
+		writeClientError(w, cluster.ErrNoBackends)
+		return
+	}
+	var job client.Job
+	err := g.forward(order, func(c *client.Client, u string) error {
+		j, err := c.Job(r.Context(), id)
+		if err != nil {
+			return err
+		}
+		job = j
+		return nil
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, job)
+}
+
+// handleQuery forwards a node query down the owning release's replica
+// order.
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	node := r.PathValue("node")
+	q := r.URL.Query()
+	release := q.Get("release")
+	if release == "" {
+		serve.WriteError(w, http.StatusBadRequest, "missing release query parameter")
+		return
+	}
+	quantiles, kth, topCode, ok := serve.ParseQueryParams(w, q)
+	if !ok {
+		return
+	}
+	params := client.QueryParams{Quantiles: quantiles, KthLargest: kth, TopCode: topCode}
+	order, err := g.orderForRelease(release)
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	var report client.NodeReport
+	err = g.forward(order, func(c *client.Client, u string) error {
+		rep, err := c.Query(r.Context(), release, node, params)
+		if err != nil {
+			return err
+		}
+		report = rep
+		return nil
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, report)
+}
+
+// batchQueryRequest mirrors the backend batch body.
+type batchQueryRequest struct {
+	Release string             `json:"release"`
+	Queries []client.NodeQuery `json:"queries"`
+}
+
+// batchQueryResponse mirrors the backend batch response.
+type batchQueryResponse struct {
+	Release string              `json:"release"`
+	Results []client.NodeResult `json:"results"`
+}
+
+// handleBatchQuery forwards a whole batch to one replica of the owning
+// release — the batch's one-engine-pass economics only hold on a
+// single backend.
+func (g *Gateway) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	var req batchQueryRequest
+	if !serve.DecodeJSON(w, r, &req) {
+		return
+	}
+	if req.Release == "" {
+		serve.WriteError(w, http.StatusBadRequest, "missing release")
+		return
+	}
+	if len(req.Queries) == 0 {
+		serve.WriteError(w, http.StatusBadRequest, "no queries in batch")
+		return
+	}
+	order, err := g.orderForRelease(req.Release)
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	var results []client.NodeResult
+	err = g.forward(order, func(c *client.Client, u string) error {
+		out, err := c.BatchQuery(r.Context(), req.Release, req.Queries)
+		if err != nil {
+			return err
+		}
+		results = out
+		return nil
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, batchQueryResponse{Release: req.Release, Results: results})
+}
+
+// handleBudget reads the budget position from the hierarchy's primary
+// (the authoritative spender), failing over in replica order.
+func (g *Gateway) handleBudget(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	order := g.routeHierarchy(hierarchyFP(id))
+	var budget client.Budget
+	err := g.forward(order, func(c *client.Client, u string) error {
+		b, err := c.Budget(r.Context(), id)
+		if err != nil {
+			return err
+		}
+		budget = b
+		return nil
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, budget)
+}
+
+// clusterResponse is the JSON shape of GET /v1/cluster.
+type clusterResponse struct {
+	Replication  int           `json:"replication"`
+	VirtualNodes int           `json:"virtual_nodes"`
+	Live         int           `json:"live"`
+	Failovers    uint64        `json:"failovers"`
+	Backends     []backendInfo `json:"backends"`
+	Route        []string      `json:"route,omitempty"`
+}
+
+type backendInfo struct {
+	URL                 string  `json:"url"`
+	Healthy             bool    `json:"healthy"`
+	Instance            string  `json:"instance,omitempty"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	Ejections           uint64  `json:"ejections"`
+	LastProbe           string  `json:"last_probe,omitempty"`
+	LastError           string  `json:"last_error,omitempty"`
+	Requests            uint64  `json:"requests"`
+	Errors              uint64  `json:"errors"`
+	MeanLatencyMS       float64 `json:"mean_latency_ms"`
+}
+
+// handleCluster reports the topology: ring parameters, every backend's
+// health and traffic, and — with ?key=h-<fp> — that key's current
+// failover route, primary first.
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	states := g.cluster.States()
+	resp := clusterResponse{
+		Replication:  g.cluster.Replication(),
+		VirtualNodes: g.cluster.VirtualNodes(),
+		Live:         len(g.cluster.Live()),
+		Backends:     make([]backendInfo, len(states)),
+	}
+	g.mu.Lock()
+	resp.Failovers = g.failovers
+	for i, st := range states {
+		info := backendInfo{
+			URL:                 st.URL,
+			Healthy:             st.Healthy,
+			Instance:            st.Instance,
+			ConsecutiveFailures: st.ConsecutiveFailures,
+			Ejections:           st.Ejections,
+			LastError:           st.LastError,
+		}
+		if !st.LastProbe.IsZero() {
+			info.LastProbe = st.LastProbe.UTC().Format(time.RFC3339Nano)
+		}
+		if bs := g.stats[st.URL]; bs != nil {
+			info.Requests = bs.requests
+			info.Errors = bs.errors
+			if bs.requests > 0 {
+				info.MeanLatencyMS = float64(bs.latency.Microseconds()) / 1000 / float64(bs.requests)
+			}
+		}
+		resp.Backends[i] = info
+	}
+	g.mu.Unlock()
+	if key := r.URL.Query().Get("key"); key != "" {
+		if route, err := g.cluster.Route(hierarchyFP(key)); err == nil {
+			resp.Route = route
+		}
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz answers 200 while at least one backend is live — the
+// gateway itself holds no data, so "up with zero backends" would be a
+// lie to load balancers.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	live := len(g.cluster.Live())
+	if live == 0 {
+		serve.WriteError(w, http.StatusServiceUnavailable, "no live backends")
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"live":     live,
+		"backends": len(g.cluster.Backends()),
+	})
+}
+
+// handleMetrics exposes the gateway's routing counters in the
+// Prometheus text format, per-backend series labeled by URL.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	states := g.cluster.States()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP hcoc_gateway_backends Configured backends.\nhcoc_gateway_backends %d\n", len(states))
+	live := 0
+	for _, st := range states {
+		if st.Healthy {
+			live++
+		}
+	}
+	fmt.Fprintf(w, "# HELP hcoc_gateway_live_backends Backends currently healthy.\nhcoc_gateway_live_backends %d\n", live)
+	fmt.Fprintf(w, "# HELP hcoc_gateway_failovers_total Requests retried past their first-choice backend.\nhcoc_gateway_failovers_total %d\n", g.failovers)
+	fmt.Fprintf(w, "# HELP hcoc_gateway_fanout_uploads_total Hierarchy uploads fanned out to the ring owners.\nhcoc_gateway_fanout_uploads_total %d\n", g.fanouts)
+	fmt.Fprintf(w, "# HELP hcoc_gateway_replications_total Artifacts copied to replicas.\nhcoc_gateway_replications_total %d\n", g.replications)
+	fmt.Fprintf(w, "# HELP hcoc_gateway_replication_errors_total Failed artifact copies (best effort, retried on the next fresh computation).\nhcoc_gateway_replication_errors_total %d\n", g.replFailures)
+
+	fmt.Fprintf(w, "# HELP hcoc_gateway_backend_requests_total Requests forwarded per backend.\n")
+	for _, st := range states {
+		if bs := g.stats[st.URL]; bs != nil {
+			fmt.Fprintf(w, "hcoc_gateway_backend_requests_total{backend=%q} %d\n", st.URL, bs.requests)
+		}
+	}
+	fmt.Fprintf(w, "# HELP hcoc_gateway_backend_errors_total Failed forwards per backend.\n")
+	for _, st := range states {
+		if bs := g.stats[st.URL]; bs != nil {
+			fmt.Fprintf(w, "hcoc_gateway_backend_errors_total{backend=%q} %d\n", st.URL, bs.errors)
+		}
+	}
+	fmt.Fprintf(w, "# HELP hcoc_gateway_backend_latency_seconds_total Cumulative forward latency per backend.\n")
+	for _, st := range states {
+		if bs := g.stats[st.URL]; bs != nil {
+			fmt.Fprintf(w, "hcoc_gateway_backend_latency_seconds_total{backend=%q} %g\n", st.URL, bs.latency.Seconds())
+		}
+	}
+	fmt.Fprintf(w, "# HELP hcoc_gateway_backend_healthy Backend health (1 = live, 0 = ejected).\n")
+	for _, st := range states {
+		v := 0
+		if st.Healthy {
+			v = 1
+		}
+		fmt.Fprintf(w, "hcoc_gateway_backend_healthy{backend=%q} %d\n", st.URL, v)
+	}
+	fmt.Fprintf(w, "# HELP hcoc_gateway_backend_ejections_total Healthy-to-ejected transitions per backend.\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "hcoc_gateway_backend_ejections_total{backend=%q} %d\n", st.URL, st.Ejections)
+	}
+}

@@ -49,20 +49,20 @@ type batchQueryResponse struct {
 // unavailable release fails the request.
 func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	var req batchQueryRequest
-	if !decodeJSON(w, r, &req) {
+	if !DecodeJSON(w, r, &req) {
 		return
 	}
 	key := releaseID(req.Release)
 	if key == "" {
-		writeError(w, http.StatusBadRequest, "missing release")
+		WriteError(w, http.StatusBadRequest, "missing release")
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, "no queries in batch")
+		WriteError(w, http.StatusBadRequest, "no queries in batch")
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the %d-query limit", len(req.Queries), maxBatchQueries)
+		WriteError(w, http.StatusBadRequest, "batch of %d queries exceeds the %d-query limit", len(req.Queries), maxBatchQueries)
 		return
 	}
 	qs := make([]engine.NodeQuery, len(req.Queries))
@@ -75,11 +75,11 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	items, err := s.eng.BatchQuery(key, qs)
 	if errors.Is(err, engine.ErrNotCached) {
-		writeError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
+		WriteError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "batch query failed: %v", err)
+		WriteError(w, http.StatusInternalServerError, "batch query failed: %v", err)
 		return
 	}
 	resp := batchQueryResponse{Release: req.Release, Results: make([]batchQueryItem, len(items))}
@@ -93,7 +93,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = batchQueryItem{queryResponse: toQueryResponse(item.Report)}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // toQueryResponse converts an engine node report to the wire shape
@@ -145,11 +145,11 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	_, known := s.trees["h-"+fp]
 	s.mu.RUnlock()
 	if !known {
-		writeError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", "h-"+fp)
+		WriteError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", "h-"+fp)
 		return
 	}
 	spent, remaining, limit, enforced := s.eng.BudgetStatus(fp)
-	writeJSON(w, http.StatusOK, budgetStatusResponse{
+	WriteJSON(w, http.StatusOK, budgetStatusResponse{
 		Hierarchy:              "h-" + fp,
 		SpentEpsilon:           spent,
 		RemainingEpsilon:       remaining,

@@ -1,4 +1,8 @@
-package serve
+// The OpenAPI contract is checked from an external test package so it
+// can see both serving tiers: the backend (this package) and the
+// gateway, whose /v1/cluster route the spec documents too. An
+// in-package test could not import the gateway (it imports serve).
+package serve_test
 
 import (
 	"bufio"
@@ -9,6 +13,8 @@ import (
 	"testing"
 
 	"hcoc/internal/engine"
+	"hcoc/internal/gateway"
+	"hcoc/internal/serve"
 )
 
 // specOperation is one method+path pair extracted from the OpenAPI
@@ -77,7 +83,9 @@ func specPath(pattern string) string {
 // TestOpenAPICoversRoutes fails when docs/openapi.yaml and the
 // registered routes drift apart — in either direction — and applies
 // the structural floor every operation must meet (a responses
-// section).
+// section). The spec covers the whole serving surface: the union of
+// the backend routes and the gateway routes (the gateway re-exposes
+// the /v1 surface and adds /v1/cluster).
 func TestOpenAPICoversRoutes(t *testing.T) {
 	version, ops := parseSpec(t, filepath.Join("..", "..", "docs", "openapi.yaml"))
 	if !strings.HasPrefix(version, "3.") {
@@ -87,12 +95,16 @@ func TestOpenAPICoversRoutes(t *testing.T) {
 		t.Fatal("no operations parsed from the spec")
 	}
 
-	srv, err := NewServer(engine.New(engine.Options{}), nil)
+	srv, err := serve.NewServer(engine.New(engine.Options{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Options{Backends: []string{"http://127.0.0.1:1"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	registered := map[string]bool{}
-	for _, rt := range srv.Routes() {
+	for _, rt := range append(srv.Routes(), gw.Routes()...) {
 		key := rt.Method + " " + specPath(rt.Pattern)
 		registered[key] = true
 		if _, ok := ops[key]; !ok {
@@ -138,7 +150,7 @@ func TestOpenAPIExampleDrift(t *testing.T) {
 // conscious act that also updates the spec (the coverage test) and
 // this list.
 func TestRoutesStable(t *testing.T) {
-	srv, err := NewServer(engine.New(engine.Options{}), nil)
+	srv, err := serve.NewServer(engine.New(engine.Options{}), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +164,7 @@ func TestRoutesStable(t *testing.T) {
 		"POST /v1/release",
 		"GET /v1/release",
 		"GET /v1/release/{id}",
+		"PUT /v1/release/{id}",
 		"GET /v1/jobs/{id}",
 		"POST /v1/query/batch",
 		"GET /v1/query/{node...}",

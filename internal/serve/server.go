@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -94,6 +95,7 @@ func (s *Server) routeTable() []routeEntry {
 		{Route{"POST", "/v1/release"}, s.handleRelease},
 		{Route{"GET", "/v1/release"}, s.handleListReleases},
 		{Route{"GET", "/v1/release/{id}"}, s.handleGetRelease},
+		{Route{"PUT", "/v1/release/{id}"}, s.handleImportRelease},
 		{Route{"GET", "/v1/jobs/{id}"}, s.handleGetJob},
 		{Route{"POST", "/v1/query/batch"}, s.handleBatchQuery},
 		{Route{"GET", "/v1/query/{node...}"}, s.handleQuery},
@@ -155,26 +157,44 @@ func (s *Server) loadHierarchies() error {
 // same bound); responses are gzip-compressed when the client accepts
 // it.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	if ce := r.Header.Get("Content-Encoding"); strings.EqualFold(ce, "gzip") {
-		r.Body = &gzipBody{src: r.Body, limit: s.maxBody}
-		r.Header.Del("Content-Encoding")
-	} else if ce != "" && !strings.EqualFold(ce, "identity") {
-		writeError(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q; send gzip or identity", ce)
+	w, r, finish, ok := WrapTransport(w, r, s.maxBody)
+	if !ok {
 		return
 	}
+	defer finish()
+	s.mux.ServeHTTP(w, r)
+}
+
+// WrapTransport applies the HTTP transport conventions shared by every
+// hcoc serving tier (this server and hcoc-gateway): the request body is
+// bounded at maxBody and, with Content-Encoding: gzip, transparently
+// decompressed under the same bound; the response is gzip-compressed
+// when the client accepts it. The returned finish func must be deferred
+// around the handler (it flushes the compressor); ok reports whether to
+// proceed — false means an error response was already written (an
+// unsupported Content-Encoding).
+func WrapTransport(w http.ResponseWriter, r *http.Request, maxBody int64) (http.ResponseWriter, *http.Request, func(), bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	if ce := r.Header.Get("Content-Encoding"); strings.EqualFold(ce, "gzip") {
+		r.Body = &gzipBody{src: r.Body, limit: maxBody}
+		r.Header.Del("Content-Encoding")
+	} else if ce != "" && !strings.EqualFold(ce, "identity") {
+		WriteError(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q; send gzip or identity", ce)
+		return nil, nil, nil, false
+	}
+	finish := func() {}
 	if acceptsGzip(r) {
 		zw := gzipWriters.Get().(*gzip.Writer)
 		zw.Reset(w)
 		w.Header().Set("Content-Encoding", "gzip")
 		w.Header().Add("Vary", "Accept-Encoding")
 		w = &gzipResponseWriter{ResponseWriter: w, zw: zw}
-		defer func() {
+		finish = func() {
 			_ = zw.Close()
 			gzipWriters.Put(zw)
-		}()
+		}
 	}
-	s.mux.ServeHTTP(w, r)
+	return w, r, finish, true
 }
 
 // errorResponse is the JSON shape of every non-2xx response.
@@ -182,7 +202,9 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as an indented JSON response. Exported for the
+// gateway tier, which answers in the same wire shapes as the backend.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -190,23 +212,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// WriteError writes the canonical {"error": "..."} body every non-2xx
+// response carries. Exported for the gateway tier.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeJSON parses a POST body into v, writing the precise failure
+// DecodeJSON parses a POST body into v, writing the precise failure
 // status itself: 415 for a non-JSON Content-Type, 413 when the body
 // overran the MaxBytesReader bound (which would otherwise surface as a
 // generic parse error), 400 for malformed JSON. It reports whether the
-// handler should proceed.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+// handler should proceed. Exported for the gateway tier, so both tiers
+// refuse bad bodies with byte-identical semantics.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	// An absent Content-Type is accepted as JSON — the API has exactly
 	// one body format — but an explicit wrong one is a client bug worth
 	// naming.
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		mt, _, err := mime.ParseMediaType(ct)
 		if err != nil || (mt != "application/json" && mt != "text/json") {
-			writeError(w, http.StatusUnsupportedMediaType,
+			WriteError(w, http.StatusUnsupportedMediaType,
 				"unsupported Content-Type %q; send application/json", ct)
 			return false
 		}
@@ -214,11 +239,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			WriteError(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds the %d-byte limit", tooLarge.Limit)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		WriteError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return false
 	}
 	return true
@@ -247,27 +272,27 @@ type hierarchyResponse struct {
 
 func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 	var req hierarchyRequest
-	if !decodeJSON(w, r, &req) {
+	if !DecodeJSON(w, r, &req) {
 		return
 	}
 	if req.Root == "" {
 		req.Root = "root"
 	}
 	if len(req.Groups) == 0 {
-		writeError(w, http.StatusBadRequest, "no groups in upload")
+		WriteError(w, http.StatusBadRequest, "no groups in upload")
 		return
 	}
 	groups := make([]hcoc.Group, len(req.Groups))
 	for i, g := range req.Groups {
 		if g.Size < 0 {
-			writeError(w, http.StatusBadRequest, "group %d has negative size %d", i, g.Size)
+			WriteError(w, http.StatusBadRequest, "group %d has negative size %d", i, g.Size)
 			return
 		}
 		groups[i] = hcoc.Group{Path: g.Path, Size: g.Size}
 	}
 	tree, err := hcoc.BuildHierarchy(req.Root, groups)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "building hierarchy: %v", err)
+		WriteError(w, http.StatusBadRequest, "building hierarchy: %v", err)
 		return
 	}
 
@@ -278,7 +303,7 @@ func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.trees[id]; !ok {
 		if len(s.trees) >= s.maxTrees {
 			s.mu.Unlock()
-			writeError(w, http.StatusInsufficientStorage,
+			WriteError(w, http.StatusInsufficientStorage,
 				"hierarchy store is full (%d); re-use an uploaded hierarchy or restart the server", s.maxTrees)
 			return
 		}
@@ -294,7 +319,7 @@ func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	writeJSON(w, http.StatusOK, hierarchyResponse{
+	WriteJSON(w, http.StatusOK, hierarchyResponse{
 		ID:     id,
 		Depth:  tree.Depth(),
 		Nodes:  len(tree.Nodes()),
@@ -317,7 +342,7 @@ func (s *Server) handleListHierarchies(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 // releaseRequest is the body of POST /v1/release. With "async": true
@@ -364,7 +389,7 @@ type budgetResponse struct {
 func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
 	var be *engine.BudgetError
 	if errors.As(err, &be) {
-		writeJSON(w, http.StatusTooManyRequests, budgetResponse{
+		WriteJSON(w, http.StatusTooManyRequests, budgetResponse{
 			Error:                  err.Error(),
 			Hierarchy:              "h-" + be.Hierarchy,
 			RequestedEpsilon:       be.Requested,
@@ -373,7 +398,7 @@ func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
 		})
 		return
 	}
-	writeError(w, http.StatusInternalServerError, "release failed: %v", err)
+	WriteError(w, http.StatusInternalServerError, "release failed: %v", err)
 }
 
 func parseMethods(names []string) ([]hcoc.Method, error) {
@@ -406,37 +431,37 @@ func parseMerge(name string) (hcoc.MergeStrategy, error) {
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	var req releaseRequest
-	if !decodeJSON(w, r, &req) {
+	if !DecodeJSON(w, r, &req) {
 		return
 	}
 	s.mu.RLock()
 	st, ok := s.trees[req.Hierarchy]
 	s.mu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", req.Hierarchy)
+		WriteError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", req.Hierarchy)
 		return
 	}
 	alg, err := engine.ParseAlgorithm(req.Algorithm)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	methods, err := parseMethods(req.Methods)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	merge, err := parseMerge(req.Merge)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Epsilon <= 0 {
-		writeError(w, http.StatusBadRequest, "epsilon must be positive, got %g", req.Epsilon)
+		WriteError(w, http.StatusBadRequest, "epsilon must be positive, got %g", req.Epsilon)
 		return
 	}
 	if req.K < 0 {
-		writeError(w, http.StatusBadRequest, "k must be nonnegative, got %d (0 selects the default)", req.K)
+		WriteError(w, http.StatusBadRequest, "k must be nonnegative, got %d (0 selects the default)", req.K)
 		return
 	}
 
@@ -456,11 +481,11 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 			return s.eng.Release(context.Background(), st.tree, st.fp, alg, opts)
 		})
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			WriteError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
 		w.Header().Set("Location", "/v1/jobs/j-"+job.ID)
-		writeJSON(w, http.StatusAccepted, jobResponse{
+		WriteJSON(w, http.StatusAccepted, jobResponse{
 			Job:       "j-" + job.ID,
 			Status:    string(job.State),
 			Hierarchy: req.Hierarchy,
@@ -477,7 +502,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		s.writeReleaseError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, releaseResponse{
+	WriteJSON(w, http.StatusOK, releaseResponse{
 		Release:    "r-" + res.Key,
 		Hierarchy:  req.Hierarchy,
 		Algorithm:  alg.String(),
@@ -517,7 +542,7 @@ func jobID(id string) string {
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(jobID(r.PathValue("id")))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job; it may have been evicted after completion")
+		WriteError(w, http.StatusNotFound, "unknown job; it may have been evicted after completion")
 		return
 	}
 	resp := jobResponse{
@@ -539,7 +564,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	if !j.Finished.IsZero() {
 		resp.FinishedAt = j.Finished.UTC().Format(time.RFC3339Nano)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // releaseListEntry is one durable artifact in GET /v1/release.
@@ -572,7 +597,7 @@ func (s *Server) handleListReleases(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 // releaseID strips the "r-" prefix release keys are served with.
@@ -588,7 +613,7 @@ func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
 	// store (admitting a hit back into the LRU).
 	rel, epsilon, err := s.eng.Sparse(releaseID(r.PathValue("id")))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "release not cached or stored; POST /v1/release to (re)compute it")
+		WriteError(w, http.StatusNotFound, "release not cached or stored; POST /v1/release to (re)compute it")
 		return
 	}
 	// The run-length v2 artifact is the default — it is what the cache
@@ -604,15 +629,82 @@ func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
 	case "dense":
 		err = hcoc.WriteRelease(&buf, rel.Dense(), epsilon)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown artifact format %q (want sparse|dense)", format)
+		WriteError(w, http.StatusBadRequest, "unknown artifact format %q (want sparse|dense)", format)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "writing artifact: %v", err)
+		WriteError(w, http.StatusInternalServerError, "writing artifact: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = buf.WriteTo(w)
+}
+
+// importResponse is the JSON shape of PUT /v1/release/{id}.
+type importResponse struct {
+	Release  string `json:"release"`
+	Imported bool   `json:"imported"`
+}
+
+// handleImportRelease accepts a release artifact computed by another
+// node and admits it into this node's cache/store tiers — the cluster
+// replication path. The body is the sparse artifact exactly as served
+// by GET /v1/release/{id}; ?hierarchy names the owning hierarchy for
+// the durable manifest and ?algorithm/?duration_ms carry the original
+// computation's metadata. No privacy budget is spent: the noise was
+// drawn (and accounted) on the computing node. Importing a key this
+// node already holds is an idempotent no-op.
+func (s *Server) handleImportRelease(w http.ResponseWriter, r *http.Request) {
+	key := releaseID(r.PathValue("id"))
+	q := r.URL.Query()
+	fp := strings.TrimPrefix(q.Get("hierarchy"), "h-")
+	if fp == "" {
+		WriteError(w, http.StatusBadRequest, "missing hierarchy query parameter")
+		return
+	}
+	alg, err := engine.ParseAlgorithm(q.Get("algorithm"))
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var duration time.Duration
+	if raw := q.Get("duration_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			WriteError(w, http.StatusBadRequest, "bad duration_ms %q", raw)
+			return
+		}
+		duration = time.Duration(ms * float64(time.Millisecond))
+	}
+	rel, epsilon, err := hcoc.ReadReleaseSparse(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			WriteError(w, http.StatusRequestEntityTooLarge,
+				"artifact exceeds the %d-byte limit", tooLarge.Limit)
+			return
+		}
+		WriteError(w, http.StatusBadRequest, "decoding artifact: %v", err)
+		return
+	}
+	// Client-input problems are 400s; only engine/store failures below
+	// are 500s (a 500 also counts against this backend's health at the
+	// gateway, which a caller mistake must not).
+	if key == "" {
+		WriteError(w, http.StatusBadRequest, "missing release key in path")
+		return
+	}
+	if len(rel) == 0 || epsilon <= 0 {
+		WriteError(w, http.StatusBadRequest,
+			"artifact has %d nodes and epsilon %g; nothing to admit", len(rel), epsilon)
+		return
+	}
+	admitted, err := s.eng.Admit(key, fp, alg, rel, epsilon, duration)
+	if err != nil {
+		WriteError(w, http.StatusInternalServerError, "admitting release: %v", err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, importResponse{Release: "r-" + key, Imported: admitted})
 }
 
 // queryResponse is the JSON shape of a node query.
@@ -638,54 +730,85 @@ type orderStatValue struct {
 	Size int64 `json:"size"`
 }
 
+// ParseQueryParams parses the q/k/topcode statistics selectors of a
+// node query, writing the 400 itself on bad input; ok reports whether
+// the handler should proceed. Exported so the gateway tier parses (and
+// refuses) exactly what the backend does.
+func ParseQueryParams(w http.ResponseWriter, q url.Values) (quantiles []float64, kth []int64, topCode int, ok bool) {
+	for _, raw := range q["q"] {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, "bad quantile %q", raw)
+			return nil, nil, 0, false
+		}
+		quantiles = append(quantiles, v)
+	}
+	for _, raw := range q["k"] {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, "bad rank %q", raw)
+			return nil, nil, 0, false
+		}
+		kth = append(kth, v)
+	}
+	if raw := q.Get("topcode"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			WriteError(w, http.StatusBadRequest, "bad topcode %q (want a positive integer)", raw)
+			return nil, nil, 0, false
+		}
+		topCode = v
+	}
+	return quantiles, kth, topCode, true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	node := r.PathValue("node")
 	q := r.URL.Query()
 	key := releaseID(q.Get("release"))
 	if key == "" {
-		writeError(w, http.StatusBadRequest, "missing release query parameter")
+		WriteError(w, http.StatusBadRequest, "missing release query parameter")
 		return
 	}
-	var params engine.QueryParams
-	for _, raw := range q["q"] {
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad quantile %q", raw)
-			return
-		}
-		params.Quantiles = append(params.Quantiles, v)
+	quantiles, kth, topCode, ok := ParseQueryParams(w, q)
+	if !ok {
+		return
 	}
-	for _, raw := range q["k"] {
-		v, err := strconv.ParseInt(raw, 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad rank %q", raw)
-			return
-		}
-		params.KthLargest = append(params.KthLargest, v)
-	}
-	if raw := q.Get("topcode"); raw != "" {
-		v, err := strconv.Atoi(raw)
-		if err != nil || v < 1 {
-			writeError(w, http.StatusBadRequest, "bad topcode %q (want a positive integer)", raw)
-			return
-		}
-		params.TopCode = v
-	}
+	params := engine.QueryParams{Quantiles: quantiles, KthLargest: kth, TopCode: topCode}
 
 	rep, err := s.eng.Query(key, node, params)
 	switch {
 	case errors.Is(err, engine.ErrNotCached):
-		writeError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
+		WriteError(w, http.StatusNotFound, "release not cached; POST /v1/release to (re)compute it")
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toQueryResponse(rep))
+	WriteJSON(w, http.StatusOK, toQueryResponse(rep))
+}
+
+// healthzResponse is the JSON shape of GET /healthz. Instance is the
+// engine's random per-process identity: cluster gateways record it so
+// topology introspection can name which process answers at each URL
+// (and notice restarts, which mint a fresh id).
+type healthzResponse struct {
+	Status      string `json:"status"`
+	Instance    string `json:"instance"`
+	Hierarchies int    `json:"hierarchies"`
+	Inflight    int    `json:"inflight_releases"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.mu.RLock()
+	hierarchies := len(s.trees)
+	s.mu.RUnlock()
+	WriteJSON(w, http.StatusOK, healthzResponse{
+		Status:      "ok",
+		Instance:    s.eng.ID(),
+		Hierarchies: hierarchies,
+		Inflight:    s.eng.Metrics().InFlight,
+	})
 }
 
 // handleMetrics exposes the engine counters in the Prometheus text
