@@ -30,27 +30,9 @@ type ClusterClient struct {
 // Options apply as in New; the failover layer wraps whatever transport
 // the resulting client uses.
 func NewCluster(targets []string, opts ...Option) (*ClusterClient, error) {
-	if len(targets) == 0 {
-		return nil, fmt.Errorf("client: cluster needs at least one target URL")
-	}
-	parsed := make([]*url.URL, len(targets))
-	for i, t := range targets {
-		u, err := url.Parse(t)
-		if err != nil {
-			return nil, fmt.Errorf("client: parsing target %q: %w", t, err)
-		}
-		if u.Scheme == "" || u.Host == "" {
-			return nil, fmt.Errorf("client: target URL %q needs a scheme and host", t)
-		}
-		parsed[i] = u
-		// Failover rewrites only scheme and host — the path comes from
-		// the first target's base URL. Targets with differing path
-		// prefixes would silently receive requests built for another
-		// prefix, so require them to agree.
-		if strings.TrimSuffix(u.Path, "/") != strings.TrimSuffix(parsed[0].Path, "/") {
-			return nil, fmt.Errorf("client: target %q has path %q but %q has %q; cluster targets must share one path prefix",
-				t, u.Path, targets[0], parsed[0].Path)
-		}
+	parsed, err := parseTargets(targets)
+	if err != nil {
+		return nil, err
 	}
 	c, err := New(targets[0], opts...)
 	if err != nil {
@@ -68,13 +50,57 @@ func NewCluster(targets []string, opts ...Option) (*ClusterClient, error) {
 	return &ClusterClient{Client: c, ft: ft}, nil
 }
 
+// parseTargets validates a target set: every URL needs a scheme and
+// host, and — because failover rewrites only scheme and host while the
+// path comes from the client's base URL — all targets must share one
+// path prefix, or some would silently receive requests built for
+// another prefix.
+func parseTargets(targets []string) ([]*url.URL, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("client: cluster needs at least one target URL")
+	}
+	parsed := make([]*url.URL, len(targets))
+	for i, t := range targets {
+		u, err := url.Parse(t)
+		if err != nil {
+			return nil, fmt.Errorf("client: parsing target %q: %w", t, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("client: target URL %q needs a scheme and host", t)
+		}
+		parsed[i] = u
+		if strings.TrimSuffix(u.Path, "/") != strings.TrimSuffix(parsed[0].Path, "/") {
+			return nil, fmt.Errorf("client: target %q has path %q but %q has %q; cluster targets must share one path prefix",
+				t, u.Path, targets[0], parsed[0].Path)
+		}
+	}
+	return parsed, nil
+}
+
 // Targets lists the configured endpoints in rotation order.
 func (c *ClusterClient) Targets() []string {
-	out := make([]string, len(c.ft.targets))
-	for i, u := range c.ft.targets {
-		out[i] = u.String()
+	return c.ft.snapshotTargets()
+}
+
+// SetTargets replaces the endpoint set at runtime, so a long-running
+// caller (hcoc-load, a service holding one client for its lifetime)
+// survives topology changes without reconnecting: nodes joined to the
+// cluster start taking traffic, removed ones stop being tried.
+// In-flight requests finish against the set they started with; the
+// sticky cursor carries over when the current endpoint survives the
+// change. The same validation as NewCluster applies, plus the new set
+// must keep the path prefix the client's requests are built for.
+func (c *ClusterClient) SetTargets(targets []string) error {
+	parsed, err := parseTargets(targets)
+	if err != nil {
+		return err
 	}
-	return out
+	if strings.TrimSuffix(parsed[0].Path, "/") != strings.TrimSuffix(c.base.Path, "/") {
+		return fmt.Errorf("client: new targets have path %q but this client builds requests for %q",
+			parsed[0].Path, c.base.Path)
+	}
+	c.ft.setTargets(parsed)
+	return nil
 }
 
 // failoverTransport retargets requests across equivalent hosts. It
@@ -82,11 +108,41 @@ func (c *ClusterClient) Targets() []string {
 // request is worth re-attempting at all; this layer decides which host
 // an attempt lands on, burning through dead hosts within one attempt.
 type failoverTransport struct {
-	next    http.RoundTripper
-	targets []*url.URL
+	next http.RoundTripper
 
 	mu      sync.Mutex
-	current int // index of the last target that answered
+	targets []*url.URL // replaced wholesale by setTargets, never mutated
+	current int        // index of the last target that answered
+}
+
+// snapshotTargets returns the current rotation as strings.
+func (t *failoverTransport) snapshotTargets() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.targets))
+	for i, u := range t.targets {
+		out[i] = u.String()
+	}
+	return out
+}
+
+// setTargets swaps in a new target set, keeping the sticky cursor on
+// the current endpoint when it survives the change.
+func (t *failoverTransport) setTargets(parsed []*url.URL) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := ""
+	if len(t.targets) > 0 {
+		cur = t.targets[t.current%len(t.targets)].String()
+	}
+	t.targets = parsed
+	t.current = 0
+	for i, u := range parsed {
+		if u.String() == cur {
+			t.current = i
+			break
+		}
+	}
 }
 
 // failoverStatus reports responses that mean "this endpoint is dead or
@@ -99,11 +155,14 @@ func failoverStatus(code int) bool {
 
 // RoundTrip implements http.RoundTripper.
 func (t *failoverTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Snapshot the rotation: one request runs against one consistent
+	// target set even if SetTargets swaps it mid-flight.
 	t.mu.Lock()
-	start := t.current
+	targets := t.targets
+	start := t.current % len(targets)
 	t.mu.Unlock()
 
-	attempts := len(t.targets)
+	attempts := len(targets)
 	if req.Body != nil && req.GetBody == nil {
 		// The body cannot be replayed; failing over mid-stream would
 		// resend a truncated request. One target only.
@@ -117,8 +176,8 @@ func (t *failoverTransport) RoundTrip(req *http.Request) (*http.Response, error)
 			}
 			return nil, err
 		}
-		idx := (start + i) % len(t.targets)
-		target := t.targets[idx]
+		idx := (start + i) % len(targets)
+		target := targets[idx]
 		r := req.Clone(req.Context())
 		r.URL.Scheme, r.URL.Host = target.Scheme, target.Host
 		r.Host = "" // derive the Host header from the rewritten URL

@@ -68,6 +68,62 @@ func TestNewClusterValidation(t *testing.T) {
 	}
 }
 
+// TestSetTargets pins runtime retargeting: a swapped-in endpoint takes
+// traffic, a swapped-out one is never dialed again, the sticky cursor
+// survives when its endpoint does, and the validation of NewCluster
+// (including the path-prefix agreement with the original base URL)
+// still applies.
+func TestSetTargets(t *testing.T) {
+	ctx := context.Background()
+	var hits1, hits2 atomic.Int64
+	ts1 := okServer(t, &hits1)
+	ts2 := okServer(t, &hits2)
+
+	cc, err := NewCluster([]string{ts1.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if hits1.Load() != 1 {
+		t.Fatalf("hits1 = %d", hits1.Load())
+	}
+
+	// Topology change: ts1 drains, ts2 joins.
+	if err := cc.SetTargets([]string{ts2.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Targets(); len(got) != 1 || got[0] != ts2.URL {
+		t.Fatalf("targets after swap = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cc.Healthz(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits1.Load() != 1 || hits2.Load() != 3 {
+		t.Fatalf("hits after swap = %d, %d; the drained target kept taking traffic", hits1.Load(), hits2.Load())
+	}
+
+	// Invalid sets are refused atomically — the rotation is unchanged.
+	if err := cc.SetTargets(nil); err == nil {
+		t.Fatal("empty target set accepted")
+	}
+	if err := cc.SetTargets([]string{"relative/path"}); err == nil {
+		t.Fatal("schemeless target accepted")
+	}
+	if err := cc.SetTargets([]string{ts2.URL + "/other-prefix"}); err == nil {
+		t.Fatal("target with a different path prefix accepted")
+	}
+	if got := cc.Targets(); len(got) != 1 || got[0] != ts2.URL {
+		t.Fatalf("targets mutated by a refused swap: %v", got)
+	}
+	if err := cc.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestClusterFailoverOnDeadTarget: a request against a dead first
 // target transparently lands on the live second one, and the client
 // then sticks to the live target instead of re-dialing the corpse.

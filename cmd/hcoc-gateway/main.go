@@ -16,8 +16,18 @@
 // consecutive failures (probes and forwarded requests share the
 // counter) eject a backend from preferred routing, and the first
 // success re-admits it. GET /v1/cluster shows the topology — ring
-// parameters, per-backend health, traffic counters, and, with
-// ?key=h-<fp>, a key's current failover route.
+// parameters, per-backend health, traffic counters, repair progress,
+// and, with ?key=h-<fp>, a key's current failover route.
+//
+// Elasticity: membership is live. POST/DELETE /v1/cluster/nodes join
+// and drain backends at runtime, and SIGHUP re-reads -backends-file
+// and applies the delta; each change moves at most ~1/(N+1) of the key
+// space. A background anti-entropy sweeper (every -repair-interval)
+// diffs each backend's durable manifest against ring ownership and
+// re-replicates missing artifacts through the budget-neutral import
+// path, so a node that was down during a write — or one that just
+// joined cold — converges to its owned set without operator action.
+// POST /v1/cluster/repair runs one sweep synchronously.
 //
 // Example:
 //
@@ -49,23 +59,115 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		backends = flag.String("backends", "", "comma-separated hcoc-serve base URLs (required)")
-		repl     = flag.Int("replication", 0, "backends owning each hierarchy (0 = default 2, clamped to the fleet size)")
-		vnodes   = flag.Int("virtual-nodes", 0, "ring points per backend (0 = default 128)")
-		interval = flag.Duration("probe-interval", 0, "health-probe period (0 = default 2s)")
-		thresh   = flag.Int("fail-threshold", 0, "consecutive failures that eject a backend (0 = default 3)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		backends     = flag.String("backends", "", "comma-separated hcoc-serve base URLs")
+		backendsFile = flag.String("backends-file", "", "file listing backend URLs (one per line, # comments); SIGHUP re-reads it and applies joins/leaves")
+		repl         = flag.Int("replication", 0, "backends owning each hierarchy (0 = default 2, clamped to the fleet size)")
+		vnodes       = flag.Int("virtual-nodes", 0, "ring points per backend (0 = default 128)")
+		interval     = flag.Duration("probe-interval", 0, "health-probe period (0 = default 2s)")
+		thresh       = flag.Int("fail-threshold", 0, "consecutive failures that eject a backend (0 = default 3)")
+		repairEvery  = flag.Duration("repair-interval", 0, "anti-entropy sweep period (0 = default 30s, negative disables the loop)")
+		repairConc   = flag.Int("repair-concurrency", 0, "parallel artifact copies per sweep (0 = default 4)")
 	)
 	flag.Parse()
-	urls, err := parseBackends(*backends)
+	urls, static, err := initialBackends(*backends, *backendsFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-gateway: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, urls, *repl, *vnodes, *interval, *thresh); err != nil {
+	cfg := config{
+		addr:         *addr,
+		backends:     urls,
+		static:       static,
+		backendsFile: *backendsFile,
+		repl:         *repl,
+		vnodes:       *vnodes,
+		interval:     *interval,
+		thresh:       *thresh,
+		repairEvery:  *repairEvery,
+		repairConc:   *repairConc,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-gateway: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// config carries the parsed flags into run.
+type config struct {
+	addr         string
+	backends     []string // initial membership (static ∪ file)
+	static       []string // -backends URLs; always members across reloads
+	backendsFile string
+	repl         int
+	vnodes       int
+	interval     time.Duration
+	thresh       int
+	repairEvery  time.Duration
+	repairConc   int
+}
+
+// initialBackends resolves the starting membership from -backends
+// and/or -backends-file; when both are given the union is used, so a
+// fleet can have a static core plus a reloadable tail. The static list
+// is returned separately — SIGHUP reloads never remove its members.
+func initialBackends(flagList, file string) (all, static []string, err error) {
+	if strings.TrimSpace(flagList) != "" {
+		static, err = parseBackends(flagList)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var fromFile []string
+	if file != "" {
+		fromFile, err = readBackendsFile(file)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	all = mergeBackends(static, fromFile)
+	if len(all) == 0 {
+		return nil, nil, fmt.Errorf("-backends or -backends-file is required")
+	}
+	return all, static, nil
+}
+
+// mergeBackends unions URL lists preserving first-seen order.
+func mergeBackends(lists ...[]string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, l := range lists {
+		for _, u := range l {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// readBackendsFile parses a membership file: one URL per token,
+// whitespace- or comma-separated, blank lines and #-comments ignored.
+func readBackendsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading -backends-file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.FieldsFunc(line, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' || r == '\r' }) {
+			u := strings.TrimSuffix(tok, "/")
+			if !strings.Contains(u, "://") {
+				return nil, fmt.Errorf("%s: backend %q needs a scheme (http://host:port)", path, tok)
+			}
+			out = append(out, u)
+		}
+	}
+	return out, nil
 }
 
 // parseBackends splits and validates the -backends list.
@@ -90,13 +192,15 @@ func parseBackends(s string) ([]string, error) {
 	return out, nil
 }
 
-func run(addr string, backends []string, repl, vnodes int, interval time.Duration, thresh int) error {
+func run(cfg config) error {
 	gw, err := gateway.New(gateway.Options{
-		Backends:      backends,
-		Replication:   repl,
-		VirtualNodes:  vnodes,
-		ProbeInterval: interval,
-		FailThreshold: thresh,
+		Backends:          cfg.backends,
+		Replication:       cfg.repl,
+		VirtualNodes:      cfg.vnodes,
+		ProbeInterval:     cfg.interval,
+		FailThreshold:     cfg.thresh,
+		RepairInterval:    cfg.repairEvery,
+		RepairConcurrency: cfg.repairConc,
 	})
 	if err != nil {
 		return err
@@ -105,7 +209,7 @@ func run(addr string, backends []string, repl, vnodes int, interval time.Duratio
 	defer gw.Stop()
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           gw,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
@@ -115,10 +219,28 @@ func run(addr string, backends []string, repl, vnodes int, interval time.Duratio
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP re-reads -backends-file and applies the delta as runtime
+	// joins/leaves — the same code path as POST/DELETE /v1/cluster/nodes,
+	// so the movement bound and the post-change repair kick apply.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if cfg.backendsFile == "" {
+				fmt.Println("hcoc-gateway: SIGHUP ignored (no -backends-file to reload)")
+				continue
+			}
+			if err := reload(gw, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "hcoc-gateway: reload: %v\n", err)
+			}
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("hcoc-gateway: listening on %s over %d backends (replication=%d)\n",
-			addr, len(backends), gw.Cluster().Replication())
+			cfg.addr, len(cfg.backends), gw.Cluster().Replication())
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -136,6 +258,52 @@ func run(addr string, backends []string, repl, vnodes int, interval time.Duratio
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	return nil
+}
+
+// reload diffs the desired membership (static -backends ∪ the current
+// -backends-file contents) against the ring, applying joins before
+// leaves so capacity never dips mid-reload. Errors on individual nodes
+// are reported and skipped — one bad URL must not wedge the rest of
+// the reload.
+func reload(gw *gateway.Gateway, cfg config) error {
+	fromFile, err := readBackendsFile(cfg.backendsFile)
+	if err != nil {
+		return err
+	}
+	desired := mergeBackends(cfg.static, fromFile)
+	if len(desired) == 0 {
+		return fmt.Errorf("%s lists no backends; keeping current membership", cfg.backendsFile)
+	}
+	want := make(map[string]bool, len(desired))
+	for _, u := range desired {
+		want[u] = true
+	}
+	current := gw.Cluster().Backends()
+	have := make(map[string]bool, len(current))
+	for _, u := range current {
+		have[u] = true
+	}
+	for _, u := range desired {
+		if have[u] {
+			continue
+		}
+		if joined, err := gw.AddBackend(u); err != nil {
+			fmt.Fprintf(os.Stderr, "hcoc-gateway: reload: join %s: %v\n", u, err)
+		} else if joined {
+			fmt.Printf("hcoc-gateway: reload: joined %s\n", u)
+		}
+	}
+	for _, u := range current {
+		if want[u] {
+			continue
+		}
+		if err := gw.RemoveBackend(u); err != nil {
+			fmt.Fprintf(os.Stderr, "hcoc-gateway: reload: leave %s: %v\n", u, err)
+		} else {
+			fmt.Printf("hcoc-gateway: reload: removed %s\n", u)
+		}
 	}
 	return nil
 }

@@ -23,7 +23,10 @@
 // A whole cluster can be driven as easily as one daemon: -targets
 // takes several comma-separated base URLs (hcoc-gateway instances, or
 // backends directly) and the generator fails over between them
-// client-side, sticking to the last target that answered.
+// client-side, sticking to the last target that answered. With
+// -targets-file the list lives in a file instead; SIGHUP re-reads it
+// mid-run and retargets the in-flight workload, so a long soak
+// survives cluster topology changes without restarting.
 //
 // Example:
 //
@@ -44,10 +47,12 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"hcoc"
@@ -75,7 +80,8 @@ func main() {
 // construct it directly.
 type config struct {
 	addr         string
-	targets      []string // >1 base URL selects the failover ClusterClient
+	targets      []string // >=1 base URL selects the failover ClusterClient
+	targetsFile  string   // optional file of target URLs, re-read on SIGHUP
 	duration     time.Duration
 	concurrency  int
 	rate         float64 // >0 selects the open loop
@@ -97,6 +103,7 @@ func parseFlags(args []string) (config, error) {
 	var mix, targets string
 	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "base URL of the hcoc-serve daemon")
 	fs.StringVar(&targets, "targets", "", "comma-separated base URLs of a cluster (gateways or backends); overrides -addr and enables client-side failover")
+	fs.StringVar(&cfg.targetsFile, "targets-file", "", "file of cluster base URLs (one per line, # comments); merged with -targets and re-read on SIGHUP")
 	fs.DurationVar(&cfg.duration, "duration", 30*time.Second, "how long to generate load")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers; the open loop bounds in-flight requests at 64x this")
 	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop request rate per second (0 = closed loop)")
@@ -337,12 +344,24 @@ func (s *summary) report(w io.Writer, cfg config) {
 // run sets up the target (hierarchy upload + one warm release) and
 // drives the configured loop, returning the digested summary.
 func run(ctx context.Context, cfg config, out io.Writer) (*summary, error) {
+	targets := cfg.targets
+	if cfg.targetsFile != "" {
+		fromFile, err := readTargetsFile(cfg.targetsFile)
+		if err != nil {
+			return nil, err
+		}
+		targets = mergeTargets(cfg.targets, fromFile)
+	}
 	var c *client.Client
 	var err error
-	if len(cfg.targets) > 0 {
+	if len(targets) > 0 {
 		var cc *client.ClusterClient
-		if cc, err = client.NewCluster(cfg.targets); err == nil {
+		if cc, err = client.NewCluster(targets); err == nil {
 			c = cc.Client
+			if cfg.targetsFile != "" {
+				stop := retargetOnHUP(cc, cfg, out)
+				defer stop()
+			}
 		}
 	} else {
 		c, err = client.New(cfg.addr)
@@ -399,6 +418,76 @@ func run(ctx context.Context, cfg config, out io.Writer) (*summary, error) {
 	sum := digest(rec.samples, time.Since(start))
 	sum.report(out, cfg)
 	return sum, nil
+}
+
+// readTargetsFile parses a -targets-file: one URL per token,
+// whitespace- or comma-separated, blank lines and #-comments ignored.
+func readTargetsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading -targets-file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.FieldsFunc(line, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' || r == '\r' }) {
+			out = append(out, strings.TrimSuffix(tok, "/"))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s lists no targets", path)
+	}
+	return out, nil
+}
+
+// mergeTargets unions URL lists preserving first-seen order.
+func mergeTargets(lists ...[]string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, l := range lists {
+		for _, u := range l {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// retargetOnHUP re-reads the -targets-file on SIGHUP and swaps the
+// cluster client's rotation mid-run (static -targets stay members).
+// The returned stop function uninstalls the handler.
+func retargetOnHUP(cc *client.ClusterClient, cfg config, out io.Writer) func() {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-hup:
+			}
+			fromFile, err := readTargetsFile(cfg.targetsFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hcoc-load: reload: %v\n", err)
+				continue
+			}
+			next := mergeTargets(cfg.targets, fromFile)
+			if err := cc.SetTargets(next); err != nil {
+				fmt.Fprintf(os.Stderr, "hcoc-load: reload: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(out, "hcoc-load: retargeted to %s\n", strings.Join(next, ","))
+		}
+	}()
+	return func() {
+		signal.Stop(hup)
+		close(done)
+	}
 }
 
 // worker holds the shared state of the load loops.

@@ -17,6 +17,14 @@ import (
 // all-backends-down signal routers translate into a 503.
 var ErrNoBackends = errors.New("cluster: no live backends")
 
+// ErrUnknownBackend reports a membership operation naming a backend
+// that is not part of the cluster.
+var ErrUnknownBackend = errors.New("cluster: unknown backend")
+
+// ErrLastBackend reports a refused removal: a cluster must keep at
+// least one backend, or every key would have no owner.
+var ErrLastBackend = errors.New("cluster: refusing to remove the last backend")
+
 // ProbeFunc checks one backend's health and returns its self-reported
 // instance identity (the engine id from /healthz). Injectable so tests
 // control health without real sockets.
@@ -98,7 +106,7 @@ type BackendStatus struct {
 // (or forwarded request).
 type Cluster struct {
 	ring   *Ring
-	repl   int
+	repl   int // configured R; the effective factor clamps to membership
 	thresh int
 	period time.Duration
 	probe  ProbeFunc
@@ -151,10 +159,46 @@ func New(opts Options) (*Cluster, error) {
 		c.backends[u] = &backend{url: u, healthy: true}
 		c.ring.Add(u)
 	}
-	if c.repl > len(c.backends) {
-		c.repl = len(c.backends)
-	}
 	return c, nil
+}
+
+// AddBackend joins a backend to the ring at runtime. The node starts
+// healthy (the next probe sweep or failed forward corrects that) and
+// immediately owns its ring share — at most ~1/(N+1) of the keyspace
+// moves, the same bound as construction-time membership. Adding a
+// present backend is a no-op reporting joined=false.
+func (c *Cluster) AddBackend(url string) (joined bool, err error) {
+	if url == "" {
+		return false, fmt.Errorf("cluster: empty backend URL")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.backends[url]; ok {
+		return false, nil
+	}
+	c.backends[url] = &backend{url: url, healthy: true}
+	c.ring.Add(url)
+	return true, nil
+}
+
+// RemoveBackend drains a backend from the ring at runtime: it stops
+// owning keys and stops being probed or routed to. The artifacts it
+// holds are not touched — the anti-entropy sweep re-replicates what
+// the surviving owners are missing. Removing the last backend is
+// refused (ErrLastBackend); removing an unknown one is
+// ErrUnknownBackend.
+func (c *Cluster) RemoveBackend(url string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.backends[url]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownBackend, url)
+	}
+	if len(c.backends) == 1 {
+		return fmt.Errorf("%w (%q)", ErrLastBackend, url)
+	}
+	delete(c.backends, url)
+	c.ring.Remove(url)
+	return nil
 }
 
 // httpProbe is the default ProbeFunc: GET {base}/healthz with a short
@@ -288,8 +332,19 @@ func (c *Cluster) report(url string, err error, probedAt time.Time) {
 	}
 }
 
-// Replication is the configured replication factor R.
-func (c *Cluster) Replication() int { return c.repl }
+// Replication is the effective replication factor R: the configured
+// value, clamped to the current membership. It follows runtime
+// join/leave — a 2-node cluster configured for R=3 reports 2 until a
+// third node joins.
+func (c *Cluster) Replication() int {
+	c.mu.RLock()
+	n := len(c.backends)
+	c.mu.RUnlock()
+	if c.repl > n {
+		return n
+	}
+	return c.repl
+}
 
 // VirtualNodes is the ring's per-backend point count.
 func (c *Cluster) VirtualNodes() int { return c.ring.vnodes }

@@ -50,6 +50,95 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+// TestAddRemoveBackend pins runtime membership: joins and leaves take
+// effect immediately, duplicates and unknowns answer distinctly, the
+// last backend cannot leave, and the effective replication factor
+// tracks membership through the churn.
+func TestAddRemoveBackend(t *testing.T) {
+	c := newCluster(t, []string{"u1", "u2"}, 3, 1)
+	if c.Replication() != 2 {
+		t.Fatalf("replication = %d over 2 backends, want 2", c.Replication())
+	}
+
+	joined, err := c.AddBackend("u3")
+	if err != nil || !joined {
+		t.Fatalf("AddBackend(u3) = %v, %v", joined, err)
+	}
+	if got := c.Backends(); len(got) != 3 {
+		t.Fatalf("backends after join = %v", got)
+	}
+	// Membership caught up with the configured factor.
+	if c.Replication() != 3 {
+		t.Fatalf("replication = %d over 3 backends, want 3", c.Replication())
+	}
+	// A joining node starts healthy: it must be routable immediately,
+	// before the first probe tick.
+	if len(c.Live()) != 3 {
+		t.Fatalf("live after join = %v", c.Live())
+	}
+	// Re-joining is a no-op, not an error.
+	if joined, err = c.AddBackend("u3"); err != nil || joined {
+		t.Fatalf("duplicate AddBackend = %v, %v", joined, err)
+	}
+	if _, err = c.AddBackend(""); err == nil {
+		t.Fatal("empty URL joined")
+	}
+
+	if err := c.RemoveBackend("nope"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("RemoveBackend(unknown) = %v", err)
+	}
+	if err := c.RemoveBackend("u3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveBackend("u2"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Replication() != 1 {
+		t.Fatalf("replication = %d over 1 backend, want 1", c.Replication())
+	}
+	if err := c.RemoveBackend("u1"); !errors.Is(err, ErrLastBackend) {
+		t.Fatalf("removing the last backend = %v, want ErrLastBackend", err)
+	}
+	if got := c.Backends(); len(got) != 1 || got[0] != "u1" {
+		t.Fatalf("backends after churn = %v", got)
+	}
+}
+
+// TestMembershipRoutesKeys: a join takes over part of the keyspace and
+// a leave hands it back — the ring the router consults is the live one.
+func TestMembershipRoutesKeys(t *testing.T) {
+	c := newCluster(t, []string{"u1", "u2", "u3"}, 1, 1)
+	before := make(map[string]string)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("fp-%d", i)
+		before[k] = c.Owners(k)[0]
+	}
+	if _, err := c.AddBackend("u4"); err != nil {
+		t.Fatal(err)
+	}
+	tookOver := 0
+	for k, prev := range before {
+		now := c.Owners(k)[0]
+		if now != prev {
+			if now != "u4" {
+				t.Fatalf("key %q moved %q -> %q, not to the joining node", k, prev, now)
+			}
+			tookOver++
+		}
+	}
+	if tookOver == 0 {
+		t.Fatal("joining node took over no keys")
+	}
+	if err := c.RemoveBackend("u4"); err != nil {
+		t.Fatal(err)
+	}
+	for k, prev := range before {
+		if now := c.Owners(k)[0]; now != prev {
+			t.Fatalf("key %q owned by %q after the node left, was %q", k, now, prev)
+		}
+	}
+}
+
 // TestRouteFailoverOrder: ejecting the primary reorders routing so the
 // live replica is tried first, with the ejected owner kept at the tail
 // as a last resort.

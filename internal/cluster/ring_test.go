@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -149,6 +150,108 @@ func TestRingRebalanceBound(t *testing.T) {
 		if got := r.Primary(k); got != before[k] {
 			t.Fatalf("key %q owned by %q after remove, was %q", k, got, before[k])
 		}
+	}
+}
+
+// TestRingChurnProperty drives a long random join/leave sequence and
+// checks the ring's two safety properties after every membership
+// change: (1) the movement bound — an add to an N-node ring moves at
+// most ~total/(N+1) keys, all onto the new node; a remove moves at
+// most ~total/N, all off the departed node, and never shuffles keys
+// between survivors — and (2) replica sets never contain a node twice
+// and always start with the primary. One violation anywhere in the
+// sequence is a routing bug that single-step tests cannot surface.
+func TestRingChurnProperty(t *testing.T) {
+	const (
+		total = 2000
+		steps = 40
+		slack = total * 8 / 100 // virtual-node hash variance, as in TestRingRebalanceBound
+	)
+	rng := rand.New(rand.NewSource(7))
+	r := NewRing(0)
+	members := []string{"seed-0", "seed-1", "seed-2"}
+	for _, n := range members {
+		r.Add(n)
+	}
+	ks := keys(total)
+	owners := func() map[string]string {
+		out := make(map[string]string, total)
+		for _, k := range ks {
+			out[k] = r.Primary(k)
+		}
+		return out
+	}
+	checkReplicas := func(step int) {
+		for _, k := range ks[:200] {
+			reps := r.Replicas(k, 3)
+			want := 3
+			if len(members) < want {
+				want = len(members)
+			}
+			if len(reps) != want {
+				t.Fatalf("step %d: Replicas(%q, 3) over %d nodes = %v", step, k, len(members), reps)
+			}
+			seen := map[string]bool{}
+			for _, n := range reps {
+				if seen[n] {
+					t.Fatalf("step %d: duplicate owner %q for %q: %v", step, n, k, reps)
+				}
+				seen[n] = true
+			}
+			if reps[0] != r.Primary(k) {
+				t.Fatalf("step %d: replicas %v do not start with primary %q", step, reps, r.Primary(k))
+			}
+		}
+	}
+	next := 0
+	before := owners()
+	for step := 0; step < steps; step++ {
+		if len(members) == 1 || rng.Intn(2) == 0 { // join
+			n := len(members)
+			node := fmt.Sprintf("churn-%d", next)
+			next++
+			r.Add(node)
+			members = append(members, node)
+			after := owners()
+			moved := 0
+			for _, k := range ks {
+				if after[k] != before[k] {
+					moved++
+					if after[k] != node {
+						t.Fatalf("step %d: key %q moved %q -> %q, not to the joining node %q",
+							step, k, before[k], after[k], node)
+					}
+				}
+			}
+			if bound := total/(n+1) + slack; moved > bound {
+				t.Fatalf("step %d: join onto %d nodes moved %d of %d keys (bound %d)", step, n, moved, total, bound)
+			}
+			before = after
+		} else { // leave
+			n := len(members)
+			i := rng.Intn(len(members))
+			node := members[i]
+			members = append(members[:i], members[i+1:]...)
+			r.Remove(node)
+			after := owners()
+			moved := 0
+			for _, k := range ks {
+				if after[k] != before[k] {
+					moved++
+					if before[k] != node {
+						t.Fatalf("step %d: key %q moved %q -> %q though %q left",
+							step, k, before[k], after[k], node)
+					}
+				} else if before[k] == node {
+					t.Fatalf("step %d: key %q still owned by departed node %q", step, k, node)
+				}
+			}
+			if bound := total/n + slack; moved > bound {
+				t.Fatalf("step %d: leave from %d nodes moved %d of %d keys (bound %d)", step, n, moved, total, bound)
+			}
+			before = after
+		}
+		checkReplicas(step)
 	}
 }
 

@@ -39,6 +39,13 @@ type Options struct {
 	// is a single retry per backend: the gateway's own replica failover
 	// is the real retry mechanism.
 	ClientOptions []client.Option
+	// RepairInterval is the anti-entropy sweep period; 0 selects
+	// DefaultRepairInterval, negative disables the background sweeper
+	// (RepairNow still works).
+	RepairInterval time.Duration
+	// RepairConcurrency bounds parallel artifact copies within one
+	// sweep (0 selects DefaultRepairConcurrency).
+	RepairConcurrency int
 }
 
 // backendStats counts one backend's forwarded traffic, guarded by
@@ -53,17 +60,21 @@ type backendStats struct {
 // for concurrent use; Start/Stop bound the background health probing.
 type Gateway struct {
 	cluster *cluster.Cluster
-	clients map[string]*client.Client
 	mux     *http.ServeMux
+	copts   []client.Option
+	repair  *repairer
 
 	mu           sync.Mutex
-	releaseOwner map[string]string // release id -> hierarchy fingerprint
-	jobOwner     map[string]string // job id -> backend URL
+	clients      map[string]*client.Client // guarded: membership changes at runtime
+	releaseOwner map[string]string         // release id -> hierarchy fingerprint
+	jobOwner     map[string]string         // job id -> backend URL
 	stats        map[string]*backendStats
 	failovers    uint64
 	fanouts      uint64
 	replications uint64
 	replFailures uint64
+	joins        uint64
+	leaves       uint64
 }
 
 // New builds the routing tier over the configured backends. No probing
@@ -88,29 +99,93 @@ func New(opts Options) (*Gateway, error) {
 		jobOwner:     make(map[string]string),
 		stats:        make(map[string]*backendStats),
 	}
-	copts := opts.ClientOptions
-	if copts == nil {
-		copts = []client.Option{client.WithMaxRetries(1)}
+	g.copts = opts.ClientOptions
+	if g.copts == nil {
+		g.copts = []client.Option{client.WithMaxRetries(1)}
 	}
 	for _, u := range cl.Backends() {
-		c, err := client.New(u, copts...)
+		c, err := client.New(u, g.copts...)
 		if err != nil {
 			return nil, fmt.Errorf("gateway: backend %q: %w", u, err)
 		}
 		g.clients[u] = c
 		g.stats[u] = &backendStats{}
 	}
+	g.repair = newRepairer(g, opts.RepairInterval, opts.RepairConcurrency)
 	for _, rt := range g.routeTable() {
 		g.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
 	}
 	return g, nil
 }
 
-// Start launches the background health-probe loop; Stop ends it.
-func (g *Gateway) Start() { g.cluster.Start() }
+// Start launches the background health-probe and anti-entropy loops;
+// Stop ends them.
+func (g *Gateway) Start() {
+	g.cluster.Start()
+	g.repair.start()
+}
 
-// Stop ends the probe loop started by Start.
-func (g *Gateway) Stop() { g.cluster.Stop() }
+// Stop ends the loops started by Start.
+func (g *Gateway) Stop() {
+	g.cluster.Stop()
+	g.repair.stop()
+}
+
+// client resolves a backend URL to its SDK client; nil after the
+// backend left the cluster.
+func (g *Gateway) client(u string) *client.Client {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.clients[u]
+}
+
+// AddBackend joins a backend at runtime: an SDK client is built for
+// it, it takes its ring share immediately, and the next anti-entropy
+// sweep streams it the artifacts it now owns. Idempotent; the returned
+// bool reports whether the membership actually changed.
+func (g *Gateway) AddBackend(u string) (bool, error) {
+	c, err := client.New(u, g.copts...)
+	if err != nil {
+		return false, fmt.Errorf("gateway: backend %q: %w", u, err)
+	}
+	joined, err := g.cluster.AddBackend(u)
+	if err != nil {
+		return false, err
+	}
+	if !joined {
+		return false, nil
+	}
+	g.mu.Lock()
+	g.clients[u] = c
+	if g.stats[u] == nil {
+		g.stats[u] = &backendStats{}
+	}
+	g.joins++
+	g.mu.Unlock()
+	return true, nil
+}
+
+// RemoveBackend drains a backend at runtime: it stops owning keys and
+// receiving traffic. Its artifacts are left in place; the next sweep
+// re-replicates anything the surviving owners are missing.
+func (g *Gateway) RemoveBackend(u string) error {
+	if err := g.cluster.RemoveBackend(u); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	delete(g.clients, u)
+	delete(g.stats, u)
+	// Job hints pointing at the departed backend are dead routes; drop
+	// them so polls fall back to the live scatter.
+	for id, owner := range g.jobOwner {
+		if owner == u {
+			delete(g.jobOwner, id)
+		}
+	}
+	g.leaves++
+	g.mu.Unlock()
+	return nil
+}
 
 // Cluster exposes the routing state for introspection and tests.
 func (g *Gateway) Cluster() *cluster.Cluster { return g.cluster }
@@ -133,6 +208,9 @@ func (g *Gateway) routeTable() []routeEntry {
 		{serve.Route{Method: "GET", Pattern: "/v1/query/{node...}"}, g.handleQuery},
 		{serve.Route{Method: "GET", Pattern: "/v1/budget/{id}"}, g.handleBudget},
 		{serve.Route{Method: "GET", Pattern: "/v1/cluster"}, g.handleCluster},
+		{serve.Route{Method: "POST", Pattern: "/v1/cluster/nodes"}, g.handleAddNode},
+		{serve.Route{Method: "DELETE", Pattern: "/v1/cluster/nodes"}, g.handleRemoveNode},
+		{serve.Route{Method: "POST", Pattern: "/v1/cluster/repair"}, g.handleRepair},
 		{serve.Route{Method: "GET", Pattern: "/healthz"}, g.handleHealthz},
 		{serve.Route{Method: "GET", Pattern: "/metrics"}, g.handleMetrics},
 	}
@@ -257,7 +335,7 @@ func terminal(err error) bool {
 func (g *Gateway) forward(order []string, op func(c *client.Client, url string) error) error {
 	var lastErr error
 	for i, u := range order {
-		c := g.clients[u]
+		c := g.client(u)
 		if c == nil {
 			continue
 		}
@@ -327,15 +405,28 @@ func (g *Gateway) routeHierarchy(fp string) []string {
 }
 
 // orderForRelease resolves a release id to its failover order: the
-// owning hierarchy's route when learned, every live backend otherwise
-// (a gateway restart forgets the hints, not the data) — and, with the
+// owning hierarchy's route when learned — extended with the remaining
+// live backends, because after a membership change a release's new
+// ring owners may not have been repaired yet while an old owner still
+// holds the artifact — every live backend when the hint is forgotten
+// (a gateway restart forgets the hints, not the data), and, with the
 // whole fleet ejected, every configured backend as a last resort.
 func (g *Gateway) orderForRelease(releaseID string) ([]string, error) {
 	g.mu.Lock()
 	fp, ok := g.releaseOwner[releaseID]
 	g.mu.Unlock()
 	if ok {
-		return g.routeHierarchy(fp), nil
+		order := g.routeHierarchy(fp)
+		seen := make(map[string]bool, len(order))
+		for _, u := range order {
+			seen[u] = true
+		}
+		for _, u := range g.cluster.Live() {
+			if !seen[u] {
+				order = append(order, u)
+			}
+		}
+		return order, nil
 	}
 	if live := g.cluster.Live(); len(live) > 0 {
 		return live, nil

@@ -471,6 +471,9 @@ func TestGatewayRoutesStable(t *testing.T) {
 		"GET /v1/query/{node...}",
 		"GET /v1/budget/{id}",
 		"GET /v1/cluster",
+		"POST /v1/cluster/nodes",
+		"DELETE /v1/cluster/nodes",
+		"POST /v1/cluster/repair",
 		"GET /healthz",
 		"GET /metrics",
 	}

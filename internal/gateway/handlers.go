@@ -2,9 +2,11 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -75,8 +77,13 @@ func (g *Gateway) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, u string) {
 			defer wg.Done()
+			c := g.client(u)
+			if c == nil {
+				errs[i] = fmt.Errorf("backend %s left the cluster", u)
+				return
+			}
 			start := time.Now()
-			h, err := g.clients[u].UploadHierarchy(r.Context(), req.Root, groups)
+			h, err := c.UploadHierarchy(r.Context(), req.Root, groups)
 			g.record(u, time.Since(start), err)
 			g.reportHealth(u, err)
 			results[i], errs[i] = h, err
@@ -117,8 +124,13 @@ func scatter[T any](g *Gateway, op func(c *client.Client) ([]T, error)) ([]T, er
 		wg.Add(1)
 		go func(i int, u string) {
 			defer wg.Done()
+			c := g.client(u)
+			if c == nil {
+				errs[i] = fmt.Errorf("backend %s left the cluster", u)
+				return
+			}
 			start := time.Now()
-			out, err := op(g.clients[u])
+			out, err := op(c)
 			g.record(u, time.Since(start), err)
 			g.reportHealth(u, err)
 			results[i], errs[i] = out, err
@@ -289,7 +301,11 @@ func (g *Gateway) replicate(ctx context.Context, rel client.Release, servedBy st
 	if len(targets) == 0 {
 		return
 	}
-	sparse, epsilon, err := g.clients[servedBy].DownloadRelease(ctx, rel.Release)
+	src := g.client(servedBy)
+	if src == nil {
+		return
+	}
+	sparse, epsilon, err := src.DownloadRelease(ctx, rel.Release)
 	if err != nil {
 		g.mu.Lock()
 		g.replFailures++
@@ -301,10 +317,14 @@ func (g *Gateway) replicate(ctx context.Context, rel client.Release, servedBy st
 	// latencies onto it.
 	var wg sync.WaitGroup
 	for _, u := range targets {
+		c := g.client(u)
+		if c == nil {
+			continue
+		}
 		wg.Add(1)
-		go func(u string) {
+		go func(u string, c *client.Client) {
 			defer wg.Done()
-			_, err := g.clients[u].ImportRelease(ctx, rel.Release, rel.Hierarchy, rel.Algorithm, rel.DurationMS, sparse, epsilon)
+			_, err := c.ImportRelease(ctx, rel.Release, rel.Hierarchy, rel.Algorithm, rel.DurationMS, sparse, epsilon)
 			g.reportHealth(u, err)
 			g.mu.Lock()
 			if err != nil {
@@ -313,7 +333,7 @@ func (g *Gateway) replicate(ctx context.Context, rel client.Release, servedBy st
 				g.replications++
 			}
 			g.mu.Unlock()
-		}(u)
+		}(u, c)
 	}
 	wg.Wait()
 }
@@ -494,6 +514,9 @@ type clusterResponse struct {
 	VirtualNodes int           `json:"virtual_nodes"`
 	Live         int           `json:"live"`
 	Failovers    uint64        `json:"failovers"`
+	Joins        uint64        `json:"joins"`
+	Leaves       uint64        `json:"leaves"`
+	Repair       repairStatus  `json:"repair"`
 	Backends     []backendInfo `json:"backends"`
 	Route        []string      `json:"route,omitempty"`
 }
@@ -509,21 +532,28 @@ type backendInfo struct {
 	Requests            uint64  `json:"requests"`
 	Errors              uint64  `json:"errors"`
 	MeanLatencyMS       float64 `json:"mean_latency_ms"`
+	// ReplicaDeficit is how many releases this backend owns on the ring
+	// but did not hold at the last anti-entropy sweep — the per-node
+	// under-replication an operator watches converge to zero.
+	ReplicaDeficit int `json:"replica_deficit"`
 }
 
 // handleCluster reports the topology: ring parameters, every backend's
-// health and traffic, and — with ?key=h-<fp> — that key's current
-// failover route, primary first.
+// health, traffic and replica deficit, repair progress, and — with
+// ?key=h-<fp> — that key's current failover route, primary first.
 func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 	states := g.cluster.States()
 	resp := clusterResponse{
 		Replication:  g.cluster.Replication(),
 		VirtualNodes: g.cluster.VirtualNodes(),
 		Live:         len(g.cluster.Live()),
+		Repair:       g.repair.status(),
 		Backends:     make([]backendInfo, len(states)),
 	}
+	deficits := g.repair.deficits()
 	g.mu.Lock()
 	resp.Failovers = g.failovers
+	resp.Joins, resp.Leaves = g.joins, g.leaves
 	for i, st := range states {
 		info := backendInfo{
 			URL:                 st.URL,
@@ -532,6 +562,7 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 			ConsecutiveFailures: st.ConsecutiveFailures,
 			Ejections:           st.Ejections,
 			LastError:           st.LastError,
+			ReplicaDeficit:      deficits[st.URL],
 		}
 		if !st.LastProbe.IsZero() {
 			info.LastProbe = st.LastProbe.UTC().Format(time.RFC3339Nano)
@@ -552,6 +583,82 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// nodeRequest is the JSON body of POST /v1/cluster/nodes.
+type nodeRequest struct {
+	URL string `json:"url"`
+}
+
+// nodeResponse answers both membership operations.
+type nodeResponse struct {
+	URL      string `json:"url"`
+	Changed  bool   `json:"changed"`
+	Backends int    `json:"backends"`
+}
+
+// handleAddNode joins a backend to the ring at runtime
+// (POST /v1/cluster/nodes {"url": "http://host:port"}). The join is
+// answered immediately; an anti-entropy sweep is kicked off in the
+// background so the new node converges to its owned set without
+// waiting for the next interval.
+func (g *Gateway) handleAddNode(w http.ResponseWriter, r *http.Request) {
+	var req nodeRequest
+	if !serve.DecodeJSON(w, r, &req) {
+		return
+	}
+	u := strings.TrimSuffix(strings.TrimSpace(req.URL), "/")
+	if u == "" {
+		serve.WriteError(w, http.StatusBadRequest, "missing url")
+		return
+	}
+	if !strings.Contains(u, "://") {
+		serve.WriteError(w, http.StatusBadRequest, "backend %q needs a scheme (http://host:port)", u)
+		return
+	}
+	joined, err := g.AddBackend(u)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if joined {
+		go g.cluster.ProbeNow(context.Background())
+		g.repair.kick()
+	}
+	serve.WriteJSON(w, http.StatusOK, nodeResponse{URL: u, Changed: joined, Backends: len(g.cluster.Backends())})
+}
+
+// handleRemoveNode drains a backend from the ring at runtime
+// (DELETE /v1/cluster/nodes?url=http://host:port). A sweep is kicked
+// off so the releases the departed node held get re-replicated onto
+// their new owners while it is still likely reachable elsewhere.
+func (g *Gateway) handleRemoveNode(w http.ResponseWriter, r *http.Request) {
+	u := strings.TrimSuffix(strings.TrimSpace(r.URL.Query().Get("url")), "/")
+	if u == "" {
+		serve.WriteError(w, http.StatusBadRequest, "missing url query parameter")
+		return
+	}
+	if err := g.RemoveBackend(u); err != nil {
+		switch {
+		case errors.Is(err, cluster.ErrUnknownBackend):
+			serve.WriteError(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, cluster.ErrLastBackend):
+			serve.WriteError(w, http.StatusConflict, "%v", err)
+		default:
+			serve.WriteError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	g.repair.kick()
+	serve.WriteJSON(w, http.StatusOK, nodeResponse{URL: u, Changed: true, Backends: len(g.cluster.Backends())})
+}
+
+// handleRepair runs one anti-entropy sweep synchronously and reports
+// it — the operator's "converge now" button, and what CI uses to make
+// convergence deterministic instead of sleeping past an interval.
+func (g *Gateway) handleRepair(w http.ResponseWriter, r *http.Request) {
+	report := g.repair.sweep(r.Context())
+	serve.WriteJSON(w, http.StatusOK, report)
 }
 
 // handleHealthz answers 200 while at least one backend is live — the
@@ -575,6 +682,8 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	states := g.cluster.States()
+	repair := g.repair.status()
+	deficits := g.repair.deficits()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
@@ -620,5 +729,17 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP hcoc_gateway_backend_ejections_total Healthy-to-ejected transitions per backend.\n")
 	for _, st := range states {
 		fmt.Fprintf(w, "hcoc_gateway_backend_ejections_total{backend=%q} %d\n", st.URL, st.Ejections)
+	}
+
+	fmt.Fprintf(w, "# HELP hcoc_gateway_node_joins_total Backends added at runtime.\nhcoc_gateway_node_joins_total %d\n", g.joins)
+	fmt.Fprintf(w, "# HELP hcoc_gateway_node_leaves_total Backends removed at runtime.\nhcoc_gateway_node_leaves_total %d\n", g.leaves)
+	fmt.Fprintf(w, "# HELP hcoc_repair_sweeps_total Completed anti-entropy sweeps.\nhcoc_repair_sweeps_total %d\n", repair.Sweeps)
+	fmt.Fprintf(w, "# HELP hcoc_repair_releases_scanned_total Durable releases examined by sweeps.\nhcoc_repair_releases_scanned_total %d\n", repair.ReleasesScanned)
+	fmt.Fprintf(w, "# HELP hcoc_repair_releases_repaired_total Replica slots filled by sweeps.\nhcoc_repair_releases_repaired_total %d\n", repair.ReleasesRepaired)
+	fmt.Fprintf(w, "# HELP hcoc_repair_releases_failed_total Replica copies that failed (retried next sweep).\nhcoc_repair_releases_failed_total %d\n", repair.ReleasesFailed)
+	fmt.Fprintf(w, "# HELP hcoc_repair_last_sweep_duration_seconds Wall time of the most recent sweep.\nhcoc_repair_last_sweep_duration_seconds %g\n", repair.LastSweepDurationMS/1000)
+	fmt.Fprintf(w, "# HELP hcoc_repair_under_replicated Owned-but-missing replica slots per backend after the last sweep (0 = converged).\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "hcoc_repair_under_replicated{backend=%q} %d\n", st.URL, deficits[st.URL])
 	}
 }

@@ -1,0 +1,353 @@
+package gateway
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcoc/client"
+)
+
+// Defaults for the anti-entropy sweeper.
+const (
+	// DefaultRepairInterval is the period between background sweeps.
+	DefaultRepairInterval = 30 * time.Second
+	// DefaultRepairConcurrency bounds parallel artifact copies in one
+	// sweep.
+	DefaultRepairConcurrency = 4
+)
+
+// repairer is the anti-entropy loop: it periodically scatter-gathers
+// the durable-release manifests of every live backend, diffs them
+// against ring ownership, and re-replicates under-replicated artifacts
+// through the budget-neutral import path. It is what makes the cluster
+// converge without operator action after a node was down during a
+// write, or joined cold: every durable release reaches all R of its
+// ring owners within one sweep of the owners being up.
+type repairer struct {
+	g      *Gateway
+	period time.Duration
+	conc   int
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stopc    chan struct{}
+	done     chan struct{}
+	kickc    chan struct{}
+
+	sweepMu sync.Mutex // serializes sweeps; the loop and /v1/cluster/repair share one
+
+	mu       sync.Mutex
+	last     RepairReport
+	lastAt   time.Time
+	sweeps   uint64
+	scanned  uint64
+	repaired uint64
+	failed   uint64
+	deficit  map[string]int // backend URL -> owned-but-missing releases after the last sweep
+}
+
+// RepairReport describes one anti-entropy sweep.
+type RepairReport struct {
+	// Scanned is how many distinct durable releases the sweep saw.
+	Scanned int `json:"scanned"`
+	// Missing is how many (release, owner) replica slots were empty.
+	Missing int `json:"missing"`
+	// Repaired and Failed count the re-replication attempts.
+	Repaired int `json:"repaired"`
+	Failed   int `json:"failed"`
+	// Unlistable is how many live backends failed to answer the
+	// manifest scatter (their slots are skipped, not guessed).
+	Unlistable int `json:"unlistable"`
+	// DurationMS is the sweep's wall time.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// repairStatus is the repair block of GET /v1/cluster.
+type repairStatus struct {
+	// LastSweep timestamps the most recent completed sweep (empty
+	// before the first).
+	LastSweep string `json:"last_sweep,omitempty"`
+	// LastSweepDurationMS is that sweep's wall time.
+	LastSweepDurationMS float64 `json:"last_sweep_duration_ms"`
+	// Sweeps counts completed sweeps.
+	Sweeps uint64 `json:"sweeps"`
+	// ReleasesScanned/Repaired/Failed are lifetime totals.
+	ReleasesScanned  uint64 `json:"releases_scanned"`
+	ReleasesRepaired uint64 `json:"releases_repaired"`
+	ReleasesFailed   uint64 `json:"releases_failed"`
+	// UnderReplicated is the total replica deficit across the fleet
+	// after the last sweep — zero means converged.
+	UnderReplicated int `json:"under_replicated"`
+	// IntervalMS is the configured sweep period (0 = background loop
+	// disabled).
+	IntervalMS float64 `json:"interval_ms"`
+}
+
+func newRepairer(g *Gateway, period time.Duration, conc int) *repairer {
+	if period == 0 {
+		period = DefaultRepairInterval
+	}
+	if conc <= 0 {
+		conc = DefaultRepairConcurrency
+	}
+	return &repairer{
+		g:       g,
+		period:  period,
+		conc:    conc,
+		stopc:   make(chan struct{}),
+		done:    make(chan struct{}),
+		kickc:   make(chan struct{}, 1),
+		deficit: make(map[string]int),
+	}
+}
+
+// start launches the background sweep loop (a negative period disables
+// the timer; kicks and explicit sweeps still work). Repeated starts
+// are no-ops.
+func (r *repairer) start() {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(r.done)
+		var tick <-chan time.Time
+		if r.period > 0 {
+			ticker := time.NewTicker(r.period)
+			defer ticker.Stop()
+			tick = ticker.C
+		}
+		for {
+			select {
+			case <-r.stopc:
+				return
+			case <-tick:
+				r.sweep(context.Background())
+			case <-r.kickc:
+				r.sweep(context.Background())
+			}
+		}
+	}()
+}
+
+// stop ends the loop and waits for it. Safe without start, and twice.
+func (r *repairer) stop() {
+	r.stopOnce.Do(func() { close(r.stopc) })
+	if r.started.Load() {
+		<-r.done
+	}
+}
+
+// kick requests an immediate sweep from the background loop without
+// blocking; kicks while one is already pending coalesce.
+func (r *repairer) kick() {
+	select {
+	case r.kickc <- struct{}{}:
+	default:
+	}
+}
+
+// status snapshots the lifetime counters for /v1/cluster.
+func (r *repairer) status() repairStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := repairStatus{
+		LastSweepDurationMS: r.last.DurationMS,
+		Sweeps:              r.sweeps,
+		ReleasesScanned:     r.scanned,
+		ReleasesRepaired:    r.repaired,
+		ReleasesFailed:      r.failed,
+	}
+	if r.period > 0 {
+		st.IntervalMS = float64(r.period.Milliseconds())
+	}
+	if r.sweeps > 0 {
+		st.LastSweep = r.lastAt.UTC().Format(time.RFC3339Nano)
+	}
+	for _, d := range r.deficit {
+		st.UnderReplicated += d
+	}
+	return st
+}
+
+// deficits snapshots the per-backend replica deficit of the last sweep.
+func (r *repairer) deficits() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.deficit))
+	for u, d := range r.deficit {
+		out[u] = d
+	}
+	return out
+}
+
+// holder pairs a release's metadata with the backends that hold it.
+type holder struct {
+	art   client.ReleaseArtifact
+	holds map[string]bool
+}
+
+// repairTask is one empty replica slot: a release that owner target
+// should hold but does not.
+type repairTask struct {
+	h      *holder
+	target string
+	ok     bool
+}
+
+// sweep runs one full anti-entropy pass: scatter the durable
+// manifests, diff against ring ownership, re-replicate every empty
+// replica slot. Sweeps are serialized; a sweep requested while one
+// runs waits and then runs in full (it may observe what the first
+// missed).
+func (r *repairer) sweep(ctx context.Context) RepairReport {
+	r.sweepMu.Lock()
+	defer r.sweepMu.Unlock()
+
+	start := time.Now()
+	var report RepairReport
+	g := r.g
+
+	// Scatter the manifests of every live backend. Only backends that
+	// answer participate: a backend whose holdings are unknown is
+	// never treated as missing a replica (that would repair on a
+	// guess) and never used as a copy source.
+	live := g.cluster.Live()
+	type listing struct {
+		url  string
+		arts []client.ReleaseArtifact
+		err  error
+	}
+	listings := make([]listing, len(live))
+	var wg sync.WaitGroup
+	for i, u := range live {
+		c := g.client(u)
+		if c == nil {
+			listings[i] = listing{url: u, err: context.Canceled}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, u string, c *client.Client) {
+			defer wg.Done()
+			arts, err := c.Releases(ctx)
+			g.reportHealth(u, err)
+			listings[i] = listing{url: u, arts: arts, err: err}
+		}(i, u, c)
+	}
+	wg.Wait()
+
+	listed := make(map[string]bool, len(live)) // backends whose holdings are known
+	holds := make(map[string]*holder)          // release id -> metadata + holders
+	for _, l := range listings {
+		if l.err != nil {
+			report.Unlistable++
+			continue
+		}
+		listed[l.url] = true
+		for _, a := range l.arts {
+			h := holds[a.Release]
+			if h == nil {
+				h = &holder{art: a, holds: make(map[string]bool, 2)}
+				holds[a.Release] = h
+			}
+			h.holds[l.url] = true
+			g.learnRelease(a.Release, hierarchyFP(a.Hierarchy))
+		}
+	}
+	report.Scanned = len(holds)
+
+	// Diff each release against its ring owners and queue the repairs,
+	// in deterministic order.
+	ids := make([]string, 0, len(holds))
+	for id := range holds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var tasks []*repairTask
+	for _, id := range ids {
+		h := holds[id]
+		for _, owner := range g.cluster.Owners(hierarchyFP(h.art.Hierarchy)) {
+			if !listed[owner] || h.holds[owner] {
+				continue
+			}
+			report.Missing++
+			tasks = append(tasks, &repairTask{h: h, target: owner})
+		}
+	}
+
+	// Execute the repairs with bounded concurrency. Each copy decodes
+	// the artifact from a holder and imports it into the empty slot —
+	// the same budget-neutral idempotent path write-time replication
+	// uses, so a repaired replica serves bit-identical bytes and no
+	// node ever re-draws noise.
+	sem := make(chan struct{}, r.conc)
+	for _, tk := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(tk *repairTask) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tk.ok = r.repairOne(ctx, tk.h, tk.target)
+		}(tk)
+	}
+	wg.Wait()
+
+	// What did not get repaired this sweep is the deficit operators
+	// watch; a converged cluster reports zero everywhere.
+	deficit := make(map[string]int, len(listed))
+	for u := range listed {
+		deficit[u] = 0
+	}
+	for _, tk := range tasks {
+		if tk.ok {
+			report.Repaired++
+		} else {
+			report.Failed++
+			deficit[tk.target]++
+		}
+	}
+	report.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+
+	r.mu.Lock()
+	r.sweeps++
+	r.scanned += uint64(report.Scanned)
+	r.repaired += uint64(report.Repaired)
+	r.failed += uint64(report.Failed)
+	r.lastAt = time.Now()
+	r.last = report
+	r.deficit = deficit
+	r.mu.Unlock()
+	return report
+}
+
+// repairOne copies one release into one empty replica slot: download
+// from the first live holder that answers, import into the target.
+func (r *repairer) repairOne(ctx context.Context, h *holder, target string) bool {
+	g := r.g
+	dst := g.client(target)
+	if dst == nil {
+		return false
+	}
+	sources := make([]string, 0, len(h.holds))
+	for u := range h.holds {
+		sources = append(sources, u)
+	}
+	sort.Strings(sources)
+	for _, src := range sources {
+		sc := g.client(src)
+		if sc == nil {
+			continue
+		}
+		sparse, epsilon, err := sc.DownloadRelease(ctx, h.art.Release)
+		g.reportHealth(src, err)
+		if err != nil {
+			continue
+		}
+		_, err = dst.ImportRelease(ctx, h.art.Release, h.art.Hierarchy, h.art.Algorithm, h.art.DurationMS, sparse, epsilon)
+		g.reportHealth(target, err)
+		return err == nil
+	}
+	return false
+}

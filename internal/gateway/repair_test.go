@@ -1,0 +1,252 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hcoc/client"
+	"hcoc/internal/engine"
+	"hcoc/internal/store"
+)
+
+// newDurableBackend is a backend fixture with a release store — the
+// anti-entropy sweep diffs durable manifests, so repair tests need
+// backends whose artifacts survive.
+func newDurableBackend(t *testing.T) *backendFixture {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return newBackend(t, engine.Options{Store: st})
+}
+
+// postJSON hits a gateway admin endpoint and decodes the reply.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func del(t *testing.T, url string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestNodeAdminEndpoints pins the membership API: joins and drains
+// take effect immediately, duplicates are no-ops, unknowns 404, and
+// the last backend cannot be drained (409).
+func TestNodeAdminEndpoints(t *testing.T) {
+	a := newBackend(t, engine.Options{})
+	b := newBackend(t, engine.Options{})
+	c := newBackend(t, engine.Options{})
+	gw, _, gwURL := newGateway(t, 2, 1, a, b)
+
+	var nr nodeResponse
+	if code := postJSON(t, gwURL+"/v1/cluster/nodes", nodeRequest{URL: c.ts.URL}, &nr); code != http.StatusOK {
+		t.Fatalf("join: status %d", code)
+	}
+	if !nr.Changed || nr.Backends != 3 {
+		t.Fatalf("join reply = %+v", nr)
+	}
+	if code := postJSON(t, gwURL+"/v1/cluster/nodes", nodeRequest{URL: c.ts.URL}, &nr); code != http.StatusOK || nr.Changed {
+		t.Fatalf("duplicate join: status %d, reply %+v", code, nr)
+	}
+	if code := postJSON(t, gwURL+"/v1/cluster/nodes", nodeRequest{URL: "no-scheme:8080"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("schemeless join: status %d", code)
+	}
+	if code := postJSON(t, gwURL+"/v1/cluster/nodes", nodeRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty join: status %d", code)
+	}
+
+	if code := del(t, gwURL+"/v1/cluster/nodes?url=http://nope.invalid"); code != http.StatusNotFound {
+		t.Fatalf("unknown drain: status %d", code)
+	}
+	if code := del(t, gwURL+"/v1/cluster/nodes"); code != http.StatusBadRequest {
+		t.Fatalf("drain without url: status %d", code)
+	}
+	for _, u := range []string{c.ts.URL, b.ts.URL} {
+		if code := del(t, gwURL+"/v1/cluster/nodes?url="+u); code != http.StatusOK {
+			t.Fatalf("drain %s: status %d", u, code)
+		}
+	}
+	if code := del(t, gwURL+"/v1/cluster/nodes?url="+a.ts.URL); code != http.StatusConflict {
+		t.Fatalf("draining the last backend: status %d, want 409", code)
+	}
+	if got := gw.Cluster().Backends(); len(got) != 1 || got[0] != a.ts.URL {
+		t.Fatalf("backends after churn = %v", got)
+	}
+}
+
+// TestRepairConvergesColdJoin is the elasticity loop end to end, in
+// process: a release computed while the cluster had a single node, a
+// cold second node joined at runtime, one sweep — and the new node
+// holds a bit-identical replica, imported without spending budget,
+// while /v1/cluster and /metrics report the convergence.
+func TestRepairConvergesColdJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster integration skipped in -short mode")
+	}
+	ctx := context.Background()
+	a := newDurableBackend(t)
+	b := newDurableBackend(t)
+	gw, c, gwURL := newGateway(t, 2, 1, a)
+
+	h, err := c.UploadHierarchy(ctx, "US", testGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Join the cold node. The handler kicks the background repairer,
+	// but the loop is not started in tests — sweep explicitly so the
+	// test is deterministic.
+	var nr nodeResponse
+	if code := postJSON(t, gwURL+"/v1/cluster/nodes", nodeRequest{URL: b.ts.URL}, &nr); code != http.StatusOK || !nr.Changed {
+		t.Fatalf("join: status %d, reply %+v", code, nr)
+	}
+	var report RepairReport
+	if code := postJSON(t, gwURL+"/v1/cluster/repair", nil, &report); code != http.StatusOK {
+		t.Fatalf("repair: status %d", code)
+	}
+	if report.Scanned != 1 || report.Failed != 0 || report.Repaired == 0 {
+		t.Fatalf("sweep report = %+v", report)
+	}
+
+	// The cold node now holds the artifact, bit-identically.
+	arts, err := b.c.Releases(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 || arts[0].Release != rel.Release {
+		t.Fatalf("cold node manifests = %+v, want %s", arts, rel.Release)
+	}
+	wantSparse, wantEps, err := a.c.DownloadRelease(ctx, rel.Release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSparse, gotEps, err := b.c.DownloadRelease(ctx, rel.Release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotEps != wantEps || !reflect.DeepEqual(gotSparse, wantSparse) {
+		t.Fatal("repaired replica differs from the original artifact")
+	}
+	// Budget-neutral: the import spent nothing on the cold node.
+	if spent := b.eng.Metrics().EpsilonSpent; spent != 0 {
+		t.Fatalf("cold node spent epsilon %v on an import", spent)
+	}
+
+	// A second sweep finds nothing to do — convergence is stable.
+	if code := postJSON(t, gwURL+"/v1/cluster/repair", nil, &report); code != http.StatusOK {
+		t.Fatalf("second repair: status %d", code)
+	}
+	if report.Missing != 0 || report.Repaired != 0 {
+		t.Fatalf("second sweep repaired again: %+v", report)
+	}
+
+	// The topology reports the repair progress and a zero deficit.
+	var cr clusterResponse
+	resp, err := http.Get(gwURL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cr.Joins != 1 || cr.Repair.Sweeps != 2 || cr.Repair.ReleasesRepaired == 0 || cr.Repair.LastSweep == "" {
+		t.Fatalf("cluster repair status = %+v", cr.Repair)
+	}
+	if cr.Repair.UnderReplicated != 0 {
+		t.Fatalf("under-replicated = %d after convergence", cr.Repair.UnderReplicated)
+	}
+	for _, bi := range cr.Backends {
+		if bi.ReplicaDeficit != 0 {
+			t.Fatalf("backend %s reports deficit %d", bi.URL, bi.ReplicaDeficit)
+		}
+	}
+
+	// And the metrics surface carries the repair series.
+	mresp, err := http.Get(gwURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"hcoc_repair_sweeps_total 2",
+		"hcoc_repair_releases_repaired_total 1",
+		"hcoc_repair_releases_failed_total 0",
+		"hcoc_gateway_node_joins_total 1",
+		"hcoc_repair_under_replicated{backend=",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	_ = gw
+}
+
+// TestRepairSkipsUnlistableBackends: a dead backend's slots are
+// skipped, not guessed — the sweep reports it unlistable and repairs
+// nothing onto it, then converges once it cannot be confused with an
+// empty slot.
+func TestRepairSkipsUnlistableBackends(t *testing.T) {
+	ctx := context.Background()
+	a := newDurableBackend(t)
+	b := newDurableBackend(t)
+	gw, c, _ := newGateway(t, 2, 1, a, b)
+
+	h, err := c.UploadHierarchy(ctx, "US", testGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	b.ts.Close()
+	report := gw.repair.sweep(ctx)
+	if report.Unlistable != 1 {
+		t.Fatalf("sweep with a dead backend = %+v, want 1 unlistable", report)
+	}
+	if report.Failed != 0 {
+		t.Fatalf("sweep attempted repairs onto a dead backend: %+v", report)
+	}
+}
