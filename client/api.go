@@ -402,8 +402,19 @@ func escapeNodePath(node string) string {
 	return strings.Join(segs, "/")
 }
 
-// NodeQuery is one entry of a batch query.
+// NodeQuery is one entry of a batch query. A plain entry (no Op, no
+// Releases) evaluates node statistics against the batch's release; the
+// cross-release aggregates name an op and the releases they read.
 type NodeQuery struct {
+	// Op selects the aggregate: "" or "stats" (node statistics, one
+	// release), "emd" (drift between two releases), "delta" (group and
+	// people count change between two releases), "series" (node
+	// statistics across an ordered list of releases) or "compare" (two
+	// full side-by-side reports, e.g. an hc release against an hg one).
+	Op string `json:"op,omitempty"`
+	// Releases lists the release ids the entry reads; empty means the
+	// batch's release.
+	Releases []string `json:"releases,omitempty"`
 	// Node is the hierarchy node path to evaluate.
 	Node string `json:"node"`
 	// Quantiles, KthLargest and TopCode mirror QueryParams.
@@ -412,18 +423,44 @@ type NodeQuery struct {
 	TopCode    int       `json:"topcode,omitempty"`
 }
 
-// NodeResult is one result of a batch query: a report, or the error
-// that failed this query alone.
+// SeriesPoint is one release's node report within a "series" result.
+type SeriesPoint struct {
+	// Release is the release id the point was evaluated on.
+	Release string `json:"release"`
+	NodeReport
+}
+
+// NodeResult is one result of a batch query: the payload of the entry's
+// aggregate, or the error that failed this query alone. Stats entries
+// fill the embedded NodeReport; cross-release entries fill the field
+// matching their op.
 type NodeResult struct {
 	NodeReport
+	// Op and Releases echo the entry as sent.
+	Op       string   `json:"op,omitempty"`
+	Releases []string `json:"releases,omitempty"`
+	// EMD is the earthmover's distance of an "emd" entry.
+	EMD *int64 `json:"emd,omitempty"`
+	// GroupsDelta and PeopleDelta answer "emd" and "delta" entries:
+	// second release minus first.
+	GroupsDelta *int64 `json:"groups_delta,omitempty"`
+	PeopleDelta *int64 `json:"people_delta,omitempty"`
+	// Series answers a "series" entry, index-aligned with its releases.
+	Series []SeriesPoint `json:"series,omitempty"`
+	// Left and Right answer a "compare" entry, in its release order.
+	Left  *NodeReport `json:"left,omitempty"`
+	Right *NodeReport `json:"right,omitempty"`
 	// Error names why this query failed; empty on success.
 	Error string `json:"error,omitempty"`
 }
 
-// BatchQuery evaluates many node queries against one release in a
-// single round trip and a single engine pass server-side. Results are
-// index-aligned with the queries; per-query failures are reported in
-// NodeResult.Error and do not fail the batch.
+// BatchQuery evaluates many queries in a single round trip and a single
+// engine pass server-side: the daemon's scan-sharing planner fetches
+// each distinct release once however many queries read it. release is
+// the default for entries naming no releases of their own ("" is valid
+// when every entry does). Results are index-aligned with the queries;
+// per-query failures are reported in NodeResult.Error and do not fail
+// the batch.
 func (c *Client) BatchQuery(ctx context.Context, release string, queries []NodeQuery) ([]NodeResult, error) {
 	req := struct {
 		Release string      `json:"release"`

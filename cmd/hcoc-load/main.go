@@ -2,12 +2,15 @@
 // hcoc-serve daemon and reports latency percentiles and an error
 // breakdown — the measuring stick for every serving-layer change.
 //
-// The workload is a weighted mix of the three serving operations:
+// The workload is a weighted mix of the four serving operations:
 //
 //	release  POST /v1/release with a seed drawn from a small space, so
 //	         a warmed daemon answers most of them from its cache tiers
 //	query    GET /v1/query/{node} on a random node with random stats
 //	batch    POST /v1/query/batch: -batch-size node queries, one trip
+//	cross    POST /v1/query/batch with cross-release aggregates (emd,
+//	         delta, series, compare) spanning two warm releases of the
+//	         same hierarchy — the scan-sharing planner path
 //
 // Two loop shapes are supported. The default closed loop runs
 // -concurrency workers issuing requests back to back — throughput
@@ -107,7 +110,7 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.duration, "duration", 30*time.Second, "how long to generate load")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers; the open loop bounds in-flight requests at 64x this")
 	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop request rate per second (0 = closed loop)")
-	fs.StringVar(&mix, "mix", "release=1,query=8,batch=1", "weighted operation mix (release/query/batch)")
+	fs.StringVar(&mix, "mix", "release=1,query=8,batch=1", "weighted operation mix (release/query/batch/cross)")
 	fs.IntVar(&cfg.batchSize, "batch-size", 16, "node queries per batch operation")
 	fs.Float64Var(&cfg.epsilon, "epsilon", 1, "epsilon per release request")
 	fs.IntVar(&cfg.k, "k", 1000, "public group-size bound for releases")
@@ -135,10 +138,10 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
-// parseMix reads "release=1,query=8,batch=1" into weights; omitted ops
-// get weight 0, and at least one weight must be positive.
+// parseMix reads "release=1,query=8,batch=1,cross=1" into weights;
+// omitted ops get weight 0, and at least one weight must be positive.
 func parseMix(s string) (map[string]int, error) {
-	out := map[string]int{"release": 0, "query": 0, "batch": 0}
+	out := map[string]int{"release": 0, "query": 0, "batch": 0, "cross": 0}
 	total := 0
 	for _, part := range strings.Split(s, ",") {
 		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
@@ -146,7 +149,7 @@ func parseMix(s string) (map[string]int, error) {
 			return nil, fmt.Errorf("bad mix entry %q (want op=weight)", part)
 		}
 		if _, known := out[name]; !known {
-			return nil, fmt.Errorf("unknown op %q in mix (want release|query|batch)", name)
+			return nil, fmt.Errorf("unknown op %q in mix (want release|query|batch|cross)", name)
 		}
 		w, err := strconv.Atoi(val)
 		if err != nil || w < 0 {
@@ -405,7 +408,22 @@ func run(ctx context.Context, cfg config, out io.Writer) (*summary, error) {
 	}
 	fmt.Fprintf(out, "hcoc-load: warm release %s (%d nodes, %.1fms)\n", warm.Release, warm.Nodes, warm.DurationMS)
 
-	w := &worker{cfg: cfg, c: c, hierarchy: h.ID, release: warm.Release, nodes: nodes}
+	// Cross-release operations compare two releases; warm the second
+	// one (a seed outside the release-op space, so it stays distinct)
+	// only when the mix asks for them.
+	var release2 string
+	if cfg.mix["cross"] > 0 {
+		warm2, err := c.Release(ctx, client.ReleaseRequest{
+			Hierarchy: h.ID, Epsilon: cfg.epsilon, K: cfg.k, Seed: cfg.seed + cfg.seedSpace,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("second warm release: %w", err)
+		}
+		release2 = warm2.Release
+		fmt.Fprintf(out, "hcoc-load: warm release %s (cross-release pair)\n", warm2.Release)
+	}
+
+	w := &worker{cfg: cfg, c: c, hierarchy: h.ID, release: warm.Release, release2: release2, nodes: nodes}
 	rec := &recorder{}
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
@@ -496,6 +514,7 @@ type worker struct {
 	c         *client.Client
 	hierarchy string
 	release   string
+	release2  string // second warm release for cross-release operations
 	nodes     []string
 }
 
@@ -565,7 +584,7 @@ func (w *worker) pick(rng *rand.Rand) string {
 		total += weight
 	}
 	n := rng.Intn(total)
-	for _, op := range []string{"release", "query", "batch"} {
+	for _, op := range []string{"release", "query", "batch", "cross"} {
 		if n -= w.cfg.mix[op]; n < 0 {
 			return op
 		}
@@ -605,6 +624,20 @@ func (w *worker) issue(parent context.Context, op string, rng *rand.Rand, rec *r
 		for _, r := range results {
 			if err == nil && r.Error != "" {
 				err = fmt.Errorf("batch item %s: %s", r.Node, r.Error)
+			}
+		}
+	case "cross":
+		pair := []string{w.release, w.release2}
+		ops := []string{"emd", "delta", "series", "compare"}
+		qs := make([]client.NodeQuery, w.cfg.batchSize)
+		for i := range qs {
+			qs[i] = client.NodeQuery{Op: ops[rng.Intn(len(ops))], Releases: pair, Node: w.node(rng)}
+		}
+		var results []client.NodeResult
+		results, err = w.c.BatchQuery(ctx, "", qs)
+		for _, r := range results {
+			if err == nil && r.Error != "" {
+				err = fmt.Errorf("cross item %s %s: %s", r.Op, r.Node, r.Error)
 			}
 		}
 	}

@@ -16,7 +16,7 @@ import (
 )
 
 func testConfig(addr string) config {
-	mix, _ := parseMix("release=1,query=8,batch=1")
+	mix, _ := parseMix("release=1,query=8,batch=1,cross=1")
 	return config{
 		addr:         addr,
 		duration:     time.Second,
@@ -63,7 +63,7 @@ func TestLoadClosedLoop(t *testing.T) {
 	if sum.total < 10 {
 		t.Fatalf("only %d operations in 1s; the loop is not running", sum.total)
 	}
-	for _, op := range []string{"release", "query", "batch"} {
+	for _, op := range []string{"release", "query", "batch", "cross"} {
 		if sum.byOp[op] == nil || len(sum.byOp[op].latencies) == 0 {
 			t.Fatalf("op %s never ran: %+v", op, sum.byOp)
 		}
@@ -130,6 +130,10 @@ func TestParseMix(t *testing.T) {
 	mix, err := parseMix("query=3,batch=1")
 	if err != nil || mix["query"] != 3 || mix["batch"] != 1 || mix["release"] != 0 {
 		t.Fatalf("mix %+v, err %v", mix, err)
+	}
+	mix, err = parseMix("cross=2,query=1")
+	if err != nil || mix["cross"] != 2 || mix["query"] != 1 {
+		t.Fatalf("cross mix %+v, err %v", mix, err)
 	}
 	for _, bad := range []string{"", "query", "query=-1", "frob=1", "query=0,batch=0"} {
 		if _, err := parseMix(bad); err == nil {

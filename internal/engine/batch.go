@@ -5,6 +5,7 @@ import (
 
 	"hcoc"
 	"hcoc/internal/query"
+	"hcoc/internal/query/plan"
 )
 
 // NodeQuery names one node of a release together with the statistics to
@@ -46,6 +47,28 @@ func (e *Engine) BatchQuery(key string, qs []NodeQuery) ([]BatchItem, error) {
 		out[i].Report, out[i].Err = evalNode(v.release, q.Node, q.Params)
 	}
 	return out, nil
+}
+
+// EvalBatch evaluates a planned cross-release batch against the
+// engine's two cache tiers: the scan-sharing planner groups the queries
+// by release key, each distinct key is looked up exactly once (LRU,
+// then durable store), and every query is answered with lazy run scans
+// over the shared artifacts. Per-query failures — including an
+// individual key missing from both tiers — are reported on the
+// corresponding plan.Result and never fail the batch.
+func (e *Engine) EvalBatch(qs []plan.Query) []plan.Result {
+	out := plan.New(qs).Execute(plan.SourceFunc(func(key string) (hcoc.SparseHistograms, error) {
+		v, err := e.lookup(key)
+		if err != nil {
+			return nil, err
+		}
+		return v.release, nil
+	}))
+	e.mu.Lock()
+	e.queries += uint64(len(qs))
+	e.batches++
+	e.mu.Unlock()
+	return out
 }
 
 // evalNode answers one node's query against an already-fetched release:

@@ -2,7 +2,10 @@ package engine
 
 import (
 	"context"
+	"strings"
 	"testing"
+
+	"hcoc/internal/query/plan"
 )
 
 // TestBatchQuery pins the batch path to the single-query path: every
@@ -72,5 +75,56 @@ func TestBatchQuery(t *testing.T) {
 
 	if _, err := e.BatchQuery("no-such-key", qs); err != ErrNotCached {
 		t.Fatalf("missing release: err %v, want ErrNotCached", err)
+	}
+}
+
+// TestEvalBatch pins the cross-release path: results match the
+// single-release path node for node, per-query errors (including an
+// unknown release key) never fail the batch, and the whole batch counts
+// as one engine pass.
+func TestEvalBatch(t *testing.T) {
+	e := New(Options{})
+	tree := testTree(t)
+	r1, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Release(context.Background(), tree, "", TopDown, testOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qs := []plan.Query{
+		{Op: plan.OpStats, Releases: []string{r1.Key}, Node: "US"},
+		{Op: plan.OpEMD, Releases: []string{r1.Key, r2.Key}, Node: "US/CA"},
+		{Op: plan.OpSeries, Releases: []string{r1.Key, r2.Key}, Node: "US"},
+		{Op: plan.OpStats, Releases: []string{"no-such-key"}, Node: "US"},
+	}
+	results := e.EvalBatch(qs)
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(results), len(qs))
+	}
+	for i := 0; i < 3; i++ {
+		if results[i].Err != nil {
+			t.Fatalf("query %d: %v", i, results[i].Err)
+		}
+	}
+	want, err := e.Query(r1.Key, "US", QueryParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Report.Groups != want.Groups || results[0].Report.People != want.People {
+		t.Fatalf("stats = %+v, want %+v", results[0].Report, want)
+	}
+	if results[2].Series[0].Report.Groups != want.Groups {
+		t.Fatalf("series[0] = %+v, want groups %d", results[2].Series[0], want.Groups)
+	}
+	if results[3].Err == nil || !strings.Contains(results[3].Err.Error(), "no-such-key") {
+		t.Fatalf("unknown key err = %v", results[3].Err)
+	}
+
+	m := e.Metrics()
+	if m.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", m.Batches)
 	}
 }

@@ -14,8 +14,14 @@ import (
 	"hcoc/client"
 	"hcoc/internal/cluster"
 	"hcoc/internal/engine"
+	"hcoc/internal/query"
+	"hcoc/internal/query/plan"
 	"hcoc/internal/serve"
 )
+
+// maxBatchQueries mirrors the backend bound for batches the gateway
+// evaluates itself (multi-release batches never reach a backend whole).
+const maxBatchQueries = 4096
 
 // groupRecord and hierarchyRequest mirror the backend upload shape —
 // the gateway must parse uploads itself to fingerprint the tree, which
@@ -450,23 +456,46 @@ type batchQueryResponse struct {
 	Results []client.NodeResult `json:"results"`
 }
 
-// handleBatchQuery forwards a whole batch to one replica of the owning
-// release — the batch's one-engine-pass economics only hold on a
-// single backend.
+// handleBatchQuery routes a batch by how many releases it spans. A
+// batch over one release (any plain batch, and cross-release entries
+// whose releases coincide) forwards whole to one replica of the owning
+// release — the batch's one-engine-pass economics only hold on a single
+// backend. A batch spanning releases that may live on different ring
+// owners scatters the artifact downloads (each distinct release fetched
+// exactly once, in parallel, down its own failover order) and evaluates
+// the planned queries at the gateway.
 func (g *Gateway) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	var req batchQueryRequest
 	if !serve.DecodeJSON(w, r, &req) {
-		return
-	}
-	if req.Release == "" {
-		serve.WriteError(w, http.StatusBadRequest, "missing release")
 		return
 	}
 	if len(req.Queries) == 0 {
 		serve.WriteError(w, http.StatusBadRequest, "no queries in batch")
 		return
 	}
-	order, err := g.orderForRelease(req.Release)
+	if len(req.Queries) > maxBatchQueries {
+		serve.WriteError(w, http.StatusBadRequest, "batch of %d queries exceeds the %d-query limit", len(req.Queries), maxBatchQueries)
+		return
+	}
+	distinct := distinctReleases(req)
+	if legacy := isLegacyBatch(req); legacy && req.Release == "" {
+		serve.WriteError(w, http.StatusBadRequest, "missing release")
+		return
+	} else if legacy || len(distinct) <= 1 {
+		g.forwardBatchQuery(w, r, req)
+		return
+	}
+	g.crossBatchQuery(w, r, req, distinct)
+}
+
+// forwardBatchQuery sends the whole batch down one release's failover
+// order.
+func (g *Gateway) forwardBatchQuery(w http.ResponseWriter, r *http.Request, req batchQueryRequest) {
+	routeBy := req.Release
+	if routeBy == "" {
+		routeBy = distinctReleases(req)[0]
+	}
+	order, err := g.orderForRelease(routeBy)
 	if err != nil {
 		writeClientError(w, err)
 		return
@@ -485,6 +514,178 @@ func (g *Gateway) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	serve.WriteJSON(w, http.StatusOK, batchQueryResponse{Release: req.Release, Results: results})
+}
+
+// crossBatchQuery evaluates a multi-release batch at the gateway:
+// every distinct release downloads exactly once, in parallel, from its
+// own ring owners; the scan-sharing planner then answers all queries
+// against the shared artifacts. A release that no backend can serve
+// fails only the queries reading it.
+func (g *Gateway) crossBatchQuery(w http.ResponseWriter, r *http.Request, req batchQueryRequest, distinct []string) {
+	rels := make(map[string]hcoc.SparseHistograms, len(distinct))
+	errs := make(map[string]error, len(distinct))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range distinct {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			order, err := g.orderForRelease(id)
+			if err == nil {
+				err = g.forward(order, func(c *client.Client, u string) error {
+					rel, _, err := c.DownloadRelease(r.Context(), id)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					rels[id] = rel
+					mu.Unlock()
+					return nil
+				})
+			}
+			if err != nil {
+				mu.Lock()
+				errs[id] = err
+				mu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	// A dead cluster is a whole-batch condition, not a per-query one.
+	if len(rels) == 0 {
+		for _, err := range errs {
+			if errors.Is(err, cluster.ErrNoBackends) {
+				writeClientError(w, err)
+				return
+			}
+		}
+	}
+	results := plan.New(planQueries(req)).Execute(plan.SourceFunc(func(key string) (hcoc.SparseHistograms, error) {
+		if err := errs[key]; err != nil {
+			return nil, err
+		}
+		rel, ok := rels[key]
+		if !ok {
+			return nil, fmt.Errorf("release not cached")
+		}
+		return rel, nil
+	}))
+	resp := batchQueryResponse{Release: req.Release, Results: make([]client.NodeResult, len(results))}
+	for i, res := range results {
+		resp.Results[i] = toNodeResult(req.Queries[i], res)
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// isLegacyBatch reports whether every entry is a plain node query, the
+// pre-cross-release body shape with its whole-batch missing-release 400.
+func isLegacyBatch(req batchQueryRequest) bool {
+	for _, q := range req.Queries {
+		if q.Op != "" || len(q.Releases) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// distinctReleases lists the distinct release ids the batch reads, in
+// first-use order, counting the default release for entries naming
+// none.
+func distinctReleases(req batchQueryRequest) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(id string) {
+		if id != "" && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, q := range req.Queries {
+		if len(q.Releases) == 0 {
+			add(req.Release)
+			continue
+		}
+		for _, id := range q.Releases {
+			add(id)
+		}
+	}
+	return out
+}
+
+// planQueries lowers the wire entries into the planner IR, keyed by the
+// wire release ids (the gateway's Source downloads by wire id). Unknown
+// op names stay put and fail per query in the planner.
+func planQueries(req batchQueryRequest) []plan.Query {
+	qs := make([]plan.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		op, err := plan.ParseOp(q.Op)
+		if err != nil {
+			op = plan.Op(q.Op)
+		}
+		keys := q.Releases
+		if len(keys) == 0 && req.Release != "" {
+			keys = []string{req.Release}
+		}
+		qs[i] = plan.Query{Op: op, Releases: keys, Node: q.Node, Params: query.Params{
+			Quantiles:  q.Quantiles,
+			KthLargest: q.KthLargest,
+			TopCode:    q.TopCode,
+		}}
+	}
+	return qs
+}
+
+// toNodeResult renders one planner result in the SDK's wire shape,
+// echoing the entry as sent.
+func toNodeResult(q client.NodeQuery, res plan.Result) client.NodeResult {
+	out := client.NodeResult{
+		NodeReport: client.NodeReport{Node: q.Node},
+		Op:         q.Op,
+		Releases:   q.Releases,
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		return out
+	}
+	switch {
+	case res.Report != nil:
+		out.NodeReport = toNodeReport(q, *res.Report)
+	case res.Series != nil:
+		out.Series = make([]client.SeriesPoint, len(res.Series))
+		for i, pt := range res.Series {
+			out.Series[i] = client.SeriesPoint{Release: pt.Release, NodeReport: toNodeReport(q, pt.Report)}
+		}
+	case res.Left != nil && res.Right != nil:
+		left := toNodeReport(q, *res.Left)
+		right := toNodeReport(q, *res.Right)
+		out.Left, out.Right = &left, &right
+	}
+	out.EMD = res.EMD
+	out.GroupsDelta = res.GroupsDelta
+	out.PeopleDelta = res.PeopleDelta
+	return out
+}
+
+// toNodeReport converts a query-layer report to the SDK shape,
+// re-pairing the rank statistics with the parameters that requested
+// them.
+func toNodeReport(q client.NodeQuery, rep query.Report) client.NodeReport {
+	out := client.NodeReport{
+		Node:     q.Node,
+		Groups:   rep.Groups,
+		People:   rep.People,
+		Mean:     rep.Mean,
+		Median:   rep.Median,
+		Gini:     rep.Gini,
+		TopCoded: rep.TopCoded,
+	}
+	for i, size := range rep.Quantiles {
+		out.Quantiles = append(out.Quantiles, client.QuantileValue{Q: q.Quantiles[i], Size: size})
+	}
+	for i, size := range rep.KthLargest {
+		out.KthLargest = append(out.KthLargest, client.OrderStat{K: q.KthLargest[i], Size: size})
+	}
+	return out
 }
 
 // handleBudget reads the budget position from the hierarchy's primary

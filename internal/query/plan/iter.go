@@ -1,0 +1,86 @@
+package plan
+
+import "hcoc/internal/histogram"
+
+// runIter lazily streams the runs of one sparse histogram in size
+// order. It is the leaf of every cross-release evaluation: consumers
+// pull (size, count) runs one at a time, so a scan costs the runs it
+// actually visits and never materializes a dense array.
+type runIter struct {
+	s histogram.Sparse
+	i int
+}
+
+// next yields the next run; ok is false when the histogram is
+// exhausted.
+func (it *runIter) next() (histogram.Run, bool) {
+	if it.i >= len(it.s) {
+		return histogram.Run{}, false
+	}
+	r := it.s[it.i]
+	it.i++
+	return r, true
+}
+
+// pairStats is everything one shared streaming pass over two releases
+// of a node can answer: the earthmover's distance between them and both
+// sides' group/people totals (whose differences are the count deltas).
+type pairStats struct {
+	EMD              int64
+	GroupsA, GroupsB int64
+	PeopleA, PeopleB int64
+}
+
+// scanPair merge-joins two run iterators by size in one pass,
+// accumulating the EMD and both totals together. The EMD recurrence is
+// the same as histogram.EMDSparse (the differential tests pin the
+// equality): between consecutive distinct sizes the cumulative
+// difference is constant, so each gap contributes |difference| x width.
+// One scan answers both OpEMD and OpDelta — the planner's scan sharing
+// applied within a single query pair.
+func scanPair(a, b histogram.Sparse) pairStats {
+	var (
+		st         pairStats
+		ia         = runIter{s: a}
+		ib         = runIter{s: b}
+		cumA, cumB int64
+		pos        int64 // first size not yet accounted for
+	)
+	ra, okA := ia.next()
+	rb, okB := ib.next()
+	for okA || okB {
+		// next is the smallest size at which either cumulative changes.
+		var next int64
+		switch {
+		case !okB || (okA && ra.Size < rb.Size):
+			next = ra.Size
+		case !okA || rb.Size < ra.Size:
+			next = rb.Size
+		default:
+			next = ra.Size
+		}
+		// The difference held constant over [pos, next).
+		st.EMD += abs64(cumA-cumB) * (next - pos)
+		for okA && ra.Size == next {
+			cumA += ra.Count
+			st.PeopleA += ra.Size * ra.Count
+			ra, okA = ia.next()
+		}
+		for okB && rb.Size == next {
+			cumB += rb.Count
+			st.PeopleB += rb.Size * rb.Count
+			rb, okB = ib.next()
+		}
+		pos = next + 1
+		st.EMD += abs64(cumA - cumB) // the cell at next itself
+	}
+	st.GroupsA, st.GroupsB = cumA, cumB
+	return st
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
