@@ -89,10 +89,13 @@ type Release struct {
 	Epsilon   float64 `json:"epsilon"`
 	// Nodes is the number of hierarchy nodes covered.
 	Nodes int `json:"nodes"`
-	// CacheHit, StoreHit and Deduped tell which tier satisfied the
-	// request without a fresh computation.
+	// CacheHit, StoreHit, PeerHit and Deduped tell which tier satisfied
+	// the request without a fresh computation. PeerHit means the serving
+	// node fetched another node's artifact instead of recomputing — the
+	// noise was drawn (and the budget charged) on the peer.
 	CacheHit bool `json:"cache_hit"`
 	StoreHit bool `json:"store_hit"`
+	PeerHit  bool `json:"peer_hit"`
 	Deduped  bool `json:"deduped"`
 	// DurationMS is the wall time of the computation that produced the
 	// release (zero for cache hits).
@@ -120,10 +123,11 @@ type Job struct {
 	Release string `json:"release,omitempty"`
 	// Error is the failure message when Status is "failed".
 	Error string `json:"error,omitempty"`
-	// CacheHit, StoreHit and Deduped describe how a done job was
-	// satisfied.
+	// CacheHit, StoreHit, PeerHit and Deduped describe how a done job
+	// was satisfied.
 	CacheHit bool `json:"cache_hit"`
 	StoreHit bool `json:"store_hit"`
+	PeerHit  bool `json:"peer_hit"`
 	Deduped  bool `json:"deduped"`
 	// DurationMS is the computation wall time of a done job.
 	DurationMS float64 `json:"duration_ms"`

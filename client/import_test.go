@@ -1,0 +1,116 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"hcoc"
+	"hcoc/client"
+	"hcoc/internal/engine"
+)
+
+// TestImportAndRawDownload drives the replication path through the
+// SDK: compute on daemon A, pull the raw artifact bytes, import into
+// daemon B, and require B to serve the identical bytes with no
+// budget spend. This is exactly what the gateway (and the
+// anti-entropy sweeper) do per replica.
+func TestImportAndRawDownload(t *testing.T) {
+	tsA := newDaemon(t, engine.Options{})
+	tsB := newDaemon(t, engine.Options{})
+	a, b := newClient(t, tsA.URL), newClient(t, tsB.URL)
+	ctx := context.Background()
+
+	up, err := a.UploadHierarchy(ctx, "US", testGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := a.Release(ctx, client.ReleaseRequest{Hierarchy: up.ID, Epsilon: 1, K: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := a.DownloadReleaseBytes(ctx, rel.Release, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, epsilon, err := hcoc.ReadReleaseSparse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("raw bytes do not decode: %v", err)
+	}
+	if epsilon != 1 {
+		t.Fatalf("epsilon = %v, want 1", epsilon)
+	}
+	// The dense shape is a distinct artifact encoding of the same release.
+	dense, err := a.DownloadReleaseBytes(ctx, rel.Release, "dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw, dense) {
+		t.Fatal("sparse and dense downloads returned identical bytes")
+	}
+	if _, err := a.DownloadReleaseBytes(ctx, rel.Release, "bogus"); err == nil {
+		t.Fatal("bogus format succeeded")
+	}
+
+	imported, err := b.ImportRelease(ctx, rel.Release, up.ID, "topdown", 12.5, decoded, epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imported {
+		t.Fatal("first import reported imported=false")
+	}
+	// Idempotent: importing the same key again is a no-op.
+	again, err := b.ImportRelease(ctx, rel.Release, up.ID, "", 0, decoded, epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again {
+		t.Fatal("second import reported imported=true")
+	}
+
+	rawB, err := b.DownloadReleaseBytes(ctx, rel.Release, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, rawB) {
+		t.Fatal("imported artifact differs from the original bytes")
+	}
+	budget, err := b.Budget(ctx, up.ID)
+	if err == nil && budget.SpentEpsilon != 0 {
+		t.Fatalf("import spent epsilon %v on the replica", budget.SpentEpsilon)
+	}
+}
+
+// TestImportReleaseRejectsBadArtifact pins the client-side encode
+// error: a sparse release that cannot be serialized never leaves the
+// process.
+func TestImportReleaseRejectsBadArtifact(t *testing.T) {
+	ts := newDaemon(t, engine.Options{})
+	c := newClient(t, ts.URL)
+	var bad hcoc.SparseHistograms
+	if _, err := c.ImportRelease(context.Background(), "r-x", "h-x", "", 0, bad, 1); err == nil {
+		t.Fatal("importing an empty artifact succeeded")
+	}
+}
+
+// TestBudgetErrorString pins the typed budget-refusal error text the
+// SDK surfaces to operators.
+func TestBudgetErrorString(t *testing.T) {
+	ts := newDaemon(t, engine.Options{MaxEpsilonPerHierarchy: 0.5})
+	c := newClient(t, ts.URL)
+	ctx := context.Background()
+	up, err := c.UploadHierarchy(ctx, "US", testGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Release(ctx, client.ReleaseRequest{Hierarchy: up.ID, Epsilon: 1, K: 50, Seed: 7})
+	if err == nil {
+		t.Fatal("over-budget release succeeded")
+	}
+	msg := fmt.Sprint(err)
+	if msg == "" {
+		t.Fatal("budget error has empty string form")
+	}
+}

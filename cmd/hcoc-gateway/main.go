@@ -12,6 +12,13 @@
 // scatter-gather over the live backends and merge deduplicated
 // results.
 //
+// With -shared-store, the fleet instead mounts one shared object store
+// (hcoc-serve -store-backend=s3 on a common bucket): durability is the
+// store's job, so the gateway skips write-time replication and
+// anti-entropy byte copies entirely — every backend already reads the
+// same durable manifest, and a restarted or freshly joined node
+// warm-starts from it.
+//
 // Health: every backend is probed at -probe-interval; -fail-threshold
 // consecutive failures (probes and forwarded requests share the
 // counter) eject a backend from preferred routing, and the first
@@ -68,6 +75,7 @@ func main() {
 		thresh       = flag.Int("fail-threshold", 0, "consecutive failures that eject a backend (0 = default 3)")
 		repairEvery  = flag.Duration("repair-interval", 0, "anti-entropy sweep period (0 = default 30s, negative disables the loop)")
 		repairConc   = flag.Int("repair-concurrency", 0, "parallel artifact copies per sweep (0 = default 4)")
+		sharedStore  = flag.Bool("shared-store", false, "declare that every backend mounts the same shared object store (hcoc-serve -store-backend=s3 on one bucket); skips write-time artifact replication and anti-entropy copies, which the shared store makes redundant")
 	)
 	flag.Parse()
 	urls, static, err := initialBackends(*backends, *backendsFile)
@@ -86,6 +94,7 @@ func main() {
 		thresh:       *thresh,
 		repairEvery:  *repairEvery,
 		repairConc:   *repairConc,
+		sharedStore:  *sharedStore,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-gateway: %v\n", err)
@@ -105,6 +114,7 @@ type config struct {
 	thresh       int
 	repairEvery  time.Duration
 	repairConc   int
+	sharedStore  bool
 }
 
 // initialBackends resolves the starting membership from -backends
@@ -201,6 +211,7 @@ func run(cfg config) error {
 		FailThreshold:     cfg.thresh,
 		RepairInterval:    cfg.repairEvery,
 		RepairConcurrency: cfg.repairConc,
+		SharedStore:       cfg.sharedStore,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,80 @@
+// Command hcoc-s3stub runs the in-memory S3-compatible stub server so
+// shared-store deployments can be exercised without a real object
+// store: point hcoc-serve and hcoc-gateway at it with
+// -store-backend=s3 -s3-endpoint=http://localhost:9000 -s3-bucket=hcoc.
+//
+// It implements object PUT/GET/HEAD/DELETE (with Range on GET) and
+// ListObjectsV2 pagination, accepts any credentials, and keeps
+// everything in memory — a process restart loses all objects. It is a
+// test fixture, not a storage system.
+//
+// Example:
+//
+//	hcoc-s3stub -addr :9000 -buckets hcoc &
+//	hcoc-serve -addr :8081 -data-dir /tmp/a \
+//	    -store-backend s3 -s3-endpoint http://localhost:9000 -s3-bucket hcoc
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hcoc/internal/store/s3stub"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9000", "listen address")
+		buckets = flag.String("buckets", "hcoc", "comma-separated buckets to pre-create")
+	)
+	flag.Parse()
+	var names []string
+	for _, b := range strings.Split(*buckets, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			names = append(names, b)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "hcoc-s3stub: -buckets lists no buckets")
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s3stub.New(names...),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("hcoc-s3stub: listening on %s (buckets: %s)\n", *addr, strings.Join(names, ", "))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "hcoc-s3stub: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "hcoc-s3stub: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "hcoc-s3stub: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -2,11 +2,26 @@
 // library, separating the expensive differentially private release
 // computation from cheap repeated query serving. Identical release
 // requests are answered from an LRU cache or coalesced onto one
-// in-flight computation; with -data-dir, completed releases and
-// uploaded hierarchies are also persisted, so a restart serves past
-// artifacts from disk instead of recomputing (and conceptually
+// in-flight computation; with a durable store configured, completed
+// releases and uploaded hierarchies are also persisted, so a restart
+// serves past artifacts instead of recomputing (and conceptually
 // re-spending privacy budget). The post-processing queries are reads
 // against completed releases.
+//
+// The durable store is pluggable (-store-backend):
+//
+//   - disk (default): -data-dir names a local directory.
+//   - s3: any S3-compatible object store (-s3-endpoint, -s3-bucket,
+//     -s3-prefix; credentials from AWS_ACCESS_KEY_ID /
+//     AWS_SECRET_ACCESS_KEY, unsigned when unset). Several nodes may
+//     point at the same bucket+prefix: the store is shared, a node
+//     picks up artifacts and budget spend written by its peers, and a
+//     wiped node warm-starts from the shared manifest.
+//
+// With -peers, a node that misses both its cache and store asks the
+// listed hcoc-serve URLs for the artifact before recomputing — a peer
+// hit costs a download instead of a computation and spends no local
+// budget.
 //
 // Endpoints:
 //
@@ -15,7 +30,8 @@
 //	POST /v1/release          run a topdown/bottomup release
 //	                          ("async": true => 202 + job id)
 //	GET  /v1/release          list durable release artifacts
-//	GET  /v1/release/{id}     download a release artifact
+//	GET  /v1/release/{id}     download a release artifact (zero-copy,
+//	                          strong ETag, byte ranges)
 //	PUT  /v1/release/{id}     import an artifact computed by another
 //	                          node (cluster replication; spends nothing)
 //	GET  /v1/jobs/{id}        poll an async release job
@@ -25,9 +41,12 @@
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text metrics
 //
-// The full request/response contract is docs/openapi.yaml; the Go SDK
-// over it is the repository's client package. To shard this surface
-// across several daemons behind one front end, see cmd/hcoc-gateway.
+// SIGHUP re-syncs a shared store against its manifest (and is
+// otherwise ignored), so operators can force a refresh without a
+// restart. The full request/response contract is docs/openapi.yaml;
+// the Go SDK over it is the repository's client package. To shard this
+// surface across several daemons behind one front end, see
+// cmd/hcoc-gateway.
 //
 // Example session:
 //
@@ -37,6 +56,12 @@
 //	curl -s localhost:8080/v1/release -H 'Content-Type: application/json' \
 //	    -d '{"hierarchy":"h-...","epsilon":1}'
 //	curl -s 'localhost:8080/v1/query/US/CA?release=r-...&q=0.5'
+//
+// Shared-store fleet:
+//
+//	hcoc-serve -addr :8081 -store-backend s3 \
+//	    -s3-endpoint http://minio:9000 -s3-bucket hcoc -s3-prefix fleet \
+//	    -peers http://node2:8082,http://node3:8083
 package main
 
 import (
@@ -47,6 +72,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,39 +81,99 @@ import (
 	"hcoc/internal/store"
 )
 
+// storeConfig collects the durable-store flags.
+type storeConfig struct {
+	backend  string
+	dataDir  string
+	endpoint string
+	bucket   string
+	prefix   string
+	region   string
+}
+
+// open builds the configured store, or nil when no store is asked for.
+func (cfg storeConfig) open() (*store.Store, error) {
+	switch cfg.backend {
+	case "disk":
+		if cfg.dataDir == "" {
+			return nil, nil // memory only
+		}
+		return store.Open(cfg.dataDir)
+	case "s3":
+		if cfg.endpoint == "" || cfg.bucket == "" {
+			return nil, errors.New("-store-backend=s3 needs -s3-endpoint and -s3-bucket")
+		}
+		b, err := store.NewS3(store.S3Options{
+			Endpoint: cfg.endpoint,
+			Bucket:   cfg.bucket,
+			Prefix:   cfg.prefix,
+			Region:   cfg.region,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return store.OpenBackend(b)
+	default:
+		return nil, fmt.Errorf("unknown -store-backend %q (want disk or s3)", cfg.backend)
+	}
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "default release parallelism (0 = GOMAXPROCS); requests may override")
 		cache   = flag.Int("cache", engine.DefaultCacheSize, "completed releases kept in the LRU cache")
 		cacheMB = flag.Int64("cache-mb", 0, "byte budget for the release cache in MiB, accounted by runs actually held (0 = count bound only); see the README memory-footprint section for sizing")
-		dataDir = flag.String("data-dir", "", "directory for the durable release store; empty = memory only (artifacts and budget state are lost on restart)")
-		maxEps  = flag.Float64("max-epsilon-per-hierarchy", 0, "cumulative epsilon bound per hierarchy across all computed releases (0 = unenforced); cache/store hits are free, and with -data-dir the spend survives restarts")
+		maxEps  = flag.Float64("max-epsilon-per-hierarchy", 0, "cumulative epsilon bound per hierarchy across all computed releases (0 = unenforced); cache/store hits are free, and with a durable store the spend survives restarts")
+		peers   = flag.String("peers", "", "comma-separated peer hcoc-serve base URLs to ask for artifacts before recomputing (peer hits spend no local budget)")
+		peerTo  = flag.Duration("peer-timeout", serve.DefaultPeerTimeout, "bound on one whole peer-fetch sweep")
+		cfg     storeConfig
 	)
+	flag.StringVar(&cfg.backend, "store-backend", "disk", "durable store backend: disk (local -data-dir) or s3 (S3-compatible object store, shareable across nodes)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the disk store; empty = memory only (artifacts and budget state are lost on restart)")
+	flag.StringVar(&cfg.endpoint, "s3-endpoint", "", "S3-compatible endpoint URL (e.g. http://minio:9000)")
+	flag.StringVar(&cfg.bucket, "s3-bucket", "", "bucket holding the store")
+	flag.StringVar(&cfg.prefix, "s3-prefix", "", "key prefix inside the bucket (lets several stores share one bucket)")
+	flag.StringVar(&cfg.region, "s3-region", "", "signing region (default us-east-1)")
 	flag.Parse()
-	if err := run(*addr, *workers, *cache, *cacheMB<<20, *dataDir, *maxEps); err != nil {
+	if err := run(*addr, *workers, *cache, *cacheMB<<20, *maxEps, cfg, splitPeers(*peers), *peerTo); err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cache int, cacheBytes int64, dataDir string, maxEps float64) error {
-	var st *store.Store
-	if dataDir != "" {
-		var err error
-		if st, err = store.Open(dataDir); err != nil {
-			return err
+// splitPeers parses the -peers list, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
 		}
-		defer st.Close()
-		fmt.Printf("hcoc-serve: durable store at %s (%d releases)\n", dataDir, st.Len())
 	}
-	eng := engine.New(engine.Options{
+	return out
+}
+
+func run(addr string, workers, cache int, cacheBytes int64, maxEps float64, cfg storeConfig, peers []string, peerTimeout time.Duration) error {
+	st, err := cfg.open()
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		defer st.Close()
+		fmt.Printf("hcoc-serve: durable store on %s backend (%d releases, shared=%v)\n", st.Backend(), st.Len(), st.Shared())
+	}
+	opts := engine.Options{
 		CacheSize:              cache,
 		CacheBytes:             cacheBytes,
 		Workers:                workers,
 		Store:                  st,
 		MaxEpsilonPerHierarchy: maxEps,
-	})
+	}
+	if len(peers) > 0 {
+		opts.PeerFetch = serve.PeerFetcher(peers, peerTimeout, nil)
+		fmt.Printf("hcoc-serve: peer fetch enabled (%d peers)\n", len(peers))
+	}
+	eng := engine.New(opts)
 	handler, err := serve.NewServer(eng, st)
 	if err != nil {
 		return err
@@ -105,6 +191,27 @@ func run(addr string, workers, cache int, cacheBytes int64, dataDir string, maxE
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP must never kill the daemon. On a shared store it is the
+	// operator's "re-sync now": re-read the shared manifest so artifacts
+	// and budget spend written by peer nodes become visible without
+	// waiting for the next miss-triggered refresh.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if st != nil && st.Shared() {
+				if err := st.Refresh(); err != nil {
+					fmt.Printf("hcoc-serve: SIGHUP store refresh failed: %v\n", err)
+				} else {
+					fmt.Printf("hcoc-serve: SIGHUP refreshed shared store (%d releases)\n", st.Len())
+				}
+			} else {
+				fmt.Println("hcoc-serve: SIGHUP ignored (no shared store to refresh)")
+			}
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"hcoc/internal/store/s3stub"
+)
+
+func TestStoreConfigOpen(t *testing.T) {
+	// No store at all: disk backend with no -data-dir.
+	if st, err := (storeConfig{backend: "disk"}).open(); err != nil || st != nil {
+		t.Fatalf("memory-only open = %v, %v", st, err)
+	}
+
+	st, err := (storeConfig{backend: "disk", dataDir: t.TempDir()}).open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend() != "disk" || st.Shared() {
+		t.Fatalf("disk store = %q shared=%v", st.Backend(), st.Shared())
+	}
+	st.Close()
+
+	// s3 requires both the endpoint and the bucket.
+	for _, cfg := range []storeConfig{
+		{backend: "s3"},
+		{backend: "s3", endpoint: "http://x"},
+		{backend: "s3", bucket: "b"},
+	} {
+		if _, err := cfg.open(); err == nil {
+			t.Errorf("open(%+v) succeeded", cfg)
+		}
+	}
+
+	srv := httptest.NewServer(s3stub.New("b"))
+	defer srv.Close()
+	st, err = (storeConfig{backend: "s3", endpoint: srv.URL, bucket: "b", prefix: "p"}).open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend() != "s3" || !st.Shared() {
+		t.Fatalf("s3 store = %q shared=%v", st.Backend(), st.Shared())
+	}
+	st.Close()
+
+	if _, err := (storeConfig{backend: "tape"}).open(); err == nil {
+		t.Fatal("unknown backend succeeded")
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"http://a:1", []string{"http://a:1"}},
+		{"http://a:1,http://b:2", []string{"http://a:1", "http://b:2"}},
+		{" http://a:1 , ,http://b:2,", []string{"http://a:1", "http://b:2"}},
+	}
+	for _, tc := range cases {
+		if got := splitPeers(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitPeers(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunRejectsBadStore(t *testing.T) {
+	err := run(":0", 0, 1, 0, 0, storeConfig{backend: "tape"}, nil, 0)
+	if err == nil {
+		t.Fatal("run with an unknown backend succeeded")
+	}
+}

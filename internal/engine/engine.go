@@ -46,7 +46,21 @@ type Options struct {
 	// A request that would exceed it fails with a *BudgetError. Cache
 	// hits, store hits and coalesced duplicates spend nothing.
 	MaxEpsilonPerHierarchy float64
+	// PeerFetch, when non-nil, is tried on a cache+store miss BEFORE
+	// recomputing: it should return the release artifact for key as
+	// computed by a ring peer, with the epsilon it was released under.
+	// A (nil, 0, nil) return is a clean miss (no peer holds the key);
+	// an error counts as a fetch failure. Either way the engine falls
+	// back to computing. A fetched release is admitted through the
+	// budget-neutral import path — the computing peer already drew and
+	// accounted the noise, so this node spends nothing.
+	PeerFetch PeerFetchFunc
 }
+
+// PeerFetchFunc fetches a release artifact from cluster peers by key.
+// The engine invokes it detached from any single request context;
+// implementations should bound their own timeouts.
+type PeerFetchFunc func(ctx context.Context, key string) (hcoc.SparseHistograms, float64, error)
 
 // DefaultCacheSize is the default LRU capacity in completed releases.
 const DefaultCacheSize = 64
@@ -121,6 +135,7 @@ type cached struct {
 	duration  time.Duration // of the computation that produced it
 	cost      int64         // CostBytes of release, fixed at admission
 	fromStore bool          // revived from the durable store, not computed
+	fromPeer  bool          // fetched from a ring peer, not computed
 }
 
 // call is one in-flight release computation. The computation runs in
@@ -152,8 +167,9 @@ type Engine struct {
 	// identical requests, this caps the distinct ones.
 	sem chan struct{}
 
-	store    *store.Store // nil = memory only
-	epsLimit float64      // 0 = unenforced
+	store     *store.Store  // nil = memory only
+	peerFetch PeerFetchFunc // nil = no peer tier
+	epsLimit  float64       // 0 = unenforced
 
 	mu       sync.Mutex
 	cache    *lruCache
@@ -166,12 +182,19 @@ type Engine struct {
 	epsSpent map[string]float64
 	accts    map[string]*privacy.Accountant
 
+	// epsReplayed is the spend replayed from the store manifest at
+	// construction: subtracting it from the live total gives the spend
+	// attributable to THIS process, which on a shared backend is what
+	// distinguishes a warm start from a recompute.
+	epsReplayed float64
+
 	// counters, guarded by mu
-	hits, misses, deduped            uint64
-	storeHits, storePuts, storeFails uint64
-	evictions, releases              uint64
-	queries, batches                 uint64
-	releaseTotal, lastDur            time.Duration
+	hits, misses, deduped                uint64
+	storeHits, storePuts, storeFails     uint64
+	peerAttempts, peerHits, peerFailures uint64
+	evictions, releases                  uint64
+	queries, batches                     uint64
+	releaseTotal, lastDur                time.Duration
 }
 
 // New creates an engine with the given options. When Options.Store is
@@ -190,15 +213,16 @@ func New(opts Options) *Engine {
 		}
 	}
 	e := &Engine{
-		id:       newInstanceID(),
-		workers:  opts.Workers,
-		sem:      make(chan struct{}, concurrent),
-		store:    opts.Store,
-		epsLimit: opts.MaxEpsilonPerHierarchy,
-		cache:    newLRU(size, opts.CacheBytes),
-		inflight: make(map[string]*call),
-		epsSpent: make(map[string]float64),
-		accts:    make(map[string]*privacy.Accountant),
+		id:        newInstanceID(),
+		workers:   opts.Workers,
+		sem:       make(chan struct{}, concurrent),
+		store:     opts.Store,
+		peerFetch: opts.PeerFetch,
+		epsLimit:  opts.MaxEpsilonPerHierarchy,
+		cache:     newLRU(size, opts.CacheBytes),
+		inflight:  make(map[string]*call),
+		epsSpent:  make(map[string]float64),
+		accts:     make(map[string]*privacy.Accountant),
 	}
 	if e.store != nil {
 		for fp, spent := range e.store.EpsilonByHierarchy() {
@@ -206,6 +230,7 @@ func New(opts Options) *Engine {
 				continue
 			}
 			e.epsSpent[fp] = spent
+			e.epsReplayed += spent
 			if e.epsLimit > 0 {
 				a, err := privacy.NewAccountant(e.epsLimit)
 				if err != nil {
@@ -312,6 +337,10 @@ type Result struct {
 	// StoreHit reports the request was answered from the durable store
 	// without recomputation (and without privacy spend).
 	StoreHit bool
+	// PeerHit reports the request was answered by fetching the artifact
+	// from a ring peer instead of recomputing — like StoreHit, no local
+	// computation and no privacy spend.
+	PeerHit bool
 	// Deduped reports the request piggybacked on an identical in-flight
 	// computation started by an earlier request.
 	Deduped bool
@@ -378,6 +407,7 @@ func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, al
 		Key:      key,
 		Release:  c.value.release,
 		StoreHit: c.value.fromStore,
+		PeerHit:  c.value.fromPeer,
 		Deduped:  joined,
 		Duration: c.value.duration,
 	}, nil
@@ -408,6 +438,15 @@ func (e *Engine) leave(key string, c *call) {
 func (e *Engine) run(key, treeFP string, c *call, tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) {
 	if e.store != nil {
 		if v, ok := e.loadFromStore(key); ok {
+			e.finish(key, c, v, nil)
+			return
+		}
+	}
+	// Store miss: try ring peers before burning a compute slot and
+	// budget — a peer that already computed this key hands over the
+	// artifact for the cost of one HTTP transfer.
+	if e.peerFetch != nil {
+		if v, ok := e.fetchFromPeers(key, treeFP, alg); ok {
 			e.finish(key, c, v, nil)
 			return
 		}
@@ -449,9 +488,12 @@ func (e *Engine) finish(key string, c *call, v *cached, err error) {
 	}
 	if err == nil {
 		e.evictions += uint64(e.cache.add(key, v))
-		if v.fromStore {
+		switch {
+		case v.fromStore:
 			e.storeHits++
-		} else {
+		case v.fromPeer:
+			// counted by fetchFromPeers; not a local computation
+		default:
 			e.releases++
 			e.releaseTotal += v.duration
 			e.lastDur = v.duration
@@ -625,6 +667,58 @@ func (e *Engine) loadFromStore(key string) (*cached, bool) {
 	}, true
 }
 
+// fetchFromPeers asks the configured peer tier for a release computed
+// elsewhere on the ring. A fetched artifact is written through to the
+// durable store as a plain release entry (budget-neutral: the noise was
+// drawn and charged on the computing peer) and admitted to the LRU by
+// the caller. Any failure — transport or a clean miss — degrades to
+// recomputation; peer fetch is an optimization, never a correctness
+// dependency.
+func (e *Engine) fetchFromPeers(key, treeFP string, alg Algorithm) (*cached, bool) {
+	e.mu.Lock()
+	e.peerAttempts++
+	e.mu.Unlock()
+	rel, epsilon, err := e.peerFetch(context.Background(), key)
+	if err != nil {
+		e.mu.Lock()
+		e.peerFailures++
+		e.mu.Unlock()
+		return nil, false
+	}
+	if len(rel) == 0 || epsilon <= 0 {
+		return nil, false // clean miss: no peer holds the key
+	}
+	v := &cached{
+		release:   rel,
+		epsilon:   epsilon,
+		algorithm: alg,
+		cost:      rel.CostBytes(),
+		fromPeer:  true,
+	}
+	if e.store != nil {
+		m := store.Meta{
+			Key:       key,
+			Hierarchy: treeFP,
+			Algorithm: alg.String(),
+			Epsilon:   epsilon,
+			CostBytes: v.cost,
+			CreatedAt: time.Now().UTC(),
+		}
+		err := e.store.PutRelease(m, rel)
+		e.mu.Lock()
+		if err != nil {
+			e.storeFails++
+		} else {
+			e.storePuts++
+		}
+		e.mu.Unlock()
+	}
+	e.mu.Lock()
+	e.peerHits++
+	e.mu.Unlock()
+	return v, true
+}
+
 // compute runs the selected release algorithm through the run-length
 // pipeline, applying the engine's default parallelism when the request
 // does not pin one.
@@ -775,6 +869,11 @@ type Metrics struct {
 	// StoreArtifacts is the number of releases the durable store holds
 	// (0 without a store).
 	StoreArtifacts int
+	// PeerFetchAttempts counts cache+store misses that consulted the
+	// peer tier; PeerFetchHits the fetches that returned an artifact
+	// (avoiding a recompute); PeerFetchFailures the fetches that failed
+	// in transport (a clean peer miss is neither a hit nor a failure).
+	PeerFetchAttempts, PeerFetchHits, PeerFetchFailures uint64
 	// Evictions counts completed releases dropped by the LRU.
 	Evictions uint64
 	// Releases counts completed release computations.
@@ -797,8 +896,12 @@ type Metrics struct {
 	// EpsilonSpent is the cumulative epsilon of actual computations
 	// across all hierarchies, including spend replayed from the store
 	// manifest; EpsilonLimit echoes Options.MaxEpsilonPerHierarchy
-	// (0 = unenforced).
-	EpsilonSpent, EpsilonLimit float64
+	// (0 = unenforced). EpsilonSpentLocal excludes the replayed spend —
+	// it is the epsilon THIS process has drawn. On a shared backend a
+	// warm-started node replays the fleet's history, so EpsilonSpent is
+	// nonzero while EpsilonSpentLocal proves the node itself spent
+	// nothing.
+	EpsilonSpent, EpsilonSpentLocal, EpsilonLimit float64
 	// ReleaseTotal is the cumulative computation time across Releases;
 	// LastRelease is the duration of the most recent one.
 	ReleaseTotal, LastRelease time.Duration
@@ -834,27 +937,35 @@ func (e *Engine) Metrics() Metrics {
 	for _, eps := range e.epsSpent {
 		spent += eps
 	}
+	local := spent - e.epsReplayed
+	if local < 0 {
+		local = 0
+	}
 	return Metrics{
-		CacheHits:        e.hits,
-		CacheMisses:      e.misses,
-		Deduped:          e.deduped,
-		StoreHits:        e.storeHits,
-		StorePuts:        e.storePuts,
-		StoreErrors:      e.storeFails,
-		StoreArtifacts:   artifacts,
-		Evictions:        e.evictions,
-		Releases:         e.releases,
-		Queries:          e.queries,
-		Batches:          e.batches,
-		InFlight:         len(e.inflight),
-		CacheEntries:     e.cache.len(),
-		CacheCapacity:    e.cache.capacity,
-		CacheCostBytes:   e.cache.cost,
-		CacheRuns:        e.cache.runs(),
-		CacheBudgetBytes: e.cache.budget,
-		EpsilonSpent:     spent,
-		EpsilonLimit:     e.epsLimit,
-		ReleaseTotal:     e.releaseTotal,
-		LastRelease:      e.lastDur,
+		CacheHits:         e.hits,
+		CacheMisses:       e.misses,
+		Deduped:           e.deduped,
+		StoreHits:         e.storeHits,
+		StorePuts:         e.storePuts,
+		StoreErrors:       e.storeFails,
+		StoreArtifacts:    artifacts,
+		PeerFetchAttempts: e.peerAttempts,
+		PeerFetchHits:     e.peerHits,
+		PeerFetchFailures: e.peerFailures,
+		Evictions:         e.evictions,
+		Releases:          e.releases,
+		Queries:           e.queries,
+		Batches:           e.batches,
+		InFlight:          len(e.inflight),
+		CacheEntries:      e.cache.len(),
+		CacheCapacity:     e.cache.capacity,
+		CacheCostBytes:    e.cache.cost,
+		CacheRuns:         e.cache.runs(),
+		CacheBudgetBytes:  e.cache.budget,
+		EpsilonSpent:      spent,
+		EpsilonSpentLocal: local,
+		EpsilonLimit:      e.epsLimit,
+		ReleaseTotal:      e.releaseTotal,
+		LastRelease:       e.lastDur,
 	}
 }

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hcoc"
+	"hcoc/internal/store"
+)
+
+// TestPeerFetchBeforeRecompute: on a cache+store miss the engine asks
+// the peer tier first, and a peer hit is served without computing and
+// with zero budget spend — the differential proof that peer fetch is
+// preferred over recompute.
+func TestPeerFetchBeforeRecompute(t *testing.T) {
+	tree := testTree(t)
+
+	// A "peer" engine computes the release for real.
+	peer := New(Options{})
+	src, err := peer.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var attempts int
+	e := New(Options{
+		Store:                  st,
+		MaxEpsilonPerHierarchy: 10,
+		PeerFetch: func(ctx context.Context, key string) (hcoc.SparseHistograms, float64, error) {
+			attempts++
+			if key != src.Key {
+				return nil, 0, nil
+			}
+			return src.Release, 1, nil
+		},
+	})
+
+	res, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PeerHit || res.CacheHit || res.StoreHit {
+		t.Fatalf("result = %+v, want a peer hit", res)
+	}
+	if attempts != 1 {
+		t.Fatalf("peer fetch ran %d times, want 1", attempts)
+	}
+	for path, h := range src.Release {
+		if !h.Equal(res.Release[path]) {
+			t.Fatalf("fetched release differs at %q", path)
+		}
+	}
+
+	m := e.Metrics()
+	if m.Releases != 0 {
+		t.Fatalf("fetching node computed %d releases, want 0", m.Releases)
+	}
+	if m.EpsilonSpent != 0 || m.EpsilonSpentLocal != 0 {
+		t.Fatalf("fetching node spent epsilon %g (local %g), want 0", m.EpsilonSpent, m.EpsilonSpentLocal)
+	}
+	if m.PeerFetchAttempts != 1 || m.PeerFetchHits != 1 || m.PeerFetchFailures != 0 {
+		t.Fatalf("peer counters = %d/%d/%d, want 1/1/0", m.PeerFetchAttempts, m.PeerFetchHits, m.PeerFetchFailures)
+	}
+	// Budget-neutral write-through: the artifact is durable, indexed as
+	// a plain release entry with no charge.
+	if !st.Has(res.Key) {
+		t.Fatal("fetched release was not written through to the store")
+	}
+	if spent := st.EpsilonByHierarchy(); len(spent) != 0 {
+		t.Fatalf("peer fetch charged the manifest: %v", spent)
+	}
+	// A second request is now a plain cache hit — the peer is not asked
+	// again.
+	again, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || attempts != 1 {
+		t.Fatalf("second request: hit=%v attempts=%d", again.CacheHit, attempts)
+	}
+}
+
+// TestPeerFetchFallsBackToCompute: a clean peer miss and a peer failure
+// both degrade to local computation, with the failure counted.
+func TestPeerFetchFallsBackToCompute(t *testing.T) {
+	tree := testTree(t)
+	for _, tc := range []struct {
+		name         string
+		fetch        PeerFetchFunc
+		wantFailures uint64
+	}{
+		{"clean-miss", func(ctx context.Context, key string) (hcoc.SparseHistograms, float64, error) {
+			return nil, 0, nil
+		}, 0},
+		{"transport-failure", func(ctx context.Context, key string) (hcoc.SparseHistograms, float64, error) {
+			return nil, 0, errors.New("peer unreachable")
+		}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(Options{PeerFetch: tc.fetch})
+			res, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PeerHit {
+				t.Fatal("miss reported as a peer hit")
+			}
+			if err := hcoc.CheckSparse(tree, res.Release); err != nil {
+				t.Fatal(err)
+			}
+			m := e.Metrics()
+			if m.Releases != 1 {
+				t.Fatalf("releases = %d, want 1 (computed locally)", m.Releases)
+			}
+			if m.PeerFetchAttempts != 1 || m.PeerFetchHits != 0 || m.PeerFetchFailures != tc.wantFailures {
+				t.Fatalf("peer counters = %d/%d/%d", m.PeerFetchAttempts, m.PeerFetchHits, m.PeerFetchFailures)
+			}
+		})
+	}
+}
+
+// TestPeerFetchSkippedOnStoreHit: the peer tier is only consulted after
+// BOTH local tiers miss — a durable store hit never leaves the node.
+func TestPeerFetchSkippedOnStoreHit(t *testing.T) {
+	tree := testTree(t)
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := New(Options{Store: st})
+	if _, err := first.Release(context.Background(), tree, "", TopDown, testOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e := New(Options{
+		Store: st2,
+		PeerFetch: func(ctx context.Context, key string) (hcoc.SparseHistograms, float64, error) {
+			t.Error("peer tier consulted despite a store hit")
+			return nil, 0, nil
+		},
+	})
+	res, err := e.Release(context.Background(), tree, "", TopDown, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoreHit || res.PeerHit {
+		t.Fatalf("result = %+v, want a store hit", res)
+	}
+}
+
+// TestEpsilonSpentLocalExcludesReplay: a warm start replays historical
+// spend into EpsilonSpent but not EpsilonSpentLocal, which only counts
+// draws by this process.
+func TestEpsilonSpentLocalExcludesReplay(t *testing.T) {
+	tree := testTree(t)
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := New(Options{Store: st})
+	if _, err := first.Release(context.Background(), tree, "", TopDown, testOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e := New(Options{Store: st2})
+	m := e.Metrics()
+	if m.EpsilonSpent != 1 {
+		t.Fatalf("EpsilonSpent = %g, want 1 (replayed)", m.EpsilonSpent)
+	}
+	if m.EpsilonSpentLocal != 0 {
+		t.Fatalf("EpsilonSpentLocal = %g, want 0 on a warm start", m.EpsilonSpentLocal)
+	}
+	// A fresh draw by this process moves both.
+	if _, err := e.Release(context.Background(), tree, "", TopDown, testOpts(2)); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.EpsilonSpent != 2 || m.EpsilonSpentLocal != 1 {
+		t.Fatalf("after a local draw: spent=%g local=%g, want 2 and 1", m.EpsilonSpent, m.EpsilonSpentLocal)
+	}
+}

@@ -46,6 +46,13 @@ type Options struct {
 	// RepairConcurrency bounds parallel artifact copies within one
 	// sweep (0 selects DefaultRepairConcurrency).
 	RepairConcurrency int
+	// SharedStore declares that every backend mounts the same shared
+	// object store (hcoc-serve -store-backend=s3 against one bucket).
+	// Durability is then the store's job, not the gateway's: write-time
+	// replication and anti-entropy sweeps are skipped entirely — each
+	// would copy bytes to a node that already reads them from the shared
+	// backend — and any backend can serve any release.
+	SharedStore bool
 }
 
 // backendStats counts one backend's forwarded traffic, guarded by
@@ -59,10 +66,11 @@ type backendStats struct {
 // Gateway routes the /v1 surface across a cluster of backends. Safe
 // for concurrent use; Start/Stop bound the background health probing.
 type Gateway struct {
-	cluster *cluster.Cluster
-	mux     *http.ServeMux
-	copts   []client.Option
-	repair  *repairer
+	cluster     *cluster.Cluster
+	mux         *http.ServeMux
+	copts       []client.Option
+	repair      *repairer
+	sharedStore bool
 
 	mu           sync.Mutex
 	clients      map[string]*client.Client // guarded: membership changes at runtime
@@ -73,6 +81,7 @@ type Gateway struct {
 	fanouts      uint64
 	replications uint64
 	replFailures uint64
+	replSkipped  uint64
 	joins        uint64
 	leaves       uint64
 }
@@ -93,6 +102,7 @@ func New(opts Options) (*Gateway, error) {
 	}
 	g := &Gateway{
 		cluster:      cl,
+		sharedStore:  opts.SharedStore,
 		clients:      make(map[string]*client.Client),
 		mux:          http.NewServeMux(),
 		releaseOwner: make(map[string]string),

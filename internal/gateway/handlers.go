@@ -286,9 +286,18 @@ func (g *Gateway) handleRelease(w http.ResponseWriter, r *http.Request) {
 	// Replicate only what this request actually computed: hits and
 	// deduped answers were either replicated when first computed or
 	// predate the gateway, and re-pushing them on every cache hit would
-	// turn the hot path into artifact traffic.
-	if !rel.CacheHit && !rel.StoreHit && !rel.Deduped {
-		g.replicate(r.Context(), rel, servedBy, g.cluster.Owners(fp))
+	// turn the hot path into artifact traffic. On a shared store the
+	// computing backend's PutRelease already made the artifact durable
+	// for every node, so the copy is pure redundant byte traffic —
+	// skipped, and counted so operators can see the savings.
+	if !rel.CacheHit && !rel.StoreHit && !rel.Deduped && !rel.PeerHit {
+		if g.sharedStore {
+			g.mu.Lock()
+			g.replSkipped++
+			g.mu.Unlock()
+		} else {
+			g.replicate(r.Context(), rel, servedBy, g.cluster.Owners(fp))
+		}
 	}
 	serve.WriteJSON(w, http.StatusOK, rel)
 }
@@ -711,15 +720,18 @@ func (g *Gateway) handleBudget(w http.ResponseWriter, r *http.Request) {
 
 // clusterResponse is the JSON shape of GET /v1/cluster.
 type clusterResponse struct {
-	Replication  int           `json:"replication"`
-	VirtualNodes int           `json:"virtual_nodes"`
-	Live         int           `json:"live"`
-	Failovers    uint64        `json:"failovers"`
-	Joins        uint64        `json:"joins"`
-	Leaves       uint64        `json:"leaves"`
-	Repair       repairStatus  `json:"repair"`
-	Backends     []backendInfo `json:"backends"`
-	Route        []string      `json:"route,omitempty"`
+	Replication  int `json:"replication"`
+	VirtualNodes int `json:"virtual_nodes"`
+	Live         int `json:"live"`
+	// SharedStore reports whether the fleet mounts one shared object
+	// store (gateway replication and anti-entropy are then skipped).
+	SharedStore bool          `json:"shared_store"`
+	Failovers   uint64        `json:"failovers"`
+	Joins       uint64        `json:"joins"`
+	Leaves      uint64        `json:"leaves"`
+	Repair      repairStatus  `json:"repair"`
+	Backends    []backendInfo `json:"backends"`
+	Route       []string      `json:"route,omitempty"`
 }
 
 type backendInfo struct {
@@ -748,6 +760,7 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 		Replication:  g.cluster.Replication(),
 		VirtualNodes: g.cluster.VirtualNodes(),
 		Live:         len(g.cluster.Live()),
+		SharedStore:  g.sharedStore,
 		Repair:       g.repair.status(),
 		Backends:     make([]backendInfo, len(states)),
 	}
@@ -900,6 +913,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP hcoc_gateway_fanout_uploads_total Hierarchy uploads fanned out to the ring owners.\nhcoc_gateway_fanout_uploads_total %d\n", g.fanouts)
 	fmt.Fprintf(w, "# HELP hcoc_gateway_replications_total Artifacts copied to replicas.\nhcoc_gateway_replications_total %d\n", g.replications)
 	fmt.Fprintf(w, "# HELP hcoc_gateway_replication_errors_total Failed artifact copies (best effort, retried on the next fresh computation).\nhcoc_gateway_replication_errors_total %d\n", g.replFailures)
+	fmt.Fprintf(w, "# HELP hcoc_gateway_replications_skipped_total Artifact copies skipped because the fleet mounts a shared store.\nhcoc_gateway_replications_skipped_total %d\n", g.replSkipped)
+	shared := 0
+	if g.sharedStore {
+		shared = 1
+	}
+	fmt.Fprintf(w, "# HELP hcoc_gateway_shared_store Whether the fleet mounts one shared object store (1 = yes).\nhcoc_gateway_shared_store %d\n", shared)
 
 	fmt.Fprintf(w, "# HELP hcoc_gateway_backend_requests_total Requests forwarded per backend.\n")
 	for _, st := range states {

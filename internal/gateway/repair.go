@@ -210,6 +210,21 @@ func (r *repairer) sweep(ctx context.Context) RepairReport {
 	var report RepairReport
 	g := r.g
 
+	// On a shared store there are no per-node replica sets to diff:
+	// every backend reads the same durable manifest, so a sweep would
+	// only rediscover that nothing is missing — at the cost of a full
+	// manifest scatter. Report a converged no-op sweep instead.
+	if g.sharedStore {
+		report.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+		r.mu.Lock()
+		r.sweeps++
+		r.lastAt = time.Now()
+		r.last = report
+		r.deficit = map[string]int{}
+		r.mu.Unlock()
+		return report
+	}
+
 	// Scatter the manifests of every live backend. Only backends that
 	// answer participate: a backend whose holdings are unknown is
 	// never treated as missing a replica (that would repair on a

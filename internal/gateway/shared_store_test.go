@@ -1,0 +1,143 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hcoc/client"
+	"hcoc/internal/engine"
+	"hcoc/internal/store"
+	"hcoc/internal/store/s3stub"
+)
+
+// sharedStoreFixture opens one node's *store.Store over the shared
+// bucket behind endpoint.
+func sharedStoreFixture(t *testing.T, endpoint string) *store.Store {
+	t.Helper()
+	b, err := store.NewS3(store.S3Options{Endpoint: endpoint, Bucket: "hcoc", Prefix: "fleet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenBackend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestGatewaySharedStore: with every backend mounting one shared object
+// store, the gateway stops moving artifact bytes itself — write-time
+// replication is skipped (and counted), anti-entropy sweeps are no-ops,
+// and a backend that never computed the release still serves it
+// byte-identically straight from the shared backend.
+func TestGatewaySharedStore(t *testing.T) {
+	ctx := context.Background()
+	stub := httptest.NewServer(s3stub.New("hcoc"))
+	t.Cleanup(stub.Close)
+
+	backends := []*backendFixture{
+		newBackend(t, engine.Options{Store: sharedStoreFixture(t, stub.URL)}),
+		newBackend(t, engine.Options{Store: sharedStoreFixture(t, stub.URL)}),
+	}
+	urls := []string{backends[0].ts.URL, backends[1].ts.URL}
+	gw, err := New(Options{
+		Backends:      urls,
+		Replication:   2,
+		SharedStore:   true,
+		ClientOptions: []client.Option{client.WithMaxRetries(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(gw)
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := c.UploadHierarchy(ctx, "US", testGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.CacheHit || rel.StoreHit {
+		t.Fatalf("first release = %+v, want a fresh computation", rel)
+	}
+
+	// The freshly computed artifact was NOT pushed to the replica — the
+	// skip is counted instead.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"hcoc_gateway_replications_total 0",
+		"hcoc_gateway_replications_skipped_total 1",
+		"hcoc_gateway_shared_store 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// An anti-entropy sweep is a converged no-op: there are no per-node
+	// replica sets to repair.
+	report := gw.repair.sweep(ctx)
+	if report.Scanned != 0 || report.Missing != 0 || report.Repaired != 0 || report.Failed != 0 {
+		t.Fatalf("shared-store sweep did work: %+v", report)
+	}
+
+	// /v1/cluster advertises the mode.
+	var cl clusterResponse
+	cresp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&cl); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if !cl.SharedStore {
+		t.Fatal("cluster response does not report shared_store")
+	}
+
+	// Every backend — including the one that computed nothing — serves
+	// the artifact byte-identically from the shared store, with zero
+	// budget drawn locally on the non-computing node.
+	var bodies []string
+	for _, b := range backends {
+		sparse, epsilon, err := b.c.DownloadRelease(ctx, rel.Release)
+		if err != nil {
+			t.Fatalf("backend %s: %v", b.ts.URL, err)
+		}
+		if epsilon != 1 {
+			t.Fatalf("backend %s served epsilon %g", b.ts.URL, epsilon)
+		}
+		bodies = append(bodies, fmt.Sprintf("%v", sparse))
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatal("backends served different artifacts from the shared store")
+	}
+	computed := 0
+	for _, b := range backends {
+		if b.eng.Metrics().Releases > 0 {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d backends computed the release, want exactly 1", computed)
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hcoc"
+	"hcoc/internal/dataset"
+	"hcoc/internal/engine"
+	"hcoc/internal/store"
+)
+
+// discardWriter is a ResponseWriter whose body sink is free, so the
+// download benchmarks measure the serving path's own allocations rather
+// than a test buffer growing to artifact size.
+type discardWriter struct {
+	h      http.Header
+	status int
+	n      int64
+}
+
+func (d *discardWriter) Header() http.Header { return d.h }
+func (d *discardWriter) WriteHeader(code int) {
+	if d.status == 0 {
+		d.status = code
+	}
+}
+func (d *discardWriter) Write(p []byte) (int, error) {
+	if d.status == 0 {
+		d.status = http.StatusOK
+	}
+	d.n += int64(len(p))
+	return len(p), nil
+}
+
+// benchServers builds one engine holding a census-sized release and two
+// servers over it: one store-backed (the zero-copy download path) and
+// one cache-only (the buffered decode/re-encode baseline). Both serve
+// the identical sparse artifact.
+func benchServers(tb testing.TB) (zerocopy, buffered *Server, id string, size int64) {
+	tb.Helper()
+	st, err := store.Open(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { st.Close() })
+	groups, err := dataset.Generate(dataset.Taxi, dataset.Config{Seed: 1, Scale: 0.02})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tree, err := hcoc.BuildHierarchy("Manhattan", groups)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Store: st})
+	res, err := eng.Release(context.Background(), tree, engine.FingerprintTree(tree), engine.TopDown, hcoc.Options{Epsilon: 1, K: 2000, Seed: 7})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	zerocopy, err = NewServer(eng, st)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	buffered, err = NewServer(eng, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f, info, _, err := st.OpenRelease(res.Key)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f.Close()
+	return zerocopy, buffered, "r-" + res.Key, info.Size
+}
+
+func benchDownload(b *testing.B, srv *Server, id string, size int64) {
+	b.ReportAllocs()
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/release/"+id, nil)
+		w := &discardWriter{h: make(http.Header)}
+		srv.ServeHTTP(w, req)
+		if w.status != http.StatusOK || w.n != size {
+			b.Fatalf("download: status %d, %d of %d bytes", w.status, w.n, size)
+		}
+	}
+}
+
+// BenchmarkArtifactDownload compares the two GET /v1/release/{id}
+// paths on a census-sized artifact: zerocopy streams the stored bytes
+// through http.ServeContent; buffered is the decode + re-serialize
+// baseline the zero-copy refactor replaced.
+func BenchmarkArtifactDownload(b *testing.B) {
+	zerocopy, buffered, id, size := benchServers(b)
+	b.Run("zerocopy", func(b *testing.B) { benchDownload(b, zerocopy, id, size) })
+	b.Run("buffered", func(b *testing.B) { benchDownload(b, buffered, id, size) })
+}
+
+// TestDownloadAllocRatio pins the refactor's acceptance bound: the
+// zero-copy download path must allocate at most half of the buffered
+// baseline, by bytes and by allocation count.
+func TestDownloadAllocRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation ratio is measured in the non-short tier")
+	}
+	zerocopy, buffered, id, size := benchServers(t)
+	zc := testing.Benchmark(func(b *testing.B) { benchDownload(b, zerocopy, id, size) })
+	bf := testing.Benchmark(func(b *testing.B) { benchDownload(b, buffered, id, size) })
+	t.Logf("zerocopy: %d B/op %d allocs/op; buffered: %d B/op %d allocs/op",
+		zc.AllocedBytesPerOp(), zc.AllocsPerOp(), bf.AllocedBytesPerOp(), bf.AllocsPerOp())
+	if zc.AllocedBytesPerOp()*2 > bf.AllocedBytesPerOp() {
+		t.Errorf("zero-copy path allocates %d B/op, more than half the buffered %d B/op",
+			zc.AllocedBytesPerOp(), bf.AllocedBytesPerOp())
+	}
+	if zc.AllocsPerOp()*2 > bf.AllocsPerOp() {
+		t.Errorf("zero-copy path makes %d allocs/op, more than half the buffered %d",
+			zc.AllocsPerOp(), bf.AllocsPerOp())
+	}
+}

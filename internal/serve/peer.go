@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"hcoc"
+	"hcoc/internal/engine"
+)
+
+// DefaultPeerTimeout bounds one whole peer-fetch sweep (all peers
+// together, not each): peer fetch is an optimization over recompute,
+// and a slow peer must not cost more than the computation it saves.
+const DefaultPeerTimeout = 10 * time.Second
+
+// PeerFetcher builds an engine.PeerFetchFunc that asks each peer
+// hcoc-serve URL in order for a release artifact (GET
+// /v1/release/r-<key>) and returns the first hit. A 404 moves to the
+// next peer; transport errors likewise, but are remembered — if every
+// peer misses cleanly the fetch is a clean miss, while any transport
+// failure without a hit reports an error so the engine counts it.
+//
+// timeout bounds the whole sweep (0 means DefaultPeerTimeout); client
+// may be nil for http.DefaultClient. Peers listing this node itself are
+// harmless — the node asks itself, sees its own miss, and moves on —
+// but wasteful, so don't.
+func PeerFetcher(peers []string, timeout time.Duration, client *http.Client) engine.PeerFetchFunc {
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	urls := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p = strings.TrimSuffix(strings.TrimSpace(p), "/"); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	return func(ctx context.Context, key string) (hcoc.SparseHistograms, float64, error) {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		var lastErr error
+		for _, base := range urls {
+			rel, epsilon, err := fetchPeerArtifact(ctx, client, base, key)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if rel != nil {
+				return rel, epsilon, nil
+			}
+		}
+		return nil, 0, lastErr // nil lastErr = clean miss everywhere
+	}
+}
+
+// fetchPeerArtifact downloads one peer's artifact for key. A nil
+// release with nil error is a clean miss (404).
+func fetchPeerArtifact(ctx context.Context, client *http.Client, base, key string) (hcoc.SparseHistograms, float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/release/r-"+key, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("peer %s: %s", base, resp.Status)
+	}
+	rel, epsilon, err := hcoc.ReadReleaseSparse(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("peer %s: decoding artifact: %w", base, err)
+	}
+	return rel, epsilon, nil
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestPeerFetcherErrorClasses pins the three non-hit outcomes: every
+// peer missing cleanly is a clean miss (nil error), a failing peer
+// without a hit surfaces an error, and a failing peer before a hitting
+// peer is still a hit.
+func TestPeerFetcherErrorClasses(t *testing.T) {
+	miss := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer miss.Close()
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not an artifact"))
+	}))
+	defer garbage.Close()
+
+	ctx := context.Background()
+
+	// All peers 404: clean miss, no error. Trailing slashes and blank
+	// entries in the peer list are tolerated.
+	fetch := PeerFetcher([]string{miss.URL + "/", "", " "}, 0, nil)
+	rel, _, err := fetch(ctx, "deadbeef")
+	if rel != nil || err != nil {
+		t.Fatalf("all-miss sweep = %v, %v; want clean miss", rel, err)
+	}
+
+	// A 500 without any hit is a failure the engine must count.
+	fetch = PeerFetcher([]string{broken.URL}, time.Second, nil)
+	if _, _, err := fetch(ctx, "deadbeef"); err == nil {
+		t.Fatal("broken peer reported a clean miss")
+	}
+
+	// Undecodable body is a failure too, not a silent miss.
+	fetch = PeerFetcher([]string{garbage.URL}, time.Second, nil)
+	if _, _, err := fetch(ctx, "deadbeef"); err == nil {
+		t.Fatal("garbage artifact reported a clean miss")
+	}
+
+	// Unreachable peer (connection refused): failure.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	fetch = PeerFetcher([]string{deadURL}, time.Second, nil)
+	if _, _, err := fetch(ctx, "deadbeef"); err == nil {
+		t.Fatal("unreachable peer reported a clean miss")
+	}
+
+	// A broken peer ahead of a real one: the sweep still finds the
+	// artifact on the next peer (exercised end to end in
+	// TestPeerFetchOverHTTP; here the second peer misses cleanly and
+	// the earlier failure still surfaces).
+	fetch = PeerFetcher([]string{broken.URL, miss.URL}, time.Second, nil)
+	if _, _, err := fetch(ctx, "deadbeef"); err == nil {
+		t.Fatal("failure before a miss was forgotten")
+	}
+}

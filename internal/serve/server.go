@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"net/url"
@@ -173,6 +174,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // around the handler (it flushes the compressor); ok reports whether to
 // proceed — false means an error response was already written (an
 // unsupported Content-Encoding).
+//
+// Artifact downloads (GET /v1/release/{id}) are always served identity:
+// they go through http.ServeContent for zero-copy streaming with exact
+// Content-Length, strong ETags, and byte ranges — all of which
+// on-the-fly compression would break (a gzip body has no predictable
+// length, and a range into compressed bytes is not a range into the
+// artifact).
 func WrapTransport(w http.ResponseWriter, r *http.Request, maxBody int64) (http.ResponseWriter, *http.Request, func(), bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	if ce := r.Header.Get("Content-Encoding"); strings.EqualFold(ce, "gzip") {
@@ -183,7 +191,7 @@ func WrapTransport(w http.ResponseWriter, r *http.Request, maxBody int64) (http.
 		return nil, nil, nil, false
 	}
 	finish := func() {}
-	if acceptsGzip(r) {
+	if acceptsGzip(r) && !isArtifactDownload(r) {
 		zw := gzipWriters.Get().(*gzip.Writer)
 		zw.Reset(w)
 		w.Header().Set("Content-Encoding", "gzip")
@@ -195,6 +203,14 @@ func WrapTransport(w http.ResponseWriter, r *http.Request, maxBody int64) (http.
 		}
 	}
 	return w, r, finish, true
+}
+
+// isArtifactDownload reports whether the request reads a release
+// artifact (GET/HEAD /v1/release/{id} — the trailing slash excludes the
+// GET /v1/release listing, which stays compressible).
+func isArtifactDownload(r *http.Request) bool {
+	return (r.Method == http.MethodGet || r.Method == http.MethodHead) &&
+		strings.HasPrefix(r.URL.Path, "/v1/release/")
 }
 
 // errorResponse is the JSON shape of every non-2xx response.
@@ -369,6 +385,7 @@ type releaseResponse struct {
 	Nodes      int     `json:"nodes"`
 	CacheHit   bool    `json:"cache_hit"`
 	StoreHit   bool    `json:"store_hit"`
+	PeerHit    bool    `json:"peer_hit"`
 	Deduped    bool    `json:"deduped"`
 	DurationMS float64 `json:"duration_ms"`
 }
@@ -510,6 +527,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		Nodes:      len(res.Release),
 		CacheHit:   res.CacheHit,
 		StoreHit:   res.StoreHit,
+		PeerHit:    res.PeerHit,
 		Deduped:    res.Deduped,
 		DurationMS: float64(res.Duration.Microseconds()) / 1000,
 	})
@@ -524,6 +542,7 @@ type jobResponse struct {
 	Error      string  `json:"error,omitempty"`
 	CacheHit   bool    `json:"cache_hit"`
 	StoreHit   bool    `json:"store_hit"`
+	PeerHit    bool    `json:"peer_hit"`
 	Deduped    bool    `json:"deduped"`
 	DurationMS float64 `json:"duration_ms"`
 	CreatedAt  string  `json:"created_at,omitempty"`
@@ -551,6 +570,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		Error:      j.Err,
 		CacheHit:   j.CacheHit,
 		StoreHit:   j.StoreHit,
+		PeerHit:    j.PeerHit,
 		Deduped:    j.Deduped,
 		DurationMS: float64(j.Duration.Microseconds()) / 1000,
 		CreatedAt:  j.Created.UTC().Format(time.RFC3339Nano),
@@ -608,36 +628,76 @@ func releaseID(id string) string {
 	return id
 }
 
+// ServeArtifact writes a release artifact body with the full
+// conditional-download contract: exact Content-Length, Accept-Ranges
+// with single- and malformed-Range handling (206/416), If-None-Match
+// against the strong ETag (304), and If-Modified-Since when modTime is
+// known. Exported for the gateway tier, which serves artifacts from a
+// shared store with identical semantics.
+func ServeArtifact(w http.ResponseWriter, r *http.Request, etag string, modTime time.Time, content io.ReadSeeker) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	// The empty name disables ServeContent's extension-based type
+	// sniffing; Content-Type above is authoritative.
+	http.ServeContent(w, r, "", modTime, content)
+}
+
+// releaseETag is the strong validator of an artifact download. Release
+// keys are content addresses — hierarchy fingerprint, algorithm and
+// options — and artifacts are immutable once stored, so the key itself
+// validates; the dense rendering is a different byte stream and gets a
+// distinct tag.
+func releaseETag(key, format string) string {
+	if format == "dense" {
+		return `"` + key + `-dense"`
+	}
+	return `"` + key + `"`
+}
+
 func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
-	// Sparse reads through both tiers: the LRU first, then the durable
-	// store (admitting a hit back into the LRU).
-	rel, epsilon, err := s.eng.Sparse(releaseID(r.PathValue("id")))
+	key := releaseID(r.PathValue("id"))
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "sparse", "dense":
+	default:
+		WriteError(w, http.StatusBadRequest, "unknown artifact format %q (want sparse|dense)", format)
+		return
+	}
+
+	// Zero-copy fast path: the sparse artifact is stored verbatim, so a
+	// durable hit streams the backend's ReadSeeker straight into
+	// ServeContent — no decode, no re-encode, no buffering of the body.
+	if format != "dense" && s.st != nil {
+		if f, _, m, err := s.st.OpenRelease(key); err == nil {
+			defer f.Close()
+			ServeArtifact(w, r, releaseETag(key, format), m.CreatedAt, f)
+			return
+		}
+	}
+
+	// Buffered fallback: cache-only releases (no durable store) and the
+	// dense rendering, which only exists on demand. Sparse reads through
+	// both tiers: the LRU first, then the durable store (admitting a hit
+	// back into the LRU). Serialize before writing so a failure is a
+	// clean 500, never a 200 with a truncated artifact; serving the
+	// buffer through ServeArtifact keeps ETag/Range semantics identical
+	// to the zero-copy path.
+	rel, epsilon, err := s.eng.Sparse(key)
 	if err != nil {
 		WriteError(w, http.StatusNotFound, "release not cached or stored; POST /v1/release to (re)compute it")
 		return
 	}
-	// The run-length v2 artifact is the default — it is what the cache
-	// holds and typically a small fraction of the dense size; ?format=
-	// dense serves the v1 shape for consumers that want plain arrays.
-	// ReadRelease and ReadReleaseSparse accept both. Serialize before
-	// writing so a failure is a clean 500, never a 200 with a truncated
-	// artifact.
 	var buf bytes.Buffer
-	switch format := r.URL.Query().Get("format"); format {
-	case "", "sparse":
-		err = hcoc.WriteReleaseSparse(&buf, rel, epsilon)
-	case "dense":
+	if format == "dense" {
 		err = hcoc.WriteRelease(&buf, rel.Dense(), epsilon)
-	default:
-		WriteError(w, http.StatusBadRequest, "unknown artifact format %q (want sparse|dense)", format)
-		return
+	} else {
+		err = hcoc.WriteReleaseSparse(&buf, rel, epsilon)
 	}
 	if err != nil {
 		WriteError(w, http.StatusInternalServerError, "writing artifact: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = buf.WriteTo(w)
+	ServeArtifact(w, r, releaseETag(key, format), time.Time{}, bytes.NewReader(buf.Bytes()))
 }
 
 // importResponse is the JSON shape of PUT /v1/release/{id}.
@@ -837,7 +897,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("hcoc_store_puts_total", "Releases written through to the durable store.", m.StorePuts)
 	put("hcoc_store_errors_total", "Failed durable-store reads/writes (request still served).", m.StoreErrors)
 	put("hcoc_store_artifacts", "Releases held by the durable store.", m.StoreArtifacts)
+	put("hcoc_peer_fetch_attempts_total", "Cache+store misses that consulted the peer tier.", m.PeerFetchAttempts)
+	put("hcoc_peer_fetch_hits_total", "Peer fetches that returned an artifact, avoiding a recompute.", m.PeerFetchHits)
+	put("hcoc_peer_fetch_failures_total", "Peer fetches that failed in transport (clean misses excluded).", m.PeerFetchFailures)
+	backend, shared := "none", false
+	if s.st != nil {
+		backend, shared = s.st.Backend(), s.st.Shared()
+	}
+	fmt.Fprintf(w, "# HELP hcoc_store_backend_info Configured blob backend (constant 1; the labels carry the information).\nhcoc_store_backend_info{backend=%q,shared=%q} 1\n",
+		backend, strconv.FormatBool(shared))
 	put("hcoc_epsilon_spent_total", "Cumulative epsilon of actual computations across hierarchies.", m.EpsilonSpent)
+	put("hcoc_epsilon_spent_local", "Epsilon drawn by this process (excludes spend replayed from the store manifest).", m.EpsilonSpentLocal)
 	put("hcoc_epsilon_limit_per_hierarchy", "Configured per-hierarchy epsilon bound (0 = unenforced).", m.EpsilonLimit)
 	put("hcoc_jobs", "Async release jobs currently retained.", s.jobs.Len())
 	put("hcoc_releases_total", "Completed release computations.", m.Releases)

@@ -1,0 +1,287 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcoc/internal/store/s3stub"
+)
+
+// TestBackendNames pins the backend identity strings: they are
+// operator-visible (startup logs, hcoc_store_backend_info) and the
+// shared flag drives refresh-on-miss, so neither may drift.
+func TestBackendNames(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if disk.Name() != "disk" || disk.Shared() {
+		t.Fatalf("disk backend = %q shared=%v", disk.Name(), disk.Shared())
+	}
+
+	srv := httptest.NewServer(s3stub.New("b"))
+	defer srv.Close()
+	s3, err := NewS3(S3Options{Endpoint: srv.URL, Bucket: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Name() != "s3" || !s3.Shared() {
+		t.Fatalf("s3 backend = %q shared=%v", s3.Name(), s3.Shared())
+	}
+}
+
+func TestNewDiskOverFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDisk(p); err == nil {
+		t.Fatal("NewDisk over a regular file succeeded")
+	}
+}
+
+func TestDiskRejectsTraversalKeys(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, key := range []string{"", "../escape", "releases/../../etc", "releases//x"} {
+		if err := d.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) succeeded", key)
+		}
+		if _, _, err := d.Get(key); err == nil {
+			t.Errorf("Get(%q) succeeded", key)
+		}
+		if _, err := d.Stat(key); err == nil {
+			t.Errorf("Stat(%q) succeeded", key)
+		}
+		if err := d.Delete(key); err == nil {
+			t.Errorf("Delete(%q) succeeded", key)
+		}
+	}
+}
+
+func TestNewS3Validation(t *testing.T) {
+	if _, err := NewS3(S3Options{Bucket: "b"}); err == nil {
+		t.Error("NewS3 without endpoint succeeded")
+	}
+	if _, err := NewS3(S3Options{Endpoint: "http://x"}); err == nil {
+		t.Error("NewS3 without bucket succeeded")
+	}
+	if _, err := NewS3(S3Options{Endpoint: "://bad", Bucket: "b"}); err == nil {
+		t.Error("NewS3 with unparsable endpoint succeeded")
+	}
+}
+
+// TestS3MissingBucket drives every operation against a bucket the
+// endpoint does not have: each must surface an error (not ErrNoBlob —
+// a missing bucket is a deployment mistake, not a clean miss).
+func TestS3MissingBucket(t *testing.T) {
+	srv := httptest.NewServer(s3stub.New("exists"))
+	defer srv.Close()
+	b, err := NewS3(S3Options{Endpoint: srv.URL, Bucket: "absent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.Put("releases/k", []byte("x")); err == nil {
+		t.Error("Put into missing bucket succeeded")
+	}
+	if err := b.AppendManifest([]byte("{}\n")); err == nil {
+		t.Error("AppendManifest into missing bucket succeeded")
+	}
+	if _, err := b.List("releases/"); err == nil {
+		t.Error("List of missing bucket succeeded")
+	}
+	if _, err := b.ManifestReader(); err == nil {
+		t.Error("ManifestReader of missing bucket succeeded")
+	}
+	// HEAD carries no body, so Stat cannot distinguish NoSuchBucket
+	// from NoSuchKey; both report a miss, which Get inherits.
+	if _, err := b.Stat("releases/k"); !errors.Is(err, ErrNoBlob) {
+		t.Errorf("Stat against missing bucket = %v, want ErrNoBlob", err)
+	}
+	// Delete tolerates 404s by contract (idempotent), missing bucket
+	// included.
+	if err := b.Delete("releases/k"); err != nil {
+		t.Errorf("Delete against missing bucket = %v", err)
+	}
+}
+
+// TestS3ReaderSeekRead exercises the lazy ranged reader directly: seek
+// semantics, re-reads after a seek, and the whence/negative errors.
+func TestS3ReaderSeekRead(t *testing.T) {
+	srv := httptest.NewServer(s3stub.New("b"))
+	defer srv.Close()
+	b, err := NewS3(S3Options{Endpoint: srv.URL, Bucket: "b", Prefix: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const payload = "0123456789abcdef"
+	if err := b.Put("releases/obj", []byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, info, err := b.Get("releases/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if info.Size != int64(len(payload)) {
+		t.Fatalf("Size = %d, want %d", info.Size, len(payload))
+	}
+
+	// ServeContent's size probe: seek to end, then back.
+	if n, err := rc.Seek(0, io.SeekEnd); err != nil || n != int64(len(payload)) {
+		t.Fatalf("Seek(0, End) = %d, %v", n, err)
+	}
+	if buf, err := io.ReadAll(rc); err != nil || len(buf) != 0 {
+		t.Fatalf("read at EOF = %q, %v", buf, err)
+	}
+	if _, err := rc.Seek(4, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(rc, buf); err != nil || string(buf) != "4567" {
+		t.Fatalf("read after seek = %q, %v", buf, err)
+	}
+	// Relative seek from the current offset (8), continuing the read.
+	if n, err := rc.Seek(2, io.SeekCurrent); err != nil || n != 10 {
+		t.Fatalf("Seek(2, Current) = %d, %v", n, err)
+	}
+	if rest, err := io.ReadAll(rc); err != nil || string(rest) != payload[10:] {
+		t.Fatalf("tail read = %q, %v", rest, err)
+	}
+
+	if _, err := rc.Seek(0, 42); err == nil {
+		t.Error("Seek with bad whence succeeded")
+	}
+	if _, err := rc.Seek(-1, io.SeekStart); err == nil {
+		t.Error("Seek to negative offset succeeded")
+	}
+
+	// Close with an open stream, then a second idempotent Close.
+	if _, err := rc.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reader over a deleted object reports ErrNoBlob on Read.
+	rc2, _, err := b.Get("releases/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	if err := b.Delete("releases/obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc2.Read(make([]byte, 1)); !errors.Is(err, ErrNoBlob) {
+		t.Fatalf("Read of deleted object = %v, want ErrNoBlob", err)
+	}
+}
+
+// TestS3URLEscaping pins key segment escaping: a key with characters
+// needing escapes must round-trip, not 404 or corrupt the path.
+func TestS3URLEscaping(t *testing.T) {
+	srv := httptest.NewServer(s3stub.New("b"))
+	defer srv.Close()
+	b, err := NewS3(S3Options{Endpoint: srv.URL, Bucket: "b", Prefix: "pre fix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	key := "releases/r 1+2.bin"
+	if err := b.Put(key, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err := b.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := io.ReadAll(rc)
+	if err != nil || string(got) != "data" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	infos, err := b.List("releases/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Key != key {
+		t.Fatalf("List = %+v, want the escaped key back", infos)
+	}
+}
+
+// TestDiskManifestAfterClose pins the closed-backend error paths.
+func TestDiskManifestAfterClose(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendManifest([]byte("{}\n")); err == nil {
+		t.Error("AppendManifest after Close succeeded")
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+}
+
+// TestS3ManifestChunkOrdering writes manifest lines through two
+// backends over the same bucket and requires the concatenated reader
+// to observe every line exactly once.
+func TestS3ManifestChunkOrdering(t *testing.T) {
+	srv := httptest.NewServer(s3stub.New("b"))
+	defer srv.Close()
+	open := func() BlobStore {
+		b, err := NewS3(S3Options{Endpoint: srv.URL, Bucket: "b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, c := open(), open()
+	defer a.Close()
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := a.AppendManifest([]byte("a\n")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AppendManifest([]byte("c\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd, err := a.ManifestReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	all, err := io.ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na, nc := strings.Count(string(all), "a\n"), strings.Count(string(all), "c\n"); na != 3 || nc != 3 {
+		t.Fatalf("manifest lines = %d a, %d c, want 3 each (%q)", na, nc, all)
+	}
+}

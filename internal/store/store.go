@@ -2,11 +2,12 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"io"
+	"path"
 	"strings"
 	"sync"
 	"time"
@@ -80,64 +81,76 @@ type HierarchyRecord struct {
 	Groups      []hcoc.Group
 }
 
-// Store is a disk-backed release store. It is safe for concurrent use.
-type Store struct {
-	dir string
+// releaseKey maps a release key to its blob key.
+func releaseKey(key string) string { return "releases/" + key + ".json" }
 
-	mu       sync.Mutex
-	manifest *os.File        // open for append
-	metas    map[string]Meta // latest entry per key
-	order    []string        // keys in first-appearance manifest order
-	spent    map[string]float64
+// hierarchyKey maps a hierarchy fingerprint to its blob key.
+func hierarchyKey(fp string) string { return "hierarchies/" + fp + ".json" }
+
+// Store is a durable release store over a pluggable BlobStore backend.
+// It keeps an in-memory index replayed from the backend's manifest log;
+// on a Shared backend the index may lag other writers, so misses
+// trigger a Refresh before being reported. It is safe for concurrent
+// use.
+type Store struct {
+	b BlobStore
+
+	mu    sync.Mutex
+	metas map[string]Meta // latest entry per key
+	order []string        // keys in first-appearance manifest order
+	spent map[string]float64
 }
 
-// Open creates (if needed) and loads a store rooted at dir, replaying
-// the manifest into the in-memory index. A truncated final manifest
-// line — the signature of a crash mid-append — is ignored; corruption
-// anywhere else is an error.
+// Open creates (if needed) and loads a local-disk store rooted at dir,
+// replaying the manifest into the in-memory index. A truncated final
+// manifest line — the signature of a crash mid-append — is ignored;
+// corruption anywhere else is an error.
 func Open(dir string) (*Store, error) {
-	for _, d := range []string{dir, filepath.Join(dir, "releases"), filepath.Join(dir, "hierarchies")} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
-		}
-	}
-	s := &Store{
-		dir:   dir,
-		metas: make(map[string]Meta),
-		spent: make(map[string]float64),
-	}
-	if err := s.loadManifest(); err != nil {
+	b, err := NewDisk(dir)
+	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	s, err := OpenBackend(b)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening manifest: %w", err)
+		b.Close()
+		return nil, err
 	}
-	s.manifest = f
 	return s, nil
 }
 
-func (s *Store) manifestPath() string { return filepath.Join(s.dir, "manifest.jsonl") }
-
-func (s *Store) releasePath(key string) string {
-	return filepath.Join(s.dir, "releases", key+".json")
-}
-
-func (s *Store) hierarchyPath(fp string) string {
-	return filepath.Join(s.dir, "hierarchies", fp+".json")
-}
-
-func (s *Store) loadManifest() error {
-	f, err := os.Open(s.manifestPath())
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
+// OpenBackend loads a store over an already-constructed backend,
+// replaying its manifest. The store takes ownership of the backend:
+// Close closes it.
+func OpenBackend(b BlobStore) (*Store, error) {
+	s := &Store{b: b}
+	metas, order, spent, err := s.loadManifest()
 	if err != nil {
-		return fmt.Errorf("store: opening manifest: %w", err)
+		return nil, err
 	}
-	defer f.Close()
+	s.metas, s.order, s.spent = metas, order, spent
+	return s, nil
+}
 
-	sc := bufio.NewScanner(f)
+// Backend names the blob backend ("disk", "s3") for metrics and logs.
+func (s *Store) Backend() string { return s.b.Name() }
+
+// Shared reports whether the backend may be written by other processes
+// concurrently (see BlobStore.Shared).
+func (s *Store) Shared() bool { return s.b.Shared() }
+
+// loadManifest replays the backend's manifest log into fresh index
+// maps. It tolerates a torn final line (crash mid-append) and rejects
+// corruption anywhere else.
+func (s *Store) loadManifest() (metas map[string]Meta, order []string, spent map[string]float64, err error) {
+	metas = make(map[string]Meta)
+	spent = make(map[string]float64)
+	r, err := s.b.ManifestReader()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer r.Close()
+
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var pendingErr error
 	line := 0
@@ -146,7 +159,7 @@ func (s *Store) loadManifest() error {
 		// A parse failure is only tolerated on the final line (torn
 		// append); seeing another line after one means real corruption.
 		if pendingErr != nil {
-			return pendingErr
+			return nil, nil, nil, pendingErr
 		}
 		raw := strings.TrimSpace(sc.Text())
 		if raw == "" {
@@ -157,15 +170,40 @@ func (s *Store) loadManifest() error {
 			pendingErr = fmt.Errorf("store: manifest line %d is corrupt: %q", line, raw)
 			continue
 		}
-		s.record(m)
+		switch m.Kind {
+		case KindCharge:
+			spent[m.Hierarchy] += m.Epsilon
+		case KindRefund:
+			spent[m.Hierarchy] -= m.Epsilon
+		default: // KindRelease / legacy empty
+			if _, ok := metas[m.Key]; !ok {
+				order = append(order, m.Key)
+			}
+			metas[m.Key] = m
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: reading manifest: %w", err)
+		return nil, nil, nil, fmt.Errorf("store: reading manifest: %w", err)
 	}
+	return metas, order, spent, nil
+}
+
+// Refresh re-reads the whole manifest log and atomically swaps the
+// in-memory index. On a shared backend this picks up entries written by
+// other processes since boot; replaying from scratch (rather than
+// re-recording on top of the live index) keeps charge totals exact.
+func (s *Store) Refresh() error {
+	metas, order, spent, err := s.loadManifest()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.metas, s.order, s.spent = metas, order, spent
+	s.mu.Unlock()
 	return nil
 }
 
-// record indexes one manifest entry (caller holds mu or is Open).
+// record indexes one manifest entry (caller holds mu).
 func (s *Store) record(m Meta) {
 	switch m.Kind {
 	case KindCharge:
@@ -180,7 +218,7 @@ func (s *Store) record(m Meta) {
 	}
 }
 
-// appendEntry appends one manifest line and fsyncs it, then indexes it.
+// appendEntry appends one manifest line durably, then indexes it.
 func (s *Store) appendEntry(m Meta) error {
 	line, err := json.Marshal(m)
 	if err != nil {
@@ -190,11 +228,8 @@ func (s *Store) appendEntry(m Meta) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.manifest.Write(line); err != nil {
-		return fmt.Errorf("store: appending manifest: %w", err)
-	}
-	if err := s.manifest.Sync(); err != nil {
-		return fmt.Errorf("store: syncing manifest: %w", err)
+	if err := s.b.AppendManifest(line); err != nil {
+		return err
 	}
 	s.record(m)
 	return nil
@@ -222,72 +257,55 @@ func (s *Store) AppendRefund(m Meta) error {
 	return s.appendEntry(m)
 }
 
-// writeAtomic writes data to path via a temp file in the same
-// directory, fsyncing the file and its directory so a crash leaves
-// either the old state or the complete new file, never a torn one.
-func writeAtomic(path string, write func(*os.File) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := write(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	return syncDir(dir)
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
 // PutRelease durably stores a completed release and appends its
 // (spend-neutral) manifest entry — the computation's epsilon was
 // already recorded by AppendCharge. The artifact write is atomic and
 // lands before the manifest line, so every indexed key has a complete
-// artifact on disk. Re-putting an existing key (a recomputation after
-// artifact loss) overwrites the artifact and appends a second entry.
+// artifact in the backend. Re-putting an existing key (a recomputation
+// after artifact loss) overwrites the artifact and appends a second
+// entry.
 func (s *Store) PutRelease(m Meta, rel hcoc.SparseHistograms) error {
 	if m.Key == "" {
 		return fmt.Errorf("store: empty release key")
 	}
 	m.Kind = KindRelease
-	err := writeAtomic(s.releasePath(m.Key), func(f *os.File) error {
-		return hcoc.WriteReleaseSparse(f, rel, m.Epsilon)
-	})
-	if err != nil {
+	var buf bytes.Buffer
+	if err := hcoc.WriteReleaseSparse(&buf, rel, m.Epsilon); err != nil {
+		return fmt.Errorf("store: encoding release %s: %w", m.Key, err)
+	}
+	if err := s.b.Put(releaseKey(m.Key), buf.Bytes()); err != nil {
 		return fmt.Errorf("store: writing release %s: %w", m.Key, err)
 	}
 	return s.appendEntry(m)
 }
 
-// GetRelease loads a stored release and its manifest entry. It returns
-// ErrNotFound for keys the manifest does not index.
-func (s *Store) GetRelease(key string) (hcoc.SparseHistograms, Meta, error) {
+// meta looks up a key's manifest entry. On a shared backend a miss
+// re-reads the manifest once before giving up — another process may
+// have released the key since our last replay.
+func (s *Store) meta(key string) (Meta, bool) {
 	s.mu.Lock()
 	m, ok := s.metas[key]
 	s.mu.Unlock()
+	if ok || !s.b.Shared() {
+		return m, ok
+	}
+	if err := s.Refresh(); err != nil {
+		return Meta{}, false
+	}
+	s.mu.Lock()
+	m, ok = s.metas[key]
+	s.mu.Unlock()
+	return m, ok
+}
+
+// GetRelease loads a stored release and its manifest entry. It returns
+// ErrNotFound for keys the manifest does not index.
+func (s *Store) GetRelease(key string) (hcoc.SparseHistograms, Meta, error) {
+	m, ok := s.meta(key)
 	if !ok {
 		return nil, Meta{}, ErrNotFound
 	}
-	f, err := os.Open(s.releasePath(key))
+	f, _, err := s.b.Get(releaseKey(key))
 	if err != nil {
 		return nil, Meta{}, fmt.Errorf("store: opening release %s: %w", key, err)
 	}
@@ -302,11 +320,29 @@ func (s *Store) GetRelease(key string) (hcoc.SparseHistograms, Meta, error) {
 	return rel, m, nil
 }
 
-// Has reports whether the manifest indexes key.
+// OpenRelease opens a stored release artifact for streaming without
+// decoding it: the returned reader seeks, so callers can serve it
+// zero-copy with HTTP range support (http.ServeContent). The caller
+// must close the reader. Returns ErrNotFound for unindexed keys.
+func (s *Store) OpenRelease(key string) (io.ReadSeekCloser, BlobInfo, Meta, error) {
+	m, ok := s.meta(key)
+	if !ok {
+		return nil, BlobInfo{}, Meta{}, ErrNotFound
+	}
+	f, info, err := s.b.Get(releaseKey(key))
+	if errors.Is(err, ErrNoBlob) {
+		return nil, BlobInfo{}, Meta{}, ErrNotFound
+	}
+	if err != nil {
+		return nil, BlobInfo{}, Meta{}, fmt.Errorf("store: opening release %s: %w", key, err)
+	}
+	return f, info, m, nil
+}
+
+// Has reports whether the manifest indexes key (refreshing once on a
+// shared backend, like GetRelease).
 func (s *Store) Has(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.metas[key]
+	_, ok := s.meta(key)
 	return ok
 }
 
@@ -346,46 +382,47 @@ func (s *Store) EpsilonByHierarchy() map[string]float64 {
 
 // PutHierarchy persists an uploaded hierarchy's group records so a warm
 // start can rebuild the tree. The write is atomic and idempotent:
-// hierarchies are content-addressed by fingerprint, so an existing file
-// is already the same content and is left untouched.
+// hierarchies are content-addressed by fingerprint, so an existing
+// object is already the same content and is left untouched.
 func (s *Store) PutHierarchy(fp, root string, groups []hcoc.Group) error {
 	if fp == "" {
 		return fmt.Errorf("store: empty hierarchy fingerprint")
 	}
-	path := s.hierarchyPath(fp)
-	if _, err := os.Stat(path); err == nil {
+	key := hierarchyKey(fp)
+	if _, err := s.b.Stat(key); err == nil {
 		return nil
 	}
 	recs := make([]storedGroup, len(groups))
 	for i, g := range groups {
 		recs[i] = storedGroup{Path: g.Path, Size: g.Size}
 	}
-	err := writeAtomic(path, func(f *os.File) error {
-		return json.NewEncoder(f).Encode(hierarchyFile{Root: root, Groups: recs})
-	})
+	data, err := json.Marshal(hierarchyFile{Root: root, Groups: recs})
 	if err != nil {
+		return fmt.Errorf("store: encoding hierarchy %s: %w", fp, err)
+	}
+	if err := s.b.Put(key, append(data, '\n')); err != nil {
 		return fmt.Errorf("store: writing hierarchy %s: %w", fp, err)
 	}
 	return nil
 }
 
 // Hierarchies loads every persisted hierarchy. Fingerprints come from
-// the file names; callers that rebuild trees should re-derive and
+// the object names; callers that rebuild trees should re-derive and
 // verify them.
 func (s *Store) Hierarchies() ([]HierarchyRecord, error) {
-	entries, err := os.ReadDir(filepath.Join(s.dir, "hierarchies"))
+	infos, err := s.b.List("hierarchies/")
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, err
 	}
 	var out []HierarchyRecord
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+	for _, info := range infos {
+		name := path.Base(info.Key)
+		if !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		f, err := os.Open(filepath.Join(s.dir, "hierarchies", name))
+		f, _, err := s.b.Get(info.Key)
 		if err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+			return nil, fmt.Errorf("store: hierarchy %s: %w", name, err)
 		}
 		var hf hierarchyFile
 		err = json.NewDecoder(f).Decode(&hf)
@@ -406,14 +443,7 @@ func (s *Store) Hierarchies() ([]HierarchyRecord, error) {
 	return out, nil
 }
 
-// Close releases the manifest handle. The store must not be used after.
+// Close releases the backend. The store must not be used after.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.manifest == nil {
-		return nil
-	}
-	err := s.manifest.Close()
-	s.manifest = nil
-	return err
+	return s.b.Close()
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -251,10 +252,11 @@ func TestArtifactEpsilonMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Overwrite the artifact with a different epsilon out-of-band.
-	err = writeAtomic(s.releasePath("k1"), func(f *os.File) error {
-		return hcoc.WriteReleaseSparse(f, rel, 9)
-	})
-	if err != nil {
+	var buf bytes.Buffer
+	if err := hcoc.WriteReleaseSparse(&buf, rel, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.b.Put(releaseKey("k1"), buf.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := s.GetRelease("k1"); err == nil {
