@@ -506,6 +506,65 @@ func (c *Client) Budget(ctx context.Context, hierarchy string) (Budget, error) {
 	return out, err
 }
 
+// TenantStatus is one tenant (hierarchy) in the daemon's QoS report:
+// its scheduling weight, live queue occupancy, admission counters, and
+// how its requests were satisfied.
+type TenantStatus struct {
+	// Tenant is the hierarchy id ("h-<fingerprint>").
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's share of the compute pool under
+	// contention (default 1).
+	Weight float64 `json:"weight"`
+	// Active and Queued are the tenant's live compute occupancy.
+	Active int `json:"active"`
+	Queued int `json:"queued"`
+	// Granted, Rejected and Cancelled count admission outcomes.
+	Granted   uint64 `json:"granted"`
+	Rejected  uint64 `json:"rejected"`
+	Cancelled uint64 `json:"cancelled"`
+	// QueueWaitMS is cumulative time the tenant's granted jobs spent
+	// queued.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// Requests through Computed break down how release requests were
+	// satisfied.
+	Requests  uint64 `json:"requests"`
+	CacheHits uint64 `json:"cache_hits"`
+	Deduped   uint64 `json:"deduped"`
+	StoreHits uint64 `json:"store_hits"`
+	PeerHits  uint64 `json:"peer_hits"`
+	Computed  uint64 `json:"computed"`
+	// EpsilonSpent is the tenant's cumulative privacy spend.
+	EpsilonSpent float64 `json:"epsilon_spent"`
+}
+
+// TenantsStatus is the daemon's whole QoS picture: the compute pool,
+// the read lane, and every known tenant.
+type TenantsStatus struct {
+	// ComputeSlots and InUse describe the shared compute pool.
+	ComputeSlots int `json:"compute_slots"`
+	InUse        int `json:"in_use"`
+	// QueueDepth is the per-tenant queue bound; Queued and Rejected
+	// aggregate across tenants.
+	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`
+	Rejected   uint64 `json:"rejected"`
+	// ActiveReads and Reads describe the priority read lane, which
+	// never waits behind compute.
+	ActiveReads uint64 `json:"active_reads"`
+	Reads       uint64 `json:"reads"`
+	// Tenants is sorted by tenant id.
+	Tenants []TenantStatus `json:"tenants"`
+}
+
+// Tenants reads the daemon's per-tenant QoS state: who holds and waits
+// for compute slots, who is being refused, and at what weight each
+// tenant shares the pool.
+func (c *Client) Tenants(ctx context.Context) (TenantsStatus, error) {
+	var out TenantsStatus
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
 // Healthz checks daemon liveness.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)

@@ -159,6 +159,21 @@ func TestClientEndToEnd(t *testing.T) {
 		t.Fatalf("metrics: %v", err)
 	}
 
+	// The QoS report knows this hierarchy as a tenant by now.
+	qos, err := c.Tenants(ctx)
+	if err != nil {
+		t.Fatalf("tenants: %v", err)
+	}
+	if qos.ComputeSlots < 1 || qos.Reads == 0 {
+		t.Fatalf("tenants pool: %+v", qos)
+	}
+	if len(qos.Tenants) != 1 || qos.Tenants[0].Tenant != h.ID {
+		t.Fatalf("tenants list: %+v, want just %s", qos.Tenants, h.ID)
+	}
+	if ten := qos.Tenants[0]; ten.Weight != 1 || ten.Requests == 0 || ten.Computed == 0 {
+		t.Fatalf("tenant ledger: %+v", ten)
+	}
+
 	if _, err := c.Query(ctx, "r-missing", "US", client.QueryParams{}); !client.IsNotFound(err) {
 		t.Fatalf("missing release: %v, want 404", err)
 	}

@@ -23,6 +23,17 @@
 // -scale) and computes one seeded release, so queries always have a
 // release to read.
 //
+// With -tenants N the run drives N distinct hierarchies (each from its
+// own dataset seed, so each is its own tenant under the daemon's QoS
+// scheduler) and reports a per-tenant latency digest next to the
+// per-op one. Adding -hostile turns the LAST tenant into an adversary:
+// it floods releases with unique seeds — every one a fresh computation
+// — while the other tenants run the normal mix. Hostile-tenant samples
+// are excluded from the -max-error-rate gate (the adversary being
+// throttled with 429s is the system working, not failing), so the exit
+// status answers the question that matters: did the victims stay
+// healthy while one tenant misbehaved?
+//
 // A whole cluster can be driven as easily as one daemon: -targets
 // takes several comma-separated base URLs (hcoc-gateway instances, or
 // backends directly) and the generator fails over between them
@@ -98,6 +109,8 @@ type config struct {
 	scale        float64
 	maxErrorRate float64
 	timeout      time.Duration
+	tenants      int  // distinct hierarchies driven as separate tenants
+	hostile      bool // last tenant floods unique-seed releases
 }
 
 func parseFlags(args []string) (config, error) {
@@ -118,8 +131,10 @@ func parseFlags(args []string) (config, error) {
 	fs.Int64Var(&cfg.seedSpace, "seed-space", 8, "distinct release seeds in the mix; smaller = more cache hits")
 	fs.StringVar(&cfg.dataset, "dataset", "housing", "synthetic dataset to upload (housing|taxi|race-white|race-hawaiian)")
 	fs.Float64Var(&cfg.scale, "scale", 0.02, "synthetic dataset scale factor")
-	fs.Float64Var(&cfg.maxErrorRate, "max-error-rate", 0.01, "failed-request fraction above which the exit status is 1")
+	fs.Float64Var(&cfg.maxErrorRate, "max-error-rate", 0.01, "failed-request fraction above which the exit status is 1 (hostile-tenant samples excluded)")
 	fs.DurationVar(&cfg.timeout, "timeout", time.Minute, "per-request timeout")
+	fs.IntVar(&cfg.tenants, "tenants", 1, "distinct hierarchies to drive as separate tenants")
+	fs.BoolVar(&cfg.hostile, "hostile", false, "turn the last tenant into an adversary flooding unique-seed releases (requires -tenants >= 2)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -134,6 +149,12 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.concurrency < 1 || cfg.batchSize < 1 || cfg.duration <= 0 {
 		return config{}, fmt.Errorf("concurrency, batch-size and duration must be positive")
+	}
+	if cfg.tenants < 1 {
+		return config{}, fmt.Errorf("-tenants must be at least 1")
+	}
+	if cfg.hostile && cfg.tenants < 2 {
+		return config{}, fmt.Errorf("-hostile needs -tenants >= 2 (an adversary with no victims measures nothing)")
 	}
 	return cfg, nil
 }
@@ -190,6 +211,8 @@ func datasetKind(name string) (hcoc.DatasetKind, error) {
 // sample is one completed operation.
 type sample struct {
 	op      string
+	tenant  string // per-tenant digest label; empty in single-tenant runs
+	hostile bool   // excluded from the -max-error-rate gate
 	latency time.Duration
 	err     error
 }
@@ -226,6 +249,13 @@ type summary struct {
 	elapsed time.Duration
 	// byOp maps op name to its latencies (successes only) and error count.
 	byOp map[string]*opStats
+	// byTenant digests multi-tenant runs per tenant label, all ops
+	// combined; empty in single-tenant runs.
+	byTenant map[string]*opStats
+	// hostileTotal/hostileFailed count the adversary's samples, which
+	// stay out of the error-rate gate: the adversary being throttled is
+	// the system working.
+	hostileTotal, hostileFailed int
 	// errors maps an error class ("429", "503", "net", "dropped", ...)
 	// to a count.
 	errors map[string]int
@@ -236,27 +266,46 @@ type opStats struct {
 	errors    int
 }
 
-// errorRate is failed/total with drops included on both sides.
+// errorRate is failed/total with drops included on both sides and
+// hostile-tenant samples excluded from both: the gate judges the
+// victims' experience, not whether the adversary got throttled.
 func (s *summary) errorRate() float64 {
-	if s.total == 0 {
+	total := s.total - s.hostileTotal
+	if total == 0 {
 		return 1 // a run that did nothing is a failed run
 	}
-	return float64(s.failed) / float64(s.total)
+	return float64(s.failed-s.hostileFailed) / float64(total)
 }
 
 // digest turns raw samples into the summary.
 func digest(samples []sample, elapsed time.Duration) *summary {
-	sum := &summary{elapsed: elapsed, byOp: map[string]*opStats{}, errors: map[string]int{}}
+	sum := &summary{elapsed: elapsed, byOp: map[string]*opStats{}, byTenant: map[string]*opStats{}, errors: map[string]int{}}
 	for _, s := range samples {
 		st := sum.byOp[s.op]
 		if st == nil {
 			st = &opStats{}
 			sum.byOp[s.op] = st
 		}
+		var tt *opStats
+		if s.tenant != "" {
+			if tt = sum.byTenant[s.tenant]; tt == nil {
+				tt = &opStats{}
+				sum.byTenant[s.tenant] = tt
+			}
+		}
 		sum.total++
+		if s.hostile {
+			sum.hostileTotal++
+		}
 		if s.err != nil {
 			sum.failed++
 			st.errors++
+			if tt != nil {
+				tt.errors++
+			}
+			if s.hostile {
+				sum.hostileFailed++
+			}
 			sum.errors[classify(s.err)]++
 			if errors.Is(s.err, errDropped) {
 				sum.dropped++
@@ -264,6 +313,9 @@ func digest(samples []sample, elapsed time.Duration) *summary {
 			continue
 		}
 		st.latencies = append(st.latencies, s.latency)
+		if tt != nil {
+			tt.latencies = append(tt.latencies, s.latency)
+		}
 	}
 	return sum
 }
@@ -324,6 +376,24 @@ func (s *summary) report(w io.Writer, cfg config) {
 			percentile(st.latencies, 0.99).Round(10*time.Microsecond),
 			percentile(st.latencies, 1.00).Round(10*time.Microsecond))
 	}
+	if len(s.byTenant) > 1 {
+		fmt.Fprintf(w, "per-tenant digest:\n")
+		tenants := make([]string, 0, len(s.byTenant))
+		for tn := range s.byTenant {
+			tenants = append(tenants, tn)
+		}
+		sort.Strings(tenants)
+		for _, tn := range tenants {
+			st := s.byTenant[tn]
+			sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+			fmt.Fprintf(w, "%-8s %8d %7d %10s %10s %10s %10s\n",
+				tn, len(st.latencies)+st.errors, st.errors,
+				percentile(st.latencies, 0.50).Round(10*time.Microsecond),
+				percentile(st.latencies, 0.90).Round(10*time.Microsecond),
+				percentile(st.latencies, 0.99).Round(10*time.Microsecond),
+				percentile(st.latencies, 1.00).Round(10*time.Microsecond))
+		}
+	}
 	fmt.Fprintf(w, "total    %8d %7d  (%.1f req/s over %s", s.total, s.failed,
 		float64(s.total)/s.elapsed.Seconds(), s.elapsed.Round(time.Millisecond))
 	if s.dropped > 0 {
@@ -347,6 +417,9 @@ func (s *summary) report(w io.Writer, cfg config) {
 // run sets up the target (hierarchy upload + one warm release) and
 // drives the configured loop, returning the digested summary.
 func run(ctx context.Context, cfg config, out io.Writer) (*summary, error) {
+	if cfg.tenants < 1 {
+		cfg.tenants = 1 // directly-constructed configs (tests) may omit it
+	}
 	targets := cfg.targets
 	if cfg.targetsFile != "" {
 		fromFile, err := readTargetsFile(cfg.targetsFile)
@@ -380,50 +453,72 @@ func run(ctx context.Context, cfg config, out io.Writer) (*summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	groups, err := hcoc.SyntheticGroups(kind, hcoc.DatasetConfig{Seed: cfg.seed, Scale: cfg.scale})
-	if err != nil {
-		return nil, err
-	}
-	tree, err := hcoc.BuildHierarchy("root", groups)
-	if err != nil {
-		return nil, err
-	}
-	var nodes []string
-	for _, n := range tree.Nodes() {
-		nodes = append(nodes, n.Path)
-	}
 
-	h, err := c.UploadHierarchy(ctx, "root", groups)
-	if err != nil {
-		return nil, fmt.Errorf("uploading hierarchy: %w", err)
-	}
-	fmt.Fprintf(out, "hcoc-load: uploaded %s (%d nodes, %d groups)\n", h.ID, h.Nodes, h.Groups)
+	// Each tenant is its own hierarchy from its own dataset seed — a
+	// distinct fingerprint, so the daemon's QoS scheduler sees distinct
+	// tenants. 7919 (a prime) spaces the seeds so per-worker seed
+	// offsets never collide across tenants.
+	tenants := make([]tenantTarget, cfg.tenants)
+	for i := range tenants {
+		seed := cfg.seed + int64(i)*7919
+		groups, err := hcoc.SyntheticGroups(kind, hcoc.DatasetConfig{Seed: seed, Scale: cfg.scale})
+		if err != nil {
+			return nil, err
+		}
+		tree, err := hcoc.BuildHierarchy("root", groups)
+		if err != nil {
+			return nil, err
+		}
+		var nodes []string
+		for _, n := range tree.Nodes() {
+			nodes = append(nodes, n.Path)
+		}
 
-	// Warm release: queries need a release key from second zero.
-	warm, err := c.Release(ctx, client.ReleaseRequest{
-		Hierarchy: h.ID, Epsilon: cfg.epsilon, K: cfg.k, Seed: cfg.seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("warm release: %w", err)
-	}
-	fmt.Fprintf(out, "hcoc-load: warm release %s (%d nodes, %.1fms)\n", warm.Release, warm.Nodes, warm.DurationMS)
+		h, err := c.UploadHierarchy(ctx, "root", groups)
+		if err != nil {
+			return nil, fmt.Errorf("uploading hierarchy %d: %w", i, err)
+		}
+		t := tenantTarget{
+			label:     fmt.Sprintf("t%d", i),
+			seed:      seed,
+			hierarchy: h.ID,
+			nodes:     nodes,
+			hostile:   cfg.hostile && i == cfg.tenants-1,
+		}
+		role := ""
+		if t.hostile {
+			role = ", hostile"
+		}
+		fmt.Fprintf(out, "hcoc-load: uploaded %s as %s (%d nodes, %d groups%s)\n", h.ID, t.label, h.Nodes, h.Groups, role)
 
-	// Cross-release operations compare two releases; warm the second
-	// one (a seed outside the release-op space, so it stays distinct)
-	// only when the mix asks for them.
-	var release2 string
-	if cfg.mix["cross"] > 0 {
-		warm2, err := c.Release(ctx, client.ReleaseRequest{
-			Hierarchy: h.ID, Epsilon: cfg.epsilon, K: cfg.k, Seed: cfg.seed + cfg.seedSpace,
+		// Warm release: queries need a release key from second zero.
+		warm, err := c.Release(ctx, client.ReleaseRequest{
+			Hierarchy: h.ID, Epsilon: cfg.epsilon, K: cfg.k, Seed: seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("second warm release: %w", err)
+			return nil, fmt.Errorf("warm release for %s: %w", t.label, err)
 		}
-		release2 = warm2.Release
-		fmt.Fprintf(out, "hcoc-load: warm release %s (cross-release pair)\n", warm2.Release)
+		t.release = warm.Release
+		fmt.Fprintf(out, "hcoc-load: warm release %s (%d nodes, %.1fms)\n", warm.Release, warm.Nodes, warm.DurationMS)
+
+		// Cross-release operations compare two releases; warm the second
+		// one (a seed outside the release-op space, so it stays distinct)
+		// only when the mix asks for them. The hostile tenant never runs
+		// the mix, so it skips the second warm-up.
+		if cfg.mix["cross"] > 0 && !t.hostile {
+			warm2, err := c.Release(ctx, client.ReleaseRequest{
+				Hierarchy: h.ID, Epsilon: cfg.epsilon, K: cfg.k, Seed: seed + cfg.seedSpace,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("second warm release for %s: %w", t.label, err)
+			}
+			t.release2 = warm2.Release
+			fmt.Fprintf(out, "hcoc-load: warm release %s (cross-release pair)\n", warm2.Release)
+		}
+		tenants[i] = t
 	}
 
-	w := &worker{cfg: cfg, c: c, hierarchy: h.ID, release: warm.Release, release2: release2, nodes: nodes}
+	w := &worker{cfg: cfg, c: c, tenants: tenants}
 	rec := &recorder{}
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
@@ -508,27 +603,38 @@ func retargetOnHUP(cc *client.ClusterClient, cfg config, out io.Writer) func() {
 	}
 }
 
-// worker holds the shared state of the load loops.
-type worker struct {
-	cfg       config
-	c         *client.Client
+// tenantTarget is one tenant's warm serving state: its hierarchy, the
+// releases its queries read, and whether it plays the adversary.
+type tenantTarget struct {
+	label     string
+	seed      int64
 	hierarchy string
 	release   string
 	release2  string // second warm release for cross-release operations
 	nodes     []string
+	hostile   bool
+}
+
+// worker holds the shared state of the load loops.
+type worker struct {
+	cfg     config
+	c       *client.Client
+	tenants []tenantTarget
 }
 
 // closedLoop runs cfg.concurrency goroutines issuing operations back
-// to back until the context ends.
+// to back until the context ends. Workers are dealt round-robin across
+// tenants, so every tenant keeps constant offered concurrency.
 func (w *worker) closedLoop(ctx context.Context, rec *recorder) {
 	var wg sync.WaitGroup
 	for i := 0; i < w.cfg.concurrency; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			tt := &w.tenants[id%len(w.tenants)]
 			rng := rand.New(rand.NewSource(w.cfg.seed + int64(id)))
 			for ctx.Err() == nil {
-				w.step(ctx, rng, rec)
+				w.issue(ctx, w.pickFor(tt, rng), tt, rng, rec)
 			}
 		}(i)
 	}
@@ -556,29 +662,30 @@ func (w *worker) openLoop(ctx context.Context, rec *recorder) {
 			return
 		case <-ticker.C:
 		}
+		tt := &w.tenants[rng.Intn(len(w.tenants))]
 		select {
 		case slots <- struct{}{}:
 		default:
-			rec.add(sample{op: w.pick(rng), err: fmt.Errorf("%w (%d in flight)", errDropped, cap(slots))})
+			rec.add(sample{op: w.pickFor(tt, rng), tenant: tt.label, hostile: tt.hostile,
+				err: fmt.Errorf("%w (%d in flight)", errDropped, cap(slots))})
 			continue
 		}
-		op, seed := w.pick(rng), rng.Int63()
+		op, seed := w.pickFor(tt, rng), rng.Int63()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-slots }()
-			w.issue(ctx, op, rand.New(rand.NewSource(seed)), rec)
+			w.issue(ctx, op, tt, rand.New(rand.NewSource(seed)), rec)
 		}()
 	}
 }
 
-// step issues one weighted-random operation (closed loop).
-func (w *worker) step(ctx context.Context, rng *rand.Rand, rec *recorder) {
-	w.issue(ctx, w.pick(rng), rng, rec)
-}
-
-// pick draws an operation from the weighted mix.
-func (w *worker) pick(rng *rand.Rand) string {
+// pickFor draws an operation from the weighted mix — except for the
+// hostile tenant, which only ever floods releases.
+func (w *worker) pickFor(tt *tenantTarget, rng *rand.Rand) string {
+	if tt.hostile {
+		return "hostile"
+	}
 	total := 0
 	for _, weight := range w.cfg.mix {
 		total += weight
@@ -596,7 +703,7 @@ func (w *worker) pick(rng *rand.Rand) string {
 // by the run deadline are not recorded — they measure the deadline, not
 // the daemon — but per-request -timeout expiries are failures and
 // count.
-func (w *worker) issue(parent context.Context, op string, rng *rand.Rand, rec *recorder) {
+func (w *worker) issue(parent context.Context, op string, tt *tenantTarget, rng *rand.Rand, rec *recorder) {
 	ctx, cancel := context.WithTimeout(parent, w.cfg.timeout)
 	defer cancel()
 	start := time.Now()
@@ -604,34 +711,44 @@ func (w *worker) issue(parent context.Context, op string, rng *rand.Rand, rec *r
 	switch op {
 	case "release":
 		_, err = w.c.Release(ctx, client.ReleaseRequest{
-			Hierarchy: w.hierarchy,
+			Hierarchy: tt.hierarchy,
 			Epsilon:   w.cfg.epsilon,
 			K:         w.cfg.k,
-			Seed:      w.cfg.seed + rng.Int63n(w.cfg.seedSpace),
+			Seed:      tt.seed + rng.Int63n(w.cfg.seedSpace),
+		})
+	case "hostile":
+		// Every seed unique: no cache tier can absorb it, so each
+		// request demands a fresh computation — the flood the QoS
+		// scheduler exists to contain.
+		_, err = w.c.Release(ctx, client.ReleaseRequest{
+			Hierarchy: tt.hierarchy,
+			Epsilon:   w.cfg.epsilon,
+			K:         w.cfg.k,
+			Seed:      rng.Int63(),
 		})
 	case "query":
-		_, err = w.c.Query(ctx, w.release, w.node(rng), client.QueryParams{
+		_, err = w.c.Query(ctx, tt.release, tt.node(rng), client.QueryParams{
 			Quantiles: []float64{0.5, 0.9, 0.99},
 			TopCode:   8,
 		})
 	case "batch":
 		qs := make([]client.NodeQuery, w.cfg.batchSize)
 		for i := range qs {
-			qs[i] = client.NodeQuery{Node: w.node(rng), Quantiles: []float64{0.5, 0.9}, TopCode: 8}
+			qs[i] = client.NodeQuery{Node: tt.node(rng), Quantiles: []float64{0.5, 0.9}, TopCode: 8}
 		}
 		var results []client.NodeResult
-		results, err = w.c.BatchQuery(ctx, w.release, qs)
+		results, err = w.c.BatchQuery(ctx, tt.release, qs)
 		for _, r := range results {
 			if err == nil && r.Error != "" {
 				err = fmt.Errorf("batch item %s: %s", r.Node, r.Error)
 			}
 		}
 	case "cross":
-		pair := []string{w.release, w.release2}
+		pair := []string{tt.release, tt.release2}
 		ops := []string{"emd", "delta", "series", "compare"}
 		qs := make([]client.NodeQuery, w.cfg.batchSize)
 		for i := range qs {
-			qs[i] = client.NodeQuery{Op: ops[rng.Intn(len(ops))], Releases: pair, Node: w.node(rng)}
+			qs[i] = client.NodeQuery{Op: ops[rng.Intn(len(ops))], Releases: pair, Node: tt.node(rng)}
 		}
 		var results []client.NodeResult
 		results, err = w.c.BatchQuery(ctx, "", qs)
@@ -644,9 +761,9 @@ func (w *worker) issue(parent context.Context, op string, rng *rand.Rand, rec *r
 	if parent.Err() != nil && err != nil {
 		return // run shutdown, not a daemon failure
 	}
-	rec.add(sample{op: op, latency: time.Since(start), err: err})
+	rec.add(sample{op: op, tenant: tt.label, hostile: tt.hostile, latency: time.Since(start), err: err})
 }
 
-func (w *worker) node(rng *rand.Rand) string {
-	return w.nodes[rng.Intn(len(w.nodes))]
+func (tt *tenantTarget) node(rng *rand.Rand) string {
+	return tt.nodes[rng.Intn(len(tt.nodes))]
 }

@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
+	"hcoc/client"
 	"hcoc/internal/engine"
 	"hcoc/internal/serve"
 
@@ -162,6 +166,165 @@ func TestParseFlags(t *testing.T) {
 	}
 	if cfg.target() != "http://a:1,http://b:2" {
 		t.Fatalf("target() = %q", cfg.target())
+	}
+
+	cfg, err = parseFlags([]string{"-tenants", "3", "-hostile"})
+	if err != nil || cfg.tenants != 3 || !cfg.hostile {
+		t.Fatalf("tenants cfg %+v, err %v", cfg, err)
+	}
+	if _, err := parseFlags([]string{"-tenants", "0"}); err == nil {
+		t.Fatal("-tenants 0 accepted")
+	}
+	if _, err := parseFlags([]string{"-hostile"}); err == nil {
+		t.Fatal("-hostile without victims accepted")
+	}
+}
+
+func TestReadTargetsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "targets.txt")
+	content := "# the cluster\nhttp://a:1, http://b:2/\n\nhttp://c:3\thttp://a:1 # repeat kept; mergeTargets dedups\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTargetsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3", "http://a:1"}
+	if len(got) != len(want) {
+		t.Fatalf("targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", got, want)
+		}
+	}
+	if err := os.WriteFile(path, []byte("# only comments\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readTargetsFile(path); err == nil {
+		t.Fatal("comment-only file accepted")
+	}
+	if _, err := readTargetsFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMergeTargets(t *testing.T) {
+	got := mergeTargets(
+		[]string{"http://a:1", "http://b:2"},
+		[]string{"http://b:2", "http://c:3", "http://a:1"},
+	)
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+	if out := mergeTargets(nil, nil); out != nil {
+		t.Fatalf("merge of nothing = %v", out)
+	}
+}
+
+// TestRetargetOnHUP swaps the target file under a live handler and
+// proves a SIGHUP rotates the cluster client onto the new endpoints.
+func TestRetargetOnHUP(t *testing.T) {
+	cc, err := client.NewCluster([]string{"http://a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "targets.txt")
+	if err := os.WriteFile(path, []byte("http://b:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{targets: []string{"http://a:1"}, targetsFile: path}
+	stop := retargetOnHUP(cc, cfg, io.Discard)
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		targets := cc.Targets()
+		if len(targets) == 2 && targets[0] == "http://a:1" && targets[1] == "http://b:2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("targets never rotated: %v", targets)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDigestHostileExclusion pins the multi-tenant gate math: the
+// adversary's samples appear in the totals and per-tenant digest but
+// stay out of the error rate, which judges only the victims.
+func TestDigestHostileExclusion(t *testing.T) {
+	var samples []sample
+	for i := 0; i < 8; i++ {
+		samples = append(samples, sample{op: "query", tenant: "t0", latency: time.Millisecond})
+	}
+	samples = append(samples,
+		sample{op: "query", tenant: "t0", err: errors.New("boom")},
+		sample{op: "hostile", tenant: "t1", hostile: true, latency: time.Millisecond},
+		sample{op: "hostile", tenant: "t1", hostile: true, err: errors.New("429 throttled")},
+		sample{op: "hostile", tenant: "t1", hostile: true, err: errors.New("429 throttled")},
+	)
+	sum := digest(samples, time.Second)
+	if sum.total != 12 || sum.failed != 3 {
+		t.Fatalf("total/failed = %d/%d, want 12/3", sum.total, sum.failed)
+	}
+	if sum.hostileTotal != 3 || sum.hostileFailed != 2 {
+		t.Fatalf("hostile total/failed = %d/%d, want 3/2", sum.hostileTotal, sum.hostileFailed)
+	}
+	// 1 victim failure over 9 victim samples: the adversary's two 429s
+	// must not count.
+	if got, want := sum.errorRate(), 1.0/9; got != want {
+		t.Fatalf("errorRate = %g, want %g", got, want)
+	}
+	if len(sum.byTenant) != 2 || sum.byTenant["t0"].errors != 1 || sum.byTenant["t1"].errors != 2 {
+		t.Fatalf("byTenant = %+v", sum.byTenant)
+	}
+	var buf strings.Builder
+	sum.report(&buf, testConfig("http://x"))
+	if !strings.Contains(buf.String(), "per-tenant digest") || !strings.Contains(buf.String(), "t1") {
+		t.Fatalf("report lost the per-tenant digest:\n%s", buf.String())
+	}
+}
+
+// TestLoadHostileTenant soaks a two-tenant workload where the second
+// tenant floods unique-seed releases against a deliberately small
+// compute pool: the victim's error rate must hold even while the
+// adversary is being queued and throttled.
+func TestLoadHostileTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load integration skipped in -short mode")
+	}
+	srv, err := serve.NewServer(engine.New(engine.Options{ComputeSlots: 2, ComputeQueueDepth: 2}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	cfg := testConfig(ts.URL)
+	cfg.tenants = 2
+	cfg.hostile = true
+	sum, err := run(context.Background(), cfg, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.hostileTotal == 0 {
+		t.Fatal("the adversary issued nothing")
+	}
+	if len(sum.byTenant) != 2 {
+		t.Fatalf("byTenant = %+v, want both tenants", sum.byTenant)
+	}
+	if rate := sum.errorRate(); rate > cfg.maxErrorRate {
+		t.Fatalf("victim error rate %.4f exceeds %.4f under a hostile tenant", rate, cfg.maxErrorRate)
 	}
 }
 

@@ -38,12 +38,24 @@
 //	GET  /v1/query/{node}     quantiles, k-th largest, top-coded, Gini
 //	POST /v1/query/batch      N node queries in one engine pass
 //	GET  /v1/budget/{id}      per-hierarchy privacy-budget position
+//	GET  /v1/tenants          per-tenant QoS state and request ledger
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text metrics
 //
-// SIGHUP re-syncs a shared store against its manifest (and is
-// otherwise ignored), so operators can force a refresh without a
-// restart. The full request/response contract is docs/openapi.yaml;
+// Multi-tenant QoS: the compute pool is shared across hierarchies
+// (tenants) by a weighted-fair scheduler with a bounded per-tenant
+// queue, while queries and artifact reads ride a strict priority lane
+// that never waits behind computations. -compute-slots sizes the pool,
+// -compute-queue-depth bounds each tenant's backlog (overflow answers
+// 429 with Retry-After), and -tenant-weights-file assigns per-tenant
+// weights from a file of "h-<fingerprint> <weight>" lines (# comments;
+// "=" also accepted as the separator). GET /v1/tenants reports the
+// per-tenant picture.
+//
+// SIGHUP re-syncs a shared store against its manifest and re-reads
+// -tenant-weights-file (and is otherwise ignored), so operators can
+// force a refresh or adjust tenant weights without a restart. The full
+// request/response contract is docs/openapi.yaml;
 // the Go SDK over it is the repository's client package. To shard this
 // surface across several daemons behind one front end, see
 // cmd/hcoc-gateway.
@@ -65,6 +77,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -72,6 +85,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -118,6 +132,54 @@ func (cfg storeConfig) open() (*store.Store, error) {
 	}
 }
 
+// qosConfig collects the multi-tenant scheduling flags.
+type qosConfig struct {
+	slots       int
+	queueDepth  int
+	weightsFile string
+}
+
+// loadWeights parses a tenant-weights file: one "h-<fingerprint>
+// <weight>" per line ("=" also works as the separator), # comments and
+// blank lines ignored, the "h-" wire prefix optional. Weights must be
+// positive. A missing path is an error — a typoed flag should not
+// silently run every tenant at weight 1.
+func loadWeights(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	weights := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(text, "=", " "))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"tenant weight\", got %q", path, line, text)
+		}
+		w, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("%s:%d: weight %q must be a positive number", path, line, fields[1])
+		}
+		weights[strings.TrimPrefix(fields[0], "h-")] = w
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return weights, nil
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
@@ -128,7 +190,11 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated peer hcoc-serve base URLs to ask for artifacts before recomputing (peer hits spend no local budget)")
 		peerTo  = flag.Duration("peer-timeout", serve.DefaultPeerTimeout, "bound on one whole peer-fetch sweep")
 		cfg     storeConfig
+		qos     qosConfig
 	)
+	flag.IntVar(&qos.slots, "compute-slots", 0, "concurrent release computations across all tenants (0 = GOMAXPROCS); queries and artifact reads never consume a slot")
+	flag.IntVar(&qos.queueDepth, "compute-queue-depth", 0, "queued release computations allowed per tenant before 429 (0 = default)")
+	flag.StringVar(&qos.weightsFile, "tenant-weights-file", "", "file of per-tenant scheduling weights, one \"h-<fingerprint> <weight>\" per line (# comments); re-read on SIGHUP")
 	flag.StringVar(&cfg.backend, "store-backend", "disk", "durable store backend: disk (local -data-dir) or s3 (S3-compatible object store, shareable across nodes)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the disk store; empty = memory only (artifacts and budget state are lost on restart)")
 	flag.StringVar(&cfg.endpoint, "s3-endpoint", "", "S3-compatible endpoint URL (e.g. http://minio:9000)")
@@ -136,7 +202,7 @@ func main() {
 	flag.StringVar(&cfg.prefix, "s3-prefix", "", "key prefix inside the bucket (lets several stores share one bucket)")
 	flag.StringVar(&cfg.region, "s3-region", "", "signing region (default us-east-1)")
 	flag.Parse()
-	if err := run(*addr, *workers, *cache, *cacheMB<<20, *maxEps, cfg, splitPeers(*peers), *peerTo); err != nil {
+	if err := run(*addr, *workers, *cache, *cacheMB<<20, *maxEps, cfg, splitPeers(*peers), *peerTo, qos); err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -153,7 +219,15 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func run(addr string, workers, cache int, cacheBytes int64, maxEps float64, cfg storeConfig, peers []string, peerTimeout time.Duration) error {
+func run(addr string, workers, cache int, cacheBytes int64, maxEps float64, cfg storeConfig, peers []string, peerTimeout time.Duration, qos qosConfig) error {
+	var weights map[string]float64
+	if qos.weightsFile != "" {
+		var err error
+		if weights, err = loadWeights(qos.weightsFile); err != nil {
+			return fmt.Errorf("tenant weights: %w", err)
+		}
+		fmt.Printf("hcoc-serve: tenant weights loaded (%d tenants)\n", len(weights))
+	}
 	st, err := cfg.open()
 	if err != nil {
 		return err
@@ -168,6 +242,9 @@ func run(addr string, workers, cache int, cacheBytes int64, maxEps float64, cfg 
 		Workers:                workers,
 		Store:                  st,
 		MaxEpsilonPerHierarchy: maxEps,
+		ComputeSlots:           qos.slots,
+		ComputeQueueDepth:      qos.queueDepth,
+		TenantWeights:          weights,
 	}
 	if len(peers) > 0 {
 		opts.PeerFetch = serve.PeerFetcher(peers, peerTimeout, nil)
@@ -192,30 +269,46 @@ func run(addr string, workers, cache int, cacheBytes int64, maxEps float64, cfg 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// SIGHUP must never kill the daemon. On a shared store it is the
-	// operator's "re-sync now": re-read the shared manifest so artifacts
-	// and budget spend written by peer nodes become visible without
-	// waiting for the next miss-triggered refresh.
+	// SIGHUP must never kill the daemon. It is the operator's "re-read
+	// your config now": on a shared store, re-sync the manifest so
+	// artifacts and budget spend written by peer nodes become visible;
+	// with -tenant-weights-file, re-read the weights so a tenant's share
+	// can be adjusted without a restart. A weights file that fails to
+	// parse leaves the running weights untouched.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
+			acted := false
 			if st != nil && st.Shared() {
+				acted = true
 				if err := st.Refresh(); err != nil {
 					fmt.Printf("hcoc-serve: SIGHUP store refresh failed: %v\n", err)
 				} else {
 					fmt.Printf("hcoc-serve: SIGHUP refreshed shared store (%d releases)\n", st.Len())
 				}
-			} else {
-				fmt.Println("hcoc-serve: SIGHUP ignored (no shared store to refresh)")
+			}
+			if qos.weightsFile != "" {
+				acted = true
+				if w, err := loadWeights(qos.weightsFile); err != nil {
+					fmt.Printf("hcoc-serve: SIGHUP weights reload failed, keeping current: %v\n", err)
+				} else if err := eng.SetTenantWeights(w); err != nil {
+					fmt.Printf("hcoc-serve: SIGHUP weights rejected, keeping current: %v\n", err)
+				} else {
+					fmt.Printf("hcoc-serve: SIGHUP reloaded tenant weights (%d tenants)\n", len(w))
+				}
+			}
+			if !acted {
+				fmt.Println("hcoc-serve: SIGHUP ignored (no shared store or weights file)")
 			}
 		}
 	}()
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("hcoc-serve: listening on %s (cache=%d workers=%d)\n", addr, cache, workers)
+		fmt.Printf("hcoc-serve: listening on %s (cache=%d workers=%d compute-slots=%d)\n",
+			addr, cache, workers, eng.Scheduler().Slots())
 		errc <- srv.ListenAndServe()
 	}()
 

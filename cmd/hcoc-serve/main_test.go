@@ -2,6 +2,8 @@ package main
 
 import (
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -68,8 +70,62 @@ func TestSplitPeers(t *testing.T) {
 }
 
 func TestRunRejectsBadStore(t *testing.T) {
-	err := run(":0", 0, 1, 0, 0, storeConfig{backend: "tape"}, nil, 0)
+	err := run(":0", 0, 1, 0, 0, storeConfig{backend: "tape"}, nil, 0, qosConfig{})
 	if err == nil {
 		t.Fatal("run with an unknown backend succeeded")
+	}
+}
+
+func TestRunRejectsBadWeightsFile(t *testing.T) {
+	err := run(":0", 0, 1, 0, 0, storeConfig{backend: "disk"}, nil, 0,
+		qosConfig{weightsFile: filepath.Join(t.TempDir(), "absent")})
+	if err == nil {
+		t.Fatal("run with a missing weights file succeeded")
+	}
+}
+
+func TestLoadWeights(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	got, err := loadWeights(write("good", `
+# heavy batch tenant
+h-abc123 3
+def456 = 0.5   # space around "=" is fine
+h-ffff=2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"abc123": 3, "def456": 0.5, "ffff": 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("loadWeights = %v, want %v", got, want)
+	}
+
+	// An empty file is a valid "everyone weight 1" config.
+	if got, err := loadWeights(write("empty", "# nothing\n")); err != nil || len(got) != 0 {
+		t.Fatalf("empty file = %v, %v", got, err)
+	}
+
+	for name, content := range map[string]string{
+		"zero":     "h-abc 0\n",
+		"negative": "h-abc -1\n",
+		"nan":      "h-abc lots\n",
+		"fields":   "h-abc 1 2\n",
+		"bare":     "h-abc\n",
+	} {
+		if got, err := loadWeights(write(name, content)); err == nil {
+			t.Errorf("loadWeights(%s) = %v, want error", name, got)
+		}
+	}
+	if _, err := loadWeights(filepath.Join(dir, "absent")); err == nil {
+		t.Error("missing file did not error")
 	}
 }

@@ -6,12 +6,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"hcoc"
 	"hcoc/internal/privacy"
+	"hcoc/internal/sched"
 	"hcoc/internal/store"
 )
 
@@ -32,10 +33,22 @@ type Options struct {
 	// Workers is the default release parallelism applied when a request
 	// leaves hcoc.Options.Workers at 0; 0 means GOMAXPROCS.
 	Workers int
-	// MaxConcurrent bounds the number of release computations running
-	// at once; further distinct requests queue for a slot (identical
-	// ones coalesce regardless). 0 means GOMAXPROCS, minimum 2.
+	// MaxConcurrent is the deprecated name for ComputeSlots, honored
+	// when ComputeSlots is 0 so existing callers keep working.
 	MaxConcurrent int
+	// ComputeSlots bounds the number of release computations running at
+	// once; further distinct requests queue under the weighted-fair
+	// scheduler, keyed by hierarchy fingerprint (identical requests
+	// coalesce regardless and consume no queue slot). 0 falls back to
+	// MaxConcurrent, then GOMAXPROCS, minimum 2.
+	ComputeSlots int
+	// ComputeQueueDepth bounds each tenant's compute queue; a tenant at
+	// its bound is refused with an *OverloadError rather than growing
+	// an unserviceable backlog. 0 means sched.DefaultQueueDepth.
+	ComputeQueueDepth int
+	// TenantWeights maps hierarchy fingerprints to fair-share weights
+	// for the compute scheduler; unlisted tenants get weight 1.
+	TenantWeights map[string]float64
 	// Store, when non-nil, is the durable tier under the LRU: completed
 	// releases are written through to it, cache misses consult it
 	// before recomputing, and its manifest seeds the per-hierarchy
@@ -125,6 +138,26 @@ func (e *BudgetError) Error() string {
 		e.Hierarchy, e.Requested, e.Remaining, e.Limit)
 }
 
+// OverloadError reports a release refused at admission: the tenant's
+// compute queue is at its bound. It is backpressure, not failure — the
+// serving layer maps it to 429 with a Retry-After derived from
+// RetryAfter.
+type OverloadError struct {
+	// Tenant is the hierarchy fingerprint whose queue overflowed.
+	Tenant string
+	// QueueDepth is the per-tenant queue bound that was hit.
+	QueueDepth int
+	// RetryAfter is the engine's estimate of when a retry is worth
+	// making: roughly one average release computation from now.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("engine: hierarchy %s compute queue is full (%d queued); retry in %s",
+		e.Tenant, e.QueueDepth, e.RetryAfter)
+}
+
 // cached is one completed release held by the LRU, in run-length form:
 // a cached release costs memory proportional to the runs it holds, not
 // to the public bound K.
@@ -157,15 +190,22 @@ type call struct {
 	waiters       int
 	computing     bool // slot acquired; the computation can no longer be abandoned
 	abandonedSent bool
+
+	// queued and queueWait record the admission the computation saw —
+	// written before done is closed, read by waiters after.
+	queued    int
+	queueWait time.Duration
 }
 
 // Engine is safe for concurrent use.
 type Engine struct {
 	id      string
 	workers int
-	// sem bounds concurrent release computations; dedup dodges it for
-	// identical requests, this caps the distinct ones.
-	sem chan struct{}
+	// qos schedules compute slots across tenants (hierarchy
+	// fingerprints) under weighted-fair queuing; dedup dodges it for
+	// identical requests, it arbitrates the distinct ones. Reads are
+	// accounted on its priority lane and never wait on it.
+	qos *sched.Scheduler
 
 	store     *store.Store  // nil = memory only
 	peerFetch PeerFetchFunc // nil = no peer tier
@@ -188,6 +228,10 @@ type Engine struct {
 	// distinguishes a warm start from a recompute.
 	epsReplayed float64
 
+	// tenantReqs is the per-tenant (hierarchy fingerprint) request
+	// ledger, guarded by mu and bounded by maxTenantCounters.
+	tenantReqs map[string]*tenantCounters
+
 	// counters, guarded by mu
 	hits, misses, deduped                uint64
 	storeHits, storePuts, storeFails     uint64
@@ -205,24 +249,26 @@ func New(opts Options) *Engine {
 	if size <= 0 {
 		size = DefaultCacheSize
 	}
-	concurrent := opts.MaxConcurrent
-	if concurrent <= 0 {
-		concurrent = runtime.GOMAXPROCS(0)
-		if concurrent < 2 {
-			concurrent = 2
-		}
+	slots := opts.ComputeSlots
+	if slots <= 0 {
+		slots = opts.MaxConcurrent // sched.New applies the final default
 	}
 	e := &Engine{
-		id:        newInstanceID(),
-		workers:   opts.Workers,
-		sem:       make(chan struct{}, concurrent),
-		store:     opts.Store,
-		peerFetch: opts.PeerFetch,
-		epsLimit:  opts.MaxEpsilonPerHierarchy,
-		cache:     newLRU(size, opts.CacheBytes),
-		inflight:  make(map[string]*call),
-		epsSpent:  make(map[string]float64),
-		accts:     make(map[string]*privacy.Accountant),
+		id:      newInstanceID(),
+		workers: opts.Workers,
+		qos: sched.New(sched.Options{
+			Slots:      slots,
+			QueueDepth: opts.ComputeQueueDepth,
+			Weights:    opts.TenantWeights,
+		}),
+		store:      opts.Store,
+		peerFetch:  opts.PeerFetch,
+		epsLimit:   opts.MaxEpsilonPerHierarchy,
+		cache:      newLRU(size, opts.CacheBytes),
+		inflight:   make(map[string]*call),
+		epsSpent:   make(map[string]float64),
+		accts:      make(map[string]*privacy.Accountant),
+		tenantReqs: make(map[string]*tenantCounters),
 	}
 	if e.store != nil {
 		for fp, spent := range e.store.EpsilonByHierarchy() {
@@ -348,6 +394,14 @@ type Result struct {
 	// release (zero for cache hits; for store hits, the recorded wall
 	// time of the original computation).
 	Duration time.Duration
+	// Queued is the tenant queue depth the computation saw when it was
+	// admitted to the compute scheduler (0 when a slot was free, or
+	// when no computation ran at all); QueueWait is how long it waited
+	// for its slot. Coalesced waiters report the admission of the
+	// computation they joined.
+	Queued int
+	// QueueWait is the time the computation spent queued for a slot.
+	QueueWait time.Duration
 }
 
 // Release satisfies a release request: from the cache if an identical
@@ -377,14 +431,22 @@ func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, al
 	key := releaseKey(treeFP, alg, opts)
 
 	e.mu.Lock()
+	tc := e.tenantCountersFor(treeFP)
+	tc.requests++
 	if v, ok := e.cache.get(key); ok {
 		e.hits++
+		tc.cacheHits++
 		e.mu.Unlock()
 		return Result{Key: key, Release: v.release, CacheHit: true}, nil
 	}
 	c, joined := e.inflight[key]
 	if joined {
+		// Coalesced: piggyback on the identical in-flight computation.
+		// Deliberately no scheduler interaction — a dedup hit consumes
+		// no queue slot and advances no tenant's fair share; only the
+		// one runner is admitted.
 		e.deduped++
+		tc.deduped++
 		c.waiters++
 	} else {
 		c = &call{done: make(chan struct{}), abandoned: make(chan struct{}), waiters: 1}
@@ -404,12 +466,14 @@ func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, al
 		return Result{}, c.err
 	}
 	return Result{
-		Key:      key,
-		Release:  c.value.release,
-		StoreHit: c.value.fromStore,
-		PeerHit:  c.value.fromPeer,
-		Deduped:  joined,
-		Duration: c.value.duration,
+		Key:       key,
+		Release:   c.value.release,
+		StoreHit:  c.value.fromStore,
+		PeerHit:   c.value.fromPeer,
+		Deduped:   joined,
+		Duration:  c.value.duration,
+		Queued:    c.queued,
+		QueueWait: c.queueWait,
 	}, nil
 }
 
@@ -438,7 +502,7 @@ func (e *Engine) leave(key string, c *call) {
 func (e *Engine) run(key, treeFP string, c *call, tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) {
 	if e.store != nil {
 		if v, ok := e.loadFromStore(key); ok {
-			e.finish(key, c, v, nil)
+			e.finish(key, treeFP, c, v, nil)
 			return
 		}
 	}
@@ -447,13 +511,19 @@ func (e *Engine) run(key, treeFP string, c *call, tree *hcoc.Tree, alg Algorithm
 	// artifact for the cost of one HTTP transfer.
 	if e.peerFetch != nil {
 		if v, ok := e.fetchFromPeers(key, treeFP, alg); ok {
-			e.finish(key, c, v, nil)
+			e.finish(key, treeFP, c, v, nil)
 			return
 		}
 	}
-	select {
-	case e.sem <- struct{}{}:
-	case <-c.abandoned:
+	grant, err := e.qos.Acquire(chanCtx{c.abandoned}, treeFP)
+	if err != nil {
+		if sched.IsQueueFull(err) {
+			// The tenant's compute queue is at its bound: refuse at
+			// admission. Every coalesced waiter shares the refusal —
+			// they asked for the same computation.
+			e.finish(key, treeFP, c, nil, e.overloadError(treeFP))
+			return
+		}
 		// Every waiter hung up before a slot freed; leave() already
 		// unregistered the call.
 		c.err = context.Canceled
@@ -462,47 +532,104 @@ func (e *Engine) run(key, treeFP string, c *call, tree *hcoc.Tree, alg Algorithm
 	}
 	e.mu.Lock()
 	if c.abandonedSent {
-		// The last waiter left in the instant the slot freed (the
-		// select can pick either ready case). Nobody wants the result:
-		// give the slot back and spend nothing.
+		// The last waiter left in the instant the slot was granted
+		// (Acquire can win the race with the cancellation). Nobody
+		// wants the result: give the slot back and spend nothing.
 		e.mu.Unlock()
-		<-e.sem
+		grant.Release()
 		c.err = context.Canceled
 		close(c.done)
 		return
 	}
 	c.computing = true
+	c.queued = grant.Queued
+	c.queueWait = grant.Wait
 	e.mu.Unlock()
 
 	v, err := e.computeThrough(key, treeFP, tree, alg, opts)
-	<-e.sem
-	e.finish(key, c, v, err)
+	grant.Release()
+	e.finish(key, treeFP, c, v, err)
 }
 
-// finish publishes a call's outcome: cache admission and counters for
-// successes, then the broadcast to waiters.
-func (e *Engine) finish(key string, c *call, v *cached, err error) {
+// chanCtx adapts a call's abandoned channel to the context the compute
+// scheduler blocks on — no timers, no goroutines, just the channel.
+type chanCtx struct{ ch <-chan struct{} }
+
+// Deadline implements context.Context (none).
+func (c chanCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Done implements context.Context.
+func (c chanCtx) Done() <-chan struct{} { return c.ch }
+
+// Err implements context.Context.
+func (c chanCtx) Err() error {
+	select {
+	case <-c.ch:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// Value implements context.Context (none).
+func (c chanCtx) Value(any) any { return nil }
+
+// overloadError builds the admission refusal for a tenant, estimating
+// Retry-After from the average release computation (bounded to [1s,
+// 30s] so the hint stays useful before the first computation and under
+// pathological ones).
+func (e *Engine) overloadError(treeFP string) *OverloadError {
+	e.mu.Lock()
+	retry := time.Second
+	if e.releases > 0 {
+		retry = e.releaseTotal / time.Duration(e.releases)
+	}
+	e.mu.Unlock()
+	if retry < time.Second {
+		retry = time.Second
+	}
+	if retry > 30*time.Second {
+		retry = 30 * time.Second
+	}
+	return &OverloadError{Tenant: treeFP, QueueDepth: e.qos.QueueDepth(), RetryAfter: retry}
+}
+
+// finish publishes a call's outcome: cache admission and counters
+// (global and per-tenant) for successes, then the broadcast to waiters.
+func (e *Engine) finish(key, treeFP string, c *call, v *cached, err error) {
 	e.mu.Lock()
 	if e.inflight[key] == c {
 		delete(e.inflight, key)
 	}
+	tc := e.tenantCountersFor(treeFP)
 	if err == nil {
 		e.evictions += uint64(e.cache.add(key, v))
 		switch {
 		case v.fromStore:
 			e.storeHits++
+			tc.storeHits++
 		case v.fromPeer:
 			// counted by fetchFromPeers; not a local computation
+			tc.peerHits++
 		default:
 			e.releases++
 			e.releaseTotal += v.duration
 			e.lastDur = v.duration
+			tc.computed++
 		}
+	} else if isOverload(err) {
+		tc.rejected++
 	}
 	e.mu.Unlock()
 	c.value = v
 	c.err = err
 	close(c.done)
+}
+
+// isOverload reports whether err is an admission refusal.
+func isOverload(err error) bool {
+	var o *OverloadError
+	return errors.As(err, &o)
 }
 
 // computeThrough charges the budget (in memory and, with a store,
@@ -746,8 +873,11 @@ func (e *Engine) compute(tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) (*ca
 
 // lookup finds a completed release by key: LRU first, then the durable
 // store, admitting a store hit into the LRU so repeated reads stay in
-// memory.
+// memory. Lookups ride the scheduler's read lane: admitted
+// unconditionally, never queued behind compute.
 func (e *Engine) lookup(key string) (*cached, error) {
+	end := e.qos.ReadBegin()
+	defer end()
 	e.mu.Lock()
 	v, ok := e.cache.get(key)
 	e.mu.Unlock()
@@ -968,4 +1098,120 @@ func (e *Engine) Metrics() Metrics {
 		ReleaseTotal:      e.releaseTotal,
 		LastRelease:       e.lastDur,
 	}
+}
+
+// tenantCounters is the per-tenant request ledger, guarded by
+// Engine.mu.
+type tenantCounters struct {
+	requests  uint64 // release requests, however satisfied
+	cacheHits uint64 // answered from the LRU
+	deduped   uint64 // coalesced onto an in-flight computation
+	storeHits uint64 // computations satisfied by the durable store
+	peerHits  uint64 // computations satisfied by a ring peer
+	computed  uint64 // actual release computations
+	rejected  uint64 // refused at scheduler admission (overload)
+}
+
+// maxTenantCounters bounds the engine's per-tenant ledger, mirroring
+// the scheduler's own tenant-table backstop.
+const maxTenantCounters = 4096
+
+// tenantCountersFor finds or creates the ledger entry for a hierarchy
+// fingerprint. Callers hold e.mu. At the bound an arbitrary entry is
+// shed — a backstop against synthetic fingerprints, not a fairness
+// mechanism.
+func (e *Engine) tenantCountersFor(fp string) *tenantCounters {
+	tc := e.tenantReqs[fp]
+	if tc == nil {
+		if len(e.tenantReqs) >= maxTenantCounters {
+			for k := range e.tenantReqs {
+				delete(e.tenantReqs, k)
+				break
+			}
+		}
+		tc = &tenantCounters{}
+		e.tenantReqs[fp] = tc
+	}
+	return tc
+}
+
+// Scheduler exposes the engine's compute scheduler for observability
+// and tests. Mutating admission state through it (Acquire) is the
+// prerogative of tests that need to saturate the pool deterministically.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.qos }
+
+// SetTenantWeights replaces the compute scheduler's tenant weight table
+// (see sched.Scheduler.SetWeights): listed hierarchy fingerprints take
+// the new weight, all others revert to 1.
+func (e *Engine) SetTenantWeights(weights map[string]float64) error {
+	return e.qos.SetWeights(weights)
+}
+
+// TenantStat is one tenant's (hierarchy fingerprint's) QoS and request
+// ledger: the scheduler's admission state merged with the engine's
+// request counters and privacy spend.
+type TenantStat struct {
+	// Tenant is the hierarchy fingerprint.
+	Tenant string
+	// Weight is the tenant's fair-share weight; Active and Queued its
+	// current compute slots held and waiters queued.
+	Weight float64
+	// Active and Queued describe the tenant's scheduler state now.
+	Active, Queued int
+	// Granted, Rejected and Cancelled are the scheduler's lifetime
+	// admission counters for this tenant (Rejected counts queue-bound
+	// refusals; Cancelled waiters that gave up before their turn).
+	Granted, Rejected, Cancelled uint64
+	// QueueWait is the cumulative time the tenant's granted
+	// computations spent queued.
+	QueueWait time.Duration
+	// Requests counts release requests however satisfied; CacheHits,
+	// Deduped, StoreHits, PeerHits and Computed break down how.
+	Requests, CacheHits, Deduped, StoreHits, PeerHits, Computed uint64
+	// EpsilonSpent is the tenant's cumulative privacy spend, including
+	// spend replayed from the store manifest.
+	EpsilonSpent float64
+}
+
+// TenantStats reports every known tenant, sorted by fingerprint: the
+// union of tenants the scheduler has admitted, tenants with engine
+// request history, and hierarchies with recorded privacy spend.
+func (e *Engine) TenantStats() []TenantStat {
+	byName := make(map[string]*TenantStat)
+	get := func(fp string) *TenantStat {
+		ts := byName[fp]
+		if ts == nil {
+			ts = &TenantStat{Tenant: fp, Weight: 1}
+			byName[fp] = ts
+		}
+		return ts
+	}
+	for _, st := range e.qos.Tenants() {
+		ts := get(st.Tenant)
+		ts.Weight = st.Weight
+		ts.Active, ts.Queued = st.Active, st.Queued
+		ts.Granted, ts.Rejected, ts.Cancelled = st.Granted, st.Rejected, st.Cancelled
+		ts.QueueWait = st.WaitTotal
+	}
+	e.mu.Lock()
+	for fp, tc := range e.tenantReqs {
+		ts := get(fp)
+		ts.Requests, ts.CacheHits, ts.Deduped = tc.requests, tc.cacheHits, tc.deduped
+		ts.StoreHits, ts.PeerHits, ts.Computed = tc.storeHits, tc.peerHits, tc.computed
+		if ts.Rejected < tc.rejected {
+			// The scheduler prunes idle tenants; the engine ledger
+			// remembers refusals the scheduler may have forgotten.
+			ts.Rejected = tc.rejected
+		}
+	}
+	for fp, eps := range e.epsSpent {
+		get(fp).EpsilonSpent = eps
+	}
+	e.mu.Unlock()
+	out := make([]TenantStat, 0, len(byName))
+	for _, ts := range byName {
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }

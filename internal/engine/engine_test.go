@@ -388,7 +388,11 @@ func TestFingerprintTree(t *testing.T) {
 func TestComputeSlotBound(t *testing.T) {
 	e := New(Options{MaxConcurrent: 1})
 	tree := testTree(t)
-	e.sem <- struct{}{} // saturate the only slot
+	// Saturate the only slot through the scheduler, as a foreign tenant.
+	hold, err := e.Scheduler().Acquire(context.Background(), "slot-hog")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	started := make(chan Result, 1)
 	go func() {
@@ -411,7 +415,7 @@ func TestComputeSlotBound(t *testing.T) {
 		t.Fatalf("queued release got %v, want context.Canceled", err)
 	}
 
-	<-e.sem // free the slot; the queued release must now complete
+	hold.Release() // free the slot; the queued release must now complete
 	r := <-started
 	if r.CacheHit || r.Deduped {
 		t.Fatalf("queued release reported hit=%v deduped=%v", r.CacheHit, r.Deduped)
@@ -501,7 +505,11 @@ func TestCancelingFirstClientDoesNotFailSecond(t *testing.T) {
 	e := New(Options{MaxConcurrent: 1})
 	tree := testTree(t)
 	fp := FingerprintTree(tree)
-	e.sem <- struct{}{} // saturate the only slot so the request queues
+	// Saturate the only slot so the request queues.
+	hold, err := e.Scheduler().Acquire(context.Background(), "slot-hog")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ctxA, cancelA := context.WithCancel(context.Background())
 	aErr := make(chan error, 1)
@@ -544,7 +552,7 @@ func TestCancelingFirstClientDoesNotFailSecond(t *testing.T) {
 	}
 
 	// Free the slot: the surviving waiter's computation must complete.
-	<-e.sem
+	hold.Release()
 	r := <-bRes
 	if err := <-bErr; err != nil {
 		t.Fatalf("live client failed after the first canceled: %v", err)
@@ -914,5 +922,165 @@ func TestAdmit(t *testing.T) {
 	}
 	if _, err := dst.Admit("k", fp, TopDown, res.Release, 0, 0); err == nil {
 		t.Fatal("zero epsilon admitted")
+	}
+}
+
+// TestDedupBypassesAdmission is the regression test for coalesced
+// waiters vs. admission accounting: requests that piggyback on an
+// identical in-flight computation must count against neither the
+// tenant's queue depth nor its fair share. With a queue depth of 1 and
+// the only compute slot held hostage, a flood of identical requests
+// must coalesce onto one queued runner — not reject — and the tenant's
+// share must advance by exactly one grant.
+func TestDedupBypassesAdmission(t *testing.T) {
+	e := New(Options{MaxConcurrent: 1, ComputeQueueDepth: 1})
+	tree := testTree(t)
+	fp := FingerprintTree(tree)
+
+	hold, err := e.Scheduler().Acquire(context.Background(), "slot-hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 6
+	results := make(chan Result, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			r, err := e.Release(context.Background(), tree, fp, TopDown, testOpts(11))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results <- r
+		}()
+	}
+	// All n requests must be accounted for — one runner queued in the
+	// scheduler, the rest coalesced — before the slot frees.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := e.Metrics()
+		if m.CacheMisses == 1 && m.Deduped == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never settled: %d misses, %d deduped", m.CacheMisses, m.Deduped)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var ts []TenantStat
+	for {
+		ts = e.TenantStats()
+		var queued int
+		for _, s := range ts {
+			if s.Tenant == fp {
+				queued = s.Queued
+			}
+		}
+		if queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runner never queued: %+v", ts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Despite queue depth 1 and n identical requests, nothing was
+	// rejected: only the one runner occupies the queue.
+	for _, s := range ts {
+		if s.Tenant == fp && (s.Rejected != 0 || s.Queued != 1) {
+			t.Fatalf("tenant %s: rejected=%d queued=%d, want 0 and 1", fp, s.Rejected, s.Queued)
+		}
+	}
+
+	hold.Release()
+	for i := 0; i < n; i++ {
+		select {
+		case <-results:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of %d coalesced requests completed", i, n)
+		}
+	}
+	// The tenant's fair share advanced by exactly one grant for all n
+	// requests, and the ledger shows the split.
+	var got TenantStat
+	for _, s := range e.TenantStats() {
+		if s.Tenant == fp {
+			got = s
+		}
+	}
+	if got.Granted != 1 {
+		t.Fatalf("tenant granted = %d for %d identical requests, want 1", got.Granted, n)
+	}
+	if got.Requests != n || got.Deduped != n-1 || got.Computed != 1 {
+		t.Fatalf("tenant ledger = %+v, want %d requests, %d deduped, 1 computed", got, n, n-1)
+	}
+	if got.Rejected != 0 {
+		t.Fatalf("tenant rejected = %d, want 0", got.Rejected)
+	}
+}
+
+// TestReleaseOverload pins the admission-refusal path end to end: with
+// the only slot held and distinct (non-coalescing) requests exceeding
+// the queue bound, the overflow gets a typed *OverloadError carrying a
+// usable Retry-After, and the engine's per-tenant ledger records the
+// refusal.
+func TestReleaseOverload(t *testing.T) {
+	e := New(Options{MaxConcurrent: 1, ComputeQueueDepth: 1})
+	tree := testTree(t)
+	fp := FingerprintTree(tree)
+
+	hold, err := e.Scheduler().Acquire(context.Background(), "slot-hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct seed => distinct key => a real queue occupant.
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Release(context.Background(), tree, fp, TopDown, testOpts(21))
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var queued int
+		for _, s := range e.TenantStats() {
+			if s.Tenant == fp {
+				queued = s.Queued
+			}
+		}
+		if queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second distinct request overflows the depth-1 queue.
+	_, err = e.Release(context.Background(), tree, fp, TopDown, testOpts(22))
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("overflow got %v, want *OverloadError", err)
+	}
+	if ov.Tenant != fp || ov.QueueDepth != 1 {
+		t.Fatalf("OverloadError = %+v", ov)
+	}
+	if ov.RetryAfter < time.Second || ov.RetryAfter > 30*time.Second {
+		t.Fatalf("RetryAfter = %v, want within [1s, 30s]", ov.RetryAfter)
+	}
+
+	hold.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+	var got TenantStat
+	for _, s := range e.TenantStats() {
+		if s.Tenant == fp {
+			got = s
+		}
+	}
+	if got.Rejected == 0 {
+		t.Fatal("refusal not recorded in the tenant ledger")
 	}
 }

@@ -63,6 +63,16 @@ type backendStats struct {
 	latency  time.Duration
 }
 
+// tenantTraffic counts one tenant's (hierarchy's) release traffic
+// through the gateway, guarded by Gateway.mu. Throttled is the subset
+// of errors that were compute-queue 429s — the signal that a tenant is
+// being shaped by backend QoS, visible fleet-wide in one place.
+type tenantTraffic struct {
+	requests  uint64
+	errors    uint64
+	throttled uint64
+}
+
 // Gateway routes the /v1 surface across a cluster of backends. Safe
 // for concurrent use; Start/Stop bound the background health probing.
 type Gateway struct {
@@ -77,6 +87,7 @@ type Gateway struct {
 	releaseOwner map[string]string         // release id -> hierarchy fingerprint
 	jobOwner     map[string]string         // job id -> backend URL
 	stats        map[string]*backendStats
+	tenants      map[string]*tenantTraffic // hierarchy fingerprint -> release traffic
 	failovers    uint64
 	fanouts      uint64
 	replications uint64
@@ -108,6 +119,7 @@ func New(opts Options) (*Gateway, error) {
 		releaseOwner: make(map[string]string),
 		jobOwner:     make(map[string]string),
 		stats:        make(map[string]*backendStats),
+		tenants:      make(map[string]*tenantTraffic),
 	}
 	g.copts = opts.ClientOptions
 	if g.copts == nil {
@@ -370,6 +382,36 @@ func (g *Gateway) forward(order []string, op func(c *client.Client, url string) 
 		lastErr = cluster.ErrNoBackends
 	}
 	return lastErr
+}
+
+// recordTenant books one release request against its tenant
+// (hierarchy fingerprint): every attempt counts, err != nil counts as
+// an error, and a compute-queue 429 (an APIError carrying Retry-After)
+// additionally counts as throttled. The map is bounded like the
+// routing hints: an evicted tenant loses history, not correctness.
+func (g *Gateway) recordTenant(fp string, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	tt := g.tenants[fp]
+	if tt == nil {
+		if len(g.tenants) >= maxLearned {
+			for k := range g.tenants {
+				delete(g.tenants, k)
+				break
+			}
+		}
+		tt = &tenantTraffic{}
+		g.tenants[fp] = tt
+	}
+	tt.requests++
+	if err == nil {
+		return
+	}
+	tt.errors++
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests && ae.RetryAfter > 0 {
+		tt.throttled++
+	}
 }
 
 // learnRelease remembers which hierarchy a release belongs to, so

@@ -507,6 +507,84 @@ func TestGatewayMetrics(t *testing.T) {
 	}
 }
 
+// TestGatewayTenantTraffic pins the gateway's per-tenant QoS view: the
+// release traffic it forwards is attributed to the owning hierarchy in
+// both /v1/cluster and /metrics, with backend compute-queue 429s
+// (Retry-After present) counted as throttled.
+func TestGatewayTenantTraffic(t *testing.T) {
+	ctx := context.Background()
+	b := newBackend(t, engine.Options{ComputeSlots: 1, ComputeQueueDepth: 1})
+	_, c, gwURL := newGateway(t, 1, 1, b)
+
+	h, err := c.UploadHierarchy(ctx, "US", testGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the backend's only slot, queue a second release behind it,
+	// then overflow the depth-1 queue: the gateway must surface the
+	// backend's 429 and book it as throttled for this tenant.
+	hold, err := b.eng.Scheduler().Acquire(ctx, "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		_, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 2})
+		queued <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for b.eng.Scheduler().Snapshot().Queued < 1 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("release never queued behind the held slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err = c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 3})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests || ae.RetryAfter <= 0 {
+		t.Fatalf("overflow through gateway = %v, want 429 with Retry-After", err)
+	}
+	hold.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued release failed after slot freed: %v", err)
+	}
+
+	var cs clusterResponse
+	resp, err := http.Get(gwURL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Tenants) != 1 {
+		t.Fatalf("cluster tenants = %+v, want exactly one", cs.Tenants)
+	}
+	ten := cs.Tenants[0]
+	if ten.Tenant != h.ID || ten.Requests != 3 || ten.Errors != 1 || ten.Throttled != 1 {
+		t.Fatalf("tenant traffic = %+v, want %s with 3 requests, 1 error, 1 throttled", ten, h.ID)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`hcoc_gateway_tenant_requests_total{tenant="` + h.ID + `"} 3`,
+		`hcoc_gateway_tenant_errors_total{tenant="` + h.ID + `"} 1`,
+		`hcoc_gateway_tenant_throttled_total{tenant="` + h.ID + `"} 1`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
 // TestGatewayArtifactsAndTopology covers the remaining read surface
 // over a durable fleet: artifact downloads in both formats through the
 // gateway, the merged durable-release listing, and /v1/cluster

@@ -259,6 +259,7 @@ func (g *Gateway) handleRelease(w http.ResponseWriter, r *http.Request) {
 			g.learnJob(j.Job, u)
 			return nil
 		})
+		g.recordTenant(fp, err)
 		if err != nil {
 			writeClientError(w, err)
 			return
@@ -278,6 +279,7 @@ func (g *Gateway) handleRelease(w http.ResponseWriter, r *http.Request) {
 		rel, servedBy = res, u
 		return nil
 	})
+	g.recordTenant(fp, err)
 	if err != nil {
 		writeClientError(w, err)
 		return
@@ -731,7 +733,19 @@ type clusterResponse struct {
 	Leaves      uint64        `json:"leaves"`
 	Repair      repairStatus  `json:"repair"`
 	Backends    []backendInfo `json:"backends"`
-	Route       []string      `json:"route,omitempty"`
+	// Tenants is the per-hierarchy release traffic seen by this gateway,
+	// sorted by tenant id — the fleet-wide view of who is sending
+	// compute and who is being throttled by backend QoS.
+	Tenants []tenantInfo `json:"tenants,omitempty"`
+	Route   []string     `json:"route,omitempty"`
+}
+
+// tenantInfo is one tenant's release traffic in GET /v1/cluster.
+type tenantInfo struct {
+	Tenant    string `json:"tenant"`
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	Throttled uint64 `json:"throttled"`
 }
 
 type backendInfo struct {
@@ -790,7 +804,16 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Backends[i] = info
 	}
+	for fp, tt := range g.tenants {
+		resp.Tenants = append(resp.Tenants, tenantInfo{
+			Tenant:    "h-" + fp,
+			Requests:  tt.requests,
+			Errors:    tt.errors,
+			Throttled: tt.throttled,
+		})
+	}
 	g.mu.Unlock()
+	sort.Slice(resp.Tenants, func(i, j int) bool { return resp.Tenants[i].Tenant < resp.Tenants[j].Tenant })
 	if key := r.URL.Query().Get("key"); key != "" {
 		if route, err := g.cluster.Route(hierarchyFP(key)); err == nil {
 			resp.Route = route
@@ -949,6 +972,24 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP hcoc_gateway_backend_ejections_total Healthy-to-ejected transitions per backend.\n")
 	for _, st := range states {
 		fmt.Fprintf(w, "hcoc_gateway_backend_ejections_total{backend=%q} %d\n", st.URL, st.Ejections)
+	}
+
+	tenantFPs := make([]string, 0, len(g.tenants))
+	for fp := range g.tenants {
+		tenantFPs = append(tenantFPs, fp)
+	}
+	sort.Strings(tenantFPs)
+	fmt.Fprintf(w, "# HELP hcoc_gateway_tenant_requests_total Release requests per tenant (hierarchy).\n")
+	for _, fp := range tenantFPs {
+		fmt.Fprintf(w, "hcoc_gateway_tenant_requests_total{tenant=%q} %d\n", "h-"+fp, g.tenants[fp].requests)
+	}
+	fmt.Fprintf(w, "# HELP hcoc_gateway_tenant_errors_total Failed release requests per tenant.\n")
+	for _, fp := range tenantFPs {
+		fmt.Fprintf(w, "hcoc_gateway_tenant_errors_total{tenant=%q} %d\n", "h-"+fp, g.tenants[fp].errors)
+	}
+	fmt.Fprintf(w, "# HELP hcoc_gateway_tenant_throttled_total Release requests answered with a compute-queue 429 per tenant.\n")
+	for _, fp := range tenantFPs {
+		fmt.Fprintf(w, "hcoc_gateway_tenant_throttled_total{tenant=%q} %d\n", "h-"+fp, g.tenants[fp].throttled)
 	}
 
 	fmt.Fprintf(w, "# HELP hcoc_gateway_node_joins_total Backends added at runtime.\nhcoc_gateway_node_joins_total %d\n", g.joins)

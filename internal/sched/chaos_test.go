@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosCancelStorm is the scheduler chaos pin: hammer Acquire from
+// many tenants while cancelling waiters at random queue positions, and
+// assert the scheduler leaks nothing — slots in use return to 0, all
+// queues drain, and no goroutines outlive the storm.
+func TestChaosCancelStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	rng := rand.New(rand.NewSource(99))
+	s := New(Options{Slots: 3, QueueDepth: 8})
+	tenants := []string{"t0", "t1", "t2", "t3"}
+
+	var (
+		wg        sync.WaitGroup
+		granted   atomic.Int64
+		cancelled atomic.Int64
+		rejected  atomic.Int64
+	)
+	const workers = 200
+	for i := 0; i < workers; i++ {
+		tenant := tenants[rng.Intn(len(tenants))]
+		// Randomize which waiters get cancelled and roughly where in
+		// the queue the cancel lands: some contexts are cancelled
+		// immediately, some after a short fuse, some never.
+		mode := rng.Intn(3)
+		fuse := time.Duration(rng.Intn(3)) * time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			switch mode {
+			case 0:
+				ctx, cancel = context.WithCancel(ctx)
+				cancel() // dead on arrival
+			case 1:
+				ctx, cancel = context.WithTimeout(ctx, fuse)
+				defer cancel()
+			}
+			g, err := s.Acquire(ctx, tenant)
+			switch {
+			case err == nil:
+				granted.Add(1)
+				// Hold the slot briefly so cancels land on real
+				// queue positions, then hand it back.
+				runtime.Gosched()
+				g.Release()
+				g.Release() // idempotence under chaos too
+			case IsQueueFull(err):
+				rejected.Add(1)
+			default:
+				cancelled.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := s.Snapshot()
+	if st.InUse != 0 {
+		t.Fatalf("slots in use = %d after storm, want 0 (slot leak)", st.InUse)
+	}
+	if st.Queued != 0 {
+		t.Fatalf("queued = %d after storm, want 0", st.Queued)
+	}
+	for _, ts := range s.Tenants() {
+		if ts.Active != 0 || ts.Queued != 0 {
+			t.Fatalf("tenant %s left active=%d queued=%d", ts.Tenant, ts.Active, ts.Queued)
+		}
+	}
+	if total := granted.Load() + cancelled.Load() + rejected.Load(); total != workers {
+		t.Fatalf("accounted %d of %d workers (granted=%d cancelled=%d rejected=%d)",
+			total, workers, granted.Load(), cancelled.Load(), rejected.Load())
+	}
+	if granted.Load() == 0 {
+		t.Fatal("storm granted nothing; chaos parameters degenerate")
+	}
+
+	// goleak-style check: give runtime-internal goroutines (timers from
+	// WithTimeout) a moment to unwind, then require we are back at the
+	// starting count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before storm, %d after — leak", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosReleaseDuringDispatch interleaves releases with a stream of
+// cancellations on the same tenant, stressing the grant/cancel race in
+// Acquire: a waiter whose context fires just as dispatch grants it must
+// either take the grant or hand the slot straight back — never strand
+// it.
+func TestChaosReleaseDuringDispatch(t *testing.T) {
+	s := New(Options{Slots: 1, QueueDepth: 32})
+	for round := 0; round < 50; round++ {
+		hold, err := s.Acquire(context.Background(), "holder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			g, err := s.Acquire(ctx, "racer")
+			if err == nil {
+				g.Release()
+			}
+		}()
+		waitQueued(t, s, "racer", 1)
+		// Release and cancel as close together as the runtime allows:
+		// dispatch is granting the racer while its context dies.
+		go cancel()
+		hold.Release()
+		<-done
+	}
+	if st := s.Snapshot(); st.InUse != 0 || st.Queued != 0 {
+		t.Fatalf("after race rounds: %+v, want all zero", st)
+	}
+}

@@ -1,0 +1,455 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultQueueDepth is the per-tenant waiter bound applied when
+// Options.QueueDepth is zero. It is sized for burst absorption, not
+// backlog storage: at typical release durations a deeper queue only
+// converts overload into timeouts.
+const DefaultQueueDepth = 64
+
+// maxIdleTenants bounds the tenant table. Tenants are keyed by
+// hierarchy fingerprint, which the serving layer already caps far
+// below this; the bound is a backstop against unbounded growth from
+// synthetic keys, shedding only fully idle tenants (no held slots, no
+// waiters).
+const maxIdleTenants = 4096
+
+// ErrQueueFull reports an admission refusal: the tenant's compute
+// queue is at its bound and accepting the request would only grow an
+// unserviceable backlog. Callers should surface it as backpressure
+// (HTTP 429) rather than retry immediately.
+var ErrQueueFull = errors.New("sched: tenant compute queue is full")
+
+// QueueFullError carries the refusal detail: which tenant overflowed
+// and the configured bound. It unwraps to ErrQueueFull.
+type QueueFullError struct {
+	// Tenant is the refused tenant key.
+	Tenant string
+	// Depth is the per-tenant queue bound that was hit.
+	Depth int
+}
+
+// Error implements error.
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("sched: tenant %s compute queue is full (%d queued)", e.Tenant, e.Depth)
+}
+
+// Unwrap makes errors.Is(err, ErrQueueFull) work.
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
+// IsQueueFull reports whether err is an admission refusal.
+func IsQueueFull(err error) bool { return errors.Is(err, ErrQueueFull) }
+
+// Options configures a Scheduler.
+type Options struct {
+	// Slots is the number of concurrent compute grants; 0 means
+	// GOMAXPROCS, minimum 2.
+	Slots int
+	// QueueDepth bounds each tenant's waiter queue; 0 means
+	// DefaultQueueDepth. A tenant at its bound is refused with
+	// ErrQueueFull.
+	QueueDepth int
+	// Weights maps tenant keys to their fair-share weights; tenants not
+	// listed (and all tenants when nil) get weight 1. Nonpositive
+	// weights are ignored.
+	Weights map[string]float64
+}
+
+// waiter is one queued Acquire, woken by dispatch or abandoned by
+// cancellation. Its fair-queuing tags are fixed at arrival — tagging at
+// dispatch time would let the advancing virtual clock push a lagging
+// tenant's finish forever out of reach and starve it.
+type waiter struct {
+	ready    chan struct{} // closed exactly once when granted
+	granted  bool          // guarded by Scheduler.mu
+	enqueued time.Time
+	// start and finish are the job's virtual time tags, assigned when
+	// the job arrives: start = max(global virtual, tenant's last
+	// finish), finish = start + 1/weight.
+	start, finish float64
+}
+
+// tenant is the per-tenant scheduling state, guarded by Scheduler.mu.
+type tenant struct {
+	name   string
+	weight float64
+	// finish is the virtual finish tag of the tenant's last arrived
+	// job: the fair-queuing chain that interleaves tenants by weight.
+	finish float64
+	queue  []*waiter
+	active int // slots currently held
+
+	granted   uint64
+	rejected  uint64
+	cancelled uint64
+	waitTotal time.Duration
+	lastSeen  time.Time
+}
+
+// Scheduler is a weighted-fair compute-slot scheduler with a
+// non-blocking read lane. Safe for concurrent use.
+type Scheduler struct {
+	mu         sync.Mutex
+	slots      int
+	queueDepth int
+	inUse      int
+	// virtual is the global virtual clock: the start tag of the most
+	// recent grant. A tenant returning from idle resumes from here, so
+	// idle time earns no catch-up burst.
+	virtual float64
+	tenants map[string]*tenant
+	weights map[string]float64
+
+	activeReads uint64 // gauge
+	reads       uint64 // counter
+	rejects     uint64 // counter, all tenants
+}
+
+// New builds a scheduler from opts.
+func New(opts Options) *Scheduler {
+	slots := opts.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+		if slots < 2 {
+			slots = 2
+		}
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	s := &Scheduler{
+		slots:      slots,
+		queueDepth: depth,
+		tenants:    make(map[string]*tenant),
+		weights:    make(map[string]float64),
+	}
+	s.setWeightsLocked(opts.Weights)
+	return s
+}
+
+// Slots reports the size of the compute pool.
+func (s *Scheduler) Slots() int { return s.slots }
+
+// QueueDepth reports the per-tenant waiter bound.
+func (s *Scheduler) QueueDepth() int { return s.queueDepth }
+
+// SetWeights replaces the tenant weight table wholesale: listed
+// tenants take the new weight, everyone else reverts to 1. Nonpositive
+// weights are rejected. Weight changes apply to jobs arriving after the
+// call; held slots and already-queued waiters keep their tags.
+func (s *Scheduler) SetWeights(weights map[string]float64) error {
+	for name, w := range weights {
+		if w <= 0 {
+			return fmt.Errorf("sched: tenant %s has nonpositive weight %g", name, w)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setWeightsLocked(weights)
+	return nil
+}
+
+func (s *Scheduler) setWeightsLocked(weights map[string]float64) {
+	s.weights = make(map[string]float64, len(weights))
+	for name, w := range weights {
+		if w > 0 {
+			s.weights[name] = w
+		}
+	}
+	for name, t := range s.tenants {
+		t.weight = s.weightFor(name)
+	}
+}
+
+// weightFor resolves a tenant's configured weight (default 1).
+func (s *Scheduler) weightFor(name string) float64 {
+	if w, ok := s.weights[name]; ok {
+		return w
+	}
+	return 1
+}
+
+// Weight reports a tenant's effective weight.
+func (s *Scheduler) Weight(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.weightFor(name)
+}
+
+// tenantFor finds or creates the tenant state for name.
+func (s *Scheduler) tenantFor(name string) *tenant {
+	t := s.tenants[name]
+	if t == nil {
+		if len(s.tenants) >= maxIdleTenants {
+			s.pruneLocked()
+		}
+		t = &tenant{name: name, weight: s.weightFor(name)}
+		s.tenants[name] = t
+	}
+	t.lastSeen = time.Now()
+	return t
+}
+
+// pruneLocked sheds the oldest fully idle tenants when the table is at
+// its backstop bound. Tenants holding slots or waiters are never shed.
+func (s *Scheduler) pruneLocked() {
+	type idle struct {
+		name string
+		seen time.Time
+	}
+	var idles []idle
+	for name, t := range s.tenants {
+		if t.active == 0 && len(t.queue) == 0 {
+			idles = append(idles, idle{name, t.lastSeen})
+		}
+	}
+	sort.Slice(idles, func(i, j int) bool { return idles[i].seen.Before(idles[j].seen) })
+	for i := 0; i < len(idles)/2+1 && i < len(idles); i++ {
+		delete(s.tenants, idles[i].name)
+	}
+}
+
+// Grant is one held compute slot. Release must be called exactly when
+// the computation finishes; it is idempotent.
+type Grant struct {
+	s    *Scheduler
+	t    *tenant
+	once sync.Once
+	// Queued is how many requests (including this one) were waiting in
+	// the tenant's queue when this request was admitted to it; 0 means
+	// a slot was free immediately.
+	Queued int
+	// Wait is how long the request waited for its slot.
+	Wait time.Duration
+}
+
+// Release returns the slot to the pool and wakes the next waiter under
+// the fair-queuing order. Idempotent.
+func (g *Grant) Release() {
+	g.once.Do(func() {
+		g.s.mu.Lock()
+		defer g.s.mu.Unlock()
+		g.s.releaseLocked(g.t)
+	})
+}
+
+// releaseLocked frees one slot held by t and redispatches.
+func (s *Scheduler) releaseLocked(t *tenant) {
+	s.inUse--
+	t.active--
+	s.dispatchLocked()
+}
+
+// tagLocked assigns arrival tags for t's next job and advances the
+// tenant's tag chain: start = max(tenant's last finish, global virtual
+// time), finish = start + 1/weight. A tenant returning from idle
+// resumes from the current virtual clock, so idle time earns no
+// catch-up burst.
+func (s *Scheduler) tagLocked(t *tenant) (start, finish float64) {
+	start = t.finish
+	if s.virtual > start {
+		start = s.virtual
+	}
+	finish = start + 1/t.weight
+	t.finish = finish
+	return start, finish
+}
+
+// grantLocked books one slot for t and advances the global virtual
+// clock to the granted job's start tag.
+func (s *Scheduler) grantLocked(t *tenant, start float64) {
+	if start > s.virtual {
+		s.virtual = start
+	}
+	s.inUse++
+	t.active++
+	t.granted++
+}
+
+// dispatchLocked fills free slots from the queues: each grant goes to
+// the backlogged tenant whose head job has the smallest virtual finish
+// tag, ties broken by name for determinism. Tags were fixed at arrival,
+// so a tenant that has been waiting keeps its early tag and cannot be
+// starved by tenants arriving behind it.
+func (s *Scheduler) dispatchLocked() {
+	for s.inUse < s.slots {
+		var best *tenant
+		for _, t := range s.tenants {
+			if len(t.queue) == 0 {
+				continue
+			}
+			w := t.queue[0]
+			if best == nil || w.finish < best.queue[0].finish ||
+				(w.finish == best.queue[0].finish && t.name < best.name) {
+				best = t
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		s.grantLocked(best, w.start)
+		best.waitTotal += time.Since(w.enqueued)
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// Acquire obtains a compute slot for tenant, blocking under the
+// weighted-fair queue while the pool is saturated. It returns a
+// *QueueFullError immediately when the tenant's queue is at its bound,
+// and ctx.Err() when the context ends first. The returned Grant must
+// be Released when the computation finishes.
+func (s *Scheduler) Acquire(ctx context.Context, tenantName string) (*Grant, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	t := s.tenantFor(tenantName)
+	if s.inUse < s.slots {
+		// Free slot: grant immediately. The queues are empty whenever a
+		// slot is free (dispatch backfills on every release), so there
+		// is nobody to cut in front of.
+		start, _ := s.tagLocked(t)
+		s.grantLocked(t, start)
+		s.mu.Unlock()
+		return &Grant{s: s, t: t}, nil
+	}
+	if len(t.queue) >= s.queueDepth {
+		t.rejected++
+		s.rejects++
+		s.mu.Unlock()
+		return nil, &QueueFullError{Tenant: tenantName, Depth: s.queueDepth}
+	}
+	w := &waiter{ready: make(chan struct{}), enqueued: time.Now()}
+	w.start, w.finish = s.tagLocked(t)
+	t.queue = append(t.queue, w)
+	queued := len(t.queue)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return &Grant{s: s, t: t, Queued: queued, Wait: time.Since(w.enqueued)}, nil
+	case <-ctx.Done():
+	}
+	// Cancelled. The grant may have raced the cancellation: if dispatch
+	// already woke this waiter, the slot is ours and must go back.
+	s.mu.Lock()
+	if w.granted {
+		s.releaseLocked(t)
+	} else {
+		for i, q := range t.queue {
+			if q == w {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				break
+			}
+		}
+		t.cancelled++
+	}
+	s.mu.Unlock()
+	return nil, ctx.Err()
+}
+
+// ReadBegin admits a read — always, immediately. It returns the
+// matching end func. The read lane never touches compute slots: this
+// is pure accounting that keeps the isolation between the serving path
+// and the compute path observable in metrics.
+func (s *Scheduler) ReadBegin() func() {
+	s.mu.Lock()
+	s.activeReads++
+	s.reads++
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.activeReads--
+			s.mu.Unlock()
+		})
+	}
+}
+
+// TenantStatus is a point-in-time snapshot of one tenant's scheduling
+// state.
+type TenantStatus struct {
+	// Tenant is the tenant key (the engine uses hierarchy
+	// fingerprints).
+	Tenant string
+	// Weight is the tenant's effective fair-share weight.
+	Weight float64
+	// Active is the number of compute slots the tenant holds now;
+	// Queued the number of requests waiting in its queue.
+	Active, Queued int
+	// Granted counts compute slots ever granted; Rejected admission
+	// refusals at the queue bound; Cancelled waiters that gave up
+	// before their turn.
+	Granted, Rejected, Cancelled uint64
+	// WaitTotal is the cumulative time granted requests spent queued.
+	WaitTotal time.Duration
+}
+
+// Status is a point-in-time snapshot of the scheduler.
+type Status struct {
+	// Slots is the compute pool size; InUse how many are held now.
+	Slots, InUse int
+	// QueueDepth is the per-tenant waiter bound; Queued the total
+	// waiters across tenants.
+	QueueDepth, Queued int
+	// Rejected counts admission refusals across all tenants.
+	Rejected uint64
+	// ActiveReads is the number of reads in flight on the priority
+	// lane; Reads the lifetime count.
+	ActiveReads, Reads uint64
+}
+
+// Snapshot reports the scheduler's aggregate state.
+func (s *Scheduler) Snapshot() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	queued := 0
+	for _, t := range s.tenants {
+		queued += len(t.queue)
+	}
+	return Status{
+		Slots:       s.slots,
+		InUse:       s.inUse,
+		QueueDepth:  s.queueDepth,
+		Queued:      queued,
+		Rejected:    s.rejects,
+		ActiveReads: s.activeReads,
+		Reads:       s.reads,
+	}
+}
+
+// Tenants reports every known tenant's status, sorted by key. Tenants
+// appear after their first Acquire and persist until pruned idle.
+func (s *Scheduler) Tenants() []TenantStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStatus, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, TenantStatus{
+			Tenant:    t.name,
+			Weight:    t.weight,
+			Active:    t.active,
+			Queued:    len(t.queue),
+			Granted:   t.granted,
+			Rejected:  t.rejected,
+			Cancelled: t.cancelled,
+			WaitTotal: t.waitTotal,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -1,0 +1,310 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestImmediateGrantAndRelease(t *testing.T) {
+	s := New(Options{Slots: 2})
+	g1, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Queued != 0 {
+		t.Fatalf("immediate grant reported Queued=%d, want 0", g1.Queued)
+	}
+	g2, err := s.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Snapshot()
+	if st.InUse != 2 || st.Slots != 2 {
+		t.Fatalf("snapshot = %+v, want 2/2 in use", st)
+	}
+	g1.Release()
+	g1.Release() // idempotent
+	g2.Release()
+	if st := s.Snapshot(); st.InUse != 0 {
+		t.Fatalf("in use = %d after release, want 0", st.InUse)
+	}
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	s := New(Options{Slots: 1, QueueDepth: 2})
+	hold, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+
+	// Fill tenant b's queue to its bound.
+	ready := make(chan *Grant, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			g, err := s.Acquire(context.Background(), "b")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ready <- g
+		}()
+	}
+	waitQueued(t, s, "b", 2)
+
+	_, err = s.Acquire(context.Background(), "b")
+	var qf *QueueFullError
+	if !errors.As(err, &qf) || !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow error = %v, want QueueFullError", err)
+	}
+	if qf.Tenant != "b" || qf.Depth != 2 {
+		t.Fatalf("QueueFullError = %+v", qf)
+	}
+	// A different tenant still has its own queue.
+	done := make(chan *Grant, 1)
+	go func() {
+		g, err := s.Acquire(context.Background(), "c")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		done <- g
+	}()
+	waitQueued(t, s, "c", 1)
+
+	hold.Release()
+	drained := 0
+	for drained < 3 {
+		select {
+		case g := <-ready:
+			g.Release()
+			drained++
+		case g := <-done:
+			g.Release()
+			drained++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("queued waiters never drained (%d of 3)", drained)
+		}
+	}
+	if st := s.Snapshot(); st.InUse != 0 || st.Queued != 0 {
+		t.Fatalf("snapshot after drain = %+v", st)
+	}
+	ts := tenantByName(t, s, "b")
+	if ts.Rejected != 1 {
+		t.Fatalf("tenant b rejected = %d, want 1", ts.Rejected)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	s := New(Options{Slots: 1})
+	hold, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "b")
+		errc <- err
+	}()
+	waitQueued(t, s, "b", 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	if st := s.Snapshot(); st.Queued != 0 {
+		t.Fatalf("queued = %d after cancel, want 0", st.Queued)
+	}
+	if ts := tenantByName(t, s, "b"); ts.Cancelled != 1 {
+		t.Fatalf("tenant b cancelled = %d, want 1", ts.Cancelled)
+	}
+	hold.Release()
+	if st := s.Snapshot(); st.InUse != 0 {
+		t.Fatalf("in use = %d, want 0", st.InUse)
+	}
+}
+
+func TestAcquireWithDeadContext(t *testing.T) {
+	s := New(Options{Slots: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Acquire(ctx, "a"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire with dead context = %v", err)
+	}
+	if st := s.Snapshot(); st.InUse != 0 {
+		t.Fatalf("dead-context acquire consumed a slot: %+v", st)
+	}
+}
+
+func TestSetWeights(t *testing.T) {
+	s := New(Options{Slots: 1, Weights: map[string]float64{"a": 2}})
+	if w := s.Weight("a"); w != 2 {
+		t.Fatalf("weight a = %g, want 2", w)
+	}
+	if w := s.Weight("b"); w != 1 {
+		t.Fatalf("weight b = %g, want 1 (default)", w)
+	}
+	if err := s.SetWeights(map[string]float64{"b": -1}); err == nil {
+		t.Fatal("nonpositive weight accepted")
+	}
+	if err := s.SetWeights(map[string]float64{"b": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if w := s.Weight("a"); w != 1 {
+		t.Fatalf("weight a = %g after reset, want 1", w)
+	}
+	if w := s.Weight("b"); w != 3 {
+		t.Fatalf("weight b = %g, want 3", w)
+	}
+}
+
+func TestReadLaneNeverBlocks(t *testing.T) {
+	s := New(Options{Slots: 1})
+	hold, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+	// With the only compute slot held, reads are still admitted
+	// unconditionally.
+	for i := 0; i < 10; i++ {
+		end := s.ReadBegin()
+		end()
+		end() // idempotent
+	}
+	st := s.Snapshot()
+	if st.Reads != 10 || st.ActiveReads != 0 {
+		t.Fatalf("read lane counters = %+v", st)
+	}
+	end := s.ReadBegin()
+	if st := s.Snapshot(); st.ActiveReads != 1 {
+		t.Fatalf("active reads = %d, want 1", st.ActiveReads)
+	}
+	end()
+}
+
+func TestTenantsSnapshotSorted(t *testing.T) {
+	s := New(Options{Slots: 4})
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		g, err := s.Acquire(context.Background(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Release()
+	}
+	ts := s.Tenants()
+	if len(ts) != 3 || ts[0].Tenant != "alpha" || ts[1].Tenant != "mid" || ts[2].Tenant != "zeta" {
+		t.Fatalf("tenants = %+v", ts)
+	}
+	for _, st := range ts {
+		if st.Granted != 1 || st.Active != 0 {
+			t.Fatalf("tenant %s = %+v", st.Tenant, st)
+		}
+	}
+}
+
+func TestIdleTenantPruning(t *testing.T) {
+	s := New(Options{Slots: 1})
+	held, err := s.Acquire(context.Background(), "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	for i := 0; i < maxIdleTenants; i++ {
+		s.tenantFor(string(rune('a'+i%26)) + string(rune('0'+i%10)) + "x" + itoa(i))
+	}
+	n := len(s.tenants)
+	s.mu.Unlock()
+	if n > maxIdleTenants+1 {
+		t.Fatalf("tenant table grew to %d, want <= %d", n, maxIdleTenants+1)
+	}
+	s.mu.Lock()
+	_, kept := s.tenants["keep"]
+	s.mu.Unlock()
+	if !kept {
+		t.Fatal("pruning shed a tenant holding a slot")
+	}
+	held.Release()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; i > 0; i /= 10 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+	}
+	return string(b)
+}
+
+// waitQueued spins until tenant name has n queued waiters — the only
+// synchronization a clockless scheduler needs in tests.
+func waitQueued(t *testing.T, s *Scheduler, name string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ts, ok := findTenant(s, name); ok && ts.Queued >= n {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("tenant %s never reached %d queued", name, n)
+}
+
+func findTenant(s *Scheduler, name string) (TenantStatus, bool) {
+	for _, ts := range s.Tenants() {
+		if ts.Tenant == name {
+			return ts, true
+		}
+	}
+	return TenantStatus{}, false
+}
+
+func tenantByName(t *testing.T, s *Scheduler, name string) TenantStatus {
+	t.Helper()
+	ts, ok := findTenant(s, name)
+	if !ok {
+		t.Fatalf("tenant %s unknown", name)
+	}
+	return ts
+}
+
+// TestWaitAccounting pins that queued grants record their wait and the
+// queue depth they saw.
+func TestWaitAccounting(t *testing.T) {
+	s := New(Options{Slots: 1})
+	hold, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got *Grant
+	go func() {
+		defer wg.Done()
+		g, err := s.Acquire(context.Background(), "b")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = g
+	}()
+	waitQueued(t, s, "b", 1)
+	hold.Release()
+	wg.Wait()
+	if got == nil {
+		t.Fatal("queued acquire failed")
+	}
+	if got.Queued != 1 {
+		t.Fatalf("Queued = %d, want 1", got.Queued)
+	}
+	got.Release()
+	if ts := tenantByName(t, s, "b"); ts.WaitTotal <= 0 {
+		t.Fatalf("WaitTotal = %v, want > 0", ts.WaitTotal)
+	}
+}

@@ -134,6 +134,7 @@ func TestOpenAPIExampleDrift(t *testing.T) {
 		"remaining_epsilon", "max_epsilon_per_hierarchy", "spent_epsilon",
 		"cache_hit", "store_hit", "deduped", "duration_ms",
 		"kth_largest", "topcoded", "cost_bytes",
+		"retry_after_seconds", "queue_wait_ms", "compute_slots",
 	} {
 		if !strings.Contains(spec, field) {
 			t.Errorf("spec lost field %q", field)
@@ -169,6 +170,7 @@ func TestRoutesStable(t *testing.T) {
 		"POST /v1/query/batch",
 		"GET /v1/query/{node...}",
 		"GET /v1/budget/{id}",
+		"GET /v1/tenants",
 		"GET /healthz",
 		"GET /metrics",
 	}

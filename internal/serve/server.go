@@ -101,6 +101,7 @@ func (s *Server) routeTable() []routeEntry {
 		{Route{"POST", "/v1/query/batch"}, s.handleBatchQuery},
 		{Route{"GET", "/v1/query/{node...}"}, s.handleQuery},
 		{Route{"GET", "/v1/budget/{id}"}, s.handleBudget},
+		{Route{"GET", "/v1/tenants"}, s.handleTenants},
 		{Route{"GET", "/healthz"}, s.handleHealthz},
 		{Route{"GET", "/metrics"}, s.handleMetrics},
 	}
@@ -401,8 +402,19 @@ type budgetResponse struct {
 	MaxEpsilonPerHierarchy float64 `json:"max_epsilon_per_hierarchy"`
 }
 
+// overloadResponse is the 429 body when a tenant's compute queue is at
+// its bound; retry_after_seconds mirrors the Retry-After header.
+type overloadResponse struct {
+	Error             string `json:"error"`
+	Hierarchy         string `json:"hierarchy"`
+	QueueDepth        int    `json:"queue_depth"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
 // writeReleaseError maps a failed release to its status: budget
-// exhaustion is 429 with the remaining budget, everything else 500.
+// exhaustion and compute-queue overload are both 429 (the latter with a
+// Retry-After header — it is transient backpressure, not a spent
+// budget), everything else 500.
 func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
 	var be *engine.BudgetError
 	if errors.As(err, &be) {
@@ -412,6 +424,21 @@ func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
 			RequestedEpsilon:       be.Requested,
 			RemainingEpsilon:       be.Remaining,
 			MaxEpsilonPerHierarchy: be.Limit,
+		})
+		return
+	}
+	var ov *engine.OverloadError
+	if errors.As(err, &ov) {
+		secs := int((ov.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		WriteJSON(w, http.StatusTooManyRequests, overloadResponse{
+			Error:             err.Error(),
+			Hierarchy:         "h-" + ov.Tenant,
+			QueueDepth:        ov.QueueDepth,
+			RetryAfterSeconds: secs,
 		})
 		return
 	}
@@ -848,6 +875,78 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, toQueryResponse(rep))
 }
 
+// tenantStatus is one tenant (hierarchy) in GET /v1/tenants: its QoS
+// scheduling state merged with its request ledger and privacy spend.
+type tenantStatus struct {
+	Tenant       string  `json:"tenant"`
+	Weight       float64 `json:"weight"`
+	Active       int     `json:"active"`
+	Queued       int     `json:"queued"`
+	Granted      uint64  `json:"granted"`
+	Rejected     uint64  `json:"rejected"`
+	Cancelled    uint64  `json:"cancelled"`
+	QueueWaitMS  float64 `json:"queue_wait_ms"`
+	Requests     uint64  `json:"requests"`
+	CacheHits    uint64  `json:"cache_hits"`
+	Deduped      uint64  `json:"deduped"`
+	StoreHits    uint64  `json:"store_hits"`
+	PeerHits     uint64  `json:"peer_hits"`
+	Computed     uint64  `json:"computed"`
+	EpsilonSpent float64 `json:"epsilon_spent"`
+}
+
+// tenantsResponse is the body of GET /v1/tenants: the compute
+// scheduler's aggregate state plus every known tenant.
+type tenantsResponse struct {
+	ComputeSlots int            `json:"compute_slots"`
+	InUse        int            `json:"in_use"`
+	QueueDepth   int            `json:"queue_depth"`
+	Queued       int            `json:"queued"`
+	Rejected     uint64         `json:"rejected"`
+	ActiveReads  uint64         `json:"active_reads"`
+	Reads        uint64         `json:"reads"`
+	Tenants      []tenantStatus `json:"tenants"`
+}
+
+// handleTenants reports the QoS state per tenant: weights, live queue
+// occupancy, admission counters, and how each tenant's requests were
+// satisfied. Operators watch it to decide when a tenant needs its
+// weight raised — or its client fixed.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Scheduler().Snapshot()
+	stats := s.eng.TenantStats()
+	resp := tenantsResponse{
+		ComputeSlots: snap.Slots,
+		InUse:        snap.InUse,
+		QueueDepth:   snap.QueueDepth,
+		Queued:       snap.Queued,
+		Rejected:     snap.Rejected,
+		ActiveReads:  snap.ActiveReads,
+		Reads:        snap.Reads,
+		Tenants:      make([]tenantStatus, 0, len(stats)),
+	}
+	for _, ts := range stats {
+		resp.Tenants = append(resp.Tenants, tenantStatus{
+			Tenant:       "h-" + ts.Tenant,
+			Weight:       ts.Weight,
+			Active:       ts.Active,
+			Queued:       ts.Queued,
+			Granted:      ts.Granted,
+			Rejected:     ts.Rejected,
+			Cancelled:    ts.Cancelled,
+			QueueWaitMS:  float64(ts.QueueWait.Microseconds()) / 1000,
+			Requests:     ts.Requests,
+			CacheHits:    ts.CacheHits,
+			Deduped:      ts.Deduped,
+			StoreHits:    ts.StoreHits,
+			PeerHits:     ts.PeerHits,
+			Computed:     ts.Computed,
+			EpsilonSpent: ts.EpsilonSpent,
+		})
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
 // healthzResponse is the JSON shape of GET /healthz. Instance is the
 // engine's random per-process identity: cluster gateways record it so
 // topology introspection can name which process answers at each URL
@@ -917,4 +1016,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("hcoc_release_seconds_total", "Cumulative release computation time.", m.ReleaseTotal.Seconds())
 	put("hcoc_release_seconds_last", "Duration of the most recent release computation.", m.LastRelease.Seconds())
 	put("hcoc_hierarchies", "Hierarchies currently uploaded.", hierarchies)
+
+	// Compute scheduler: pool state, the read priority lane, and one
+	// labeled series set per tenant.
+	snap := s.eng.Scheduler().Snapshot()
+	put("hcoc_compute_slots", "Compute slots in the release pool.", snap.Slots)
+	put("hcoc_compute_slots_in_use", "Compute slots held by running computations.", snap.InUse)
+	put("hcoc_compute_queue_depth", "Per-tenant compute queue bound.", snap.QueueDepth)
+	put("hcoc_compute_queued", "Release computations queued for a slot across tenants.", snap.Queued)
+	put("hcoc_compute_rejected_total", "Release requests refused at admission (queue full).", snap.Rejected)
+	put("hcoc_read_lane_active", "Reads in flight on the priority lane (never queued behind compute).", snap.ActiveReads)
+	put("hcoc_read_lane_reads_total", "Lifetime reads admitted on the priority lane.", snap.Reads)
+
+	labeled := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	stats := s.eng.TenantStats()
+	labeled("hcoc_tenant_requests_total", "Release requests per tenant (hierarchy), however satisfied.")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "hcoc_tenant_requests_total{tenant=%q} %d\n", "h-"+ts.Tenant, ts.Requests)
+	}
+	labeled("hcoc_tenant_computed_total", "Release computations per tenant.")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "hcoc_tenant_computed_total{tenant=%q} %d\n", "h-"+ts.Tenant, ts.Computed)
+	}
+	labeled("hcoc_tenant_deduped_total", "Requests coalesced onto in-flight computations, per tenant.")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "hcoc_tenant_deduped_total{tenant=%q} %d\n", "h-"+ts.Tenant, ts.Deduped)
+	}
+	labeled("hcoc_tenant_rejected_total", "Admission refusals (queue full) per tenant.")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "hcoc_tenant_rejected_total{tenant=%q} %d\n", "h-"+ts.Tenant, ts.Rejected)
+	}
+	labeled("hcoc_tenant_queued", "Release computations queued now, per tenant.")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "hcoc_tenant_queued{tenant=%q} %d\n", "h-"+ts.Tenant, ts.Queued)
+	}
+	labeled("hcoc_tenant_active", "Compute slots held now, per tenant.")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "hcoc_tenant_active{tenant=%q} %d\n", "h-"+ts.Tenant, ts.Active)
+	}
+	labeled("hcoc_tenant_weight", "Configured fair-share weight per tenant.")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "hcoc_tenant_weight{tenant=%q} %g\n", "h-"+ts.Tenant, ts.Weight)
+	}
+	labeled("hcoc_tenant_queue_wait_seconds_total", "Cumulative time granted computations spent queued, per tenant.")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "hcoc_tenant_queue_wait_seconds_total{tenant=%q} %g\n", "h-"+ts.Tenant, ts.QueueWait.Seconds())
+	}
 }
