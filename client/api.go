@@ -15,16 +15,20 @@ import (
 	"hcoc"
 )
 
-// Hierarchy describes an uploaded hierarchy, as returned by
-// UploadHierarchy and Hierarchies.
+// Hierarchy describes a hierarchy (an event log) at its head version,
+// as returned by UploadHierarchy and Hierarchies.
 type Hierarchy struct {
 	// ID addresses the hierarchy in release requests ("h-<fingerprint>").
 	ID string `json:"id"`
-	// Depth, Nodes, Groups and People summarize the tree.
+	// Depth, Nodes, Groups and People summarize the head tree.
 	Depth  int   `json:"depth"`
 	Nodes  int   `json:"nodes"`
 	Groups int64 `json:"groups"`
 	People int64 `json:"people"`
+	// Version and Fingerprint identify the head version (0/"" against
+	// pre-event-log daemons).
+	Version     int64  `json:"version"`
+	Fingerprint string `json:"fingerprint"`
 }
 
 // UploadHierarchy uploads group records and builds the region tree
@@ -54,6 +58,100 @@ func (c *Client) Hierarchies(ctx context.Context) ([]Hierarchy, error) {
 	return out, err
 }
 
+// EventGroup is one group record in a hierarchy event: the leaf path
+// and the group's size.
+type EventGroup struct {
+	Path []string `json:"path"`
+	Size int64    `json:"size"`
+}
+
+// EventDrift moves Count groups at a leaf from one size to another —
+// the cheap way to express a daily refresh where group memberships
+// stay put but sizes move.
+type EventDrift struct {
+	Path  []string `json:"path"`
+	From  int64    `json:"from"`
+	To    int64    `json:"to"`
+	Count int64    `json:"count"`
+}
+
+// Event is one hierarchy event. Type "snapshot" replaces the whole
+// hierarchy (Root+Groups); type "delta" mutates it (Add/Remove/Drift).
+type Event struct {
+	Type   string       `json:"type"`
+	Root   string       `json:"root,omitempty"`
+	Groups []EventGroup `json:"groups,omitempty"`
+	Add    []EventGroup `json:"add,omitempty"`
+	Remove []EventGroup `json:"remove,omitempty"`
+	Drift  []EventDrift `json:"drift,omitempty"`
+}
+
+// SnapshotEvent builds a snapshot event from group records.
+func SnapshotEvent(root string, groups []hcoc.Group) Event {
+	ev := Event{Type: "snapshot", Root: root, Groups: make([]EventGroup, len(groups))}
+	for i, g := range groups {
+		ev.Groups[i] = EventGroup{Path: g.Path, Size: g.Size}
+	}
+	return ev
+}
+
+// DeltaEvent builds a delta event.
+func DeltaEvent(add, remove []EventGroup, drift []EventDrift) Event {
+	return Event{Type: "delta", Add: add, Remove: remove, Drift: drift}
+}
+
+// HierarchyVersion is one immutable version of a hierarchy: the event
+// sequence that produced it and the content fingerprint of its tree.
+type HierarchyVersion struct {
+	Version     int64     `json:"version"`
+	Fingerprint string    `json:"fingerprint"`
+	CreatedAt   time.Time `json:"created_at"`
+	// Type is the event kind that produced the version ("snapshot" or
+	// "delta").
+	Type string `json:"type"`
+	// Nodes and Groups summarize the version's tree.
+	Nodes  int   `json:"nodes"`
+	Groups int64 `json:"groups"`
+}
+
+// AppendResult reports where an event append left the hierarchy.
+type AppendResult struct {
+	// Hierarchy echoes the log id.
+	Hierarchy string `json:"hierarchy"`
+	// Applied is how many events the request applied.
+	Applied int `json:"applied"`
+	// Head is the resulting head version.
+	Head HierarchyVersion `json:"head"`
+}
+
+// AppendEvents appends delta events to a hierarchy's log; each applied
+// event is a new immutable version. ifMatch, when non-empty, is the
+// expected head fingerprint: a stale value fails with
+// *VersionConflictError (carrying the current head to rebase onto) and
+// applies nothing.
+func (c *Client) AppendEvents(ctx context.Context, hierarchy string, events []Event, ifMatch string) (AppendResult, error) {
+	req := struct {
+		Events []Event `json:"events"`
+	}{Events: events}
+	var hdr map[string]string
+	if ifMatch != "" {
+		hdr = map[string]string{"If-Match": `"` + strings.Trim(ifMatch, `"`) + `"`}
+	}
+	var out AppendResult
+	err := c.doHeaders(ctx, http.MethodPost, "/v1/hierarchy/"+url.PathEscape(hierarchy)+"/events", req, &out, hdr)
+	return out, err
+}
+
+// HierarchyVersions lists a hierarchy's immutable versions, oldest
+// first.
+func (c *Client) HierarchyVersions(ctx context.Context, hierarchy string) ([]HierarchyVersion, error) {
+	var out struct {
+		Versions []HierarchyVersion `json:"versions"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/hierarchy/"+url.PathEscape(hierarchy)+"/versions", nil, &out)
+	return out.Versions, err
+}
+
 // ReleaseRequest parameterizes POST /v1/release. Hierarchy and Epsilon
 // are required; zero values elsewhere select the server defaults
 // (topdown, default K, MethodHc everywhere, weighted merge).
@@ -75,6 +173,10 @@ type ReleaseRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Workers overrides the server's release parallelism.
 	Workers int `json:"workers,omitempty"`
+	// Version pins the hierarchy version to release (0 = head). A
+	// version-pinned release stays answerable bit-for-bit after further
+	// deltas move the head.
+	Version int64 `json:"version,omitempty"`
 }
 
 // Release describes how a completed release request was satisfied.
@@ -100,6 +202,18 @@ type Release struct {
 	// DurationMS is the wall time of the computation that produced the
 	// release (zero for cache hits).
 	DurationMS float64 `json:"duration_ms"`
+	// Version and Fingerprint identify the hierarchy version released
+	// (0/"" against pre-event-log daemons).
+	Version     int64  `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	// Incremental reports whether the computation reused a prior
+	// version's release state, recomputing only changed subtrees.
+	Incremental bool `json:"incremental"`
+	// NodesEstimated and NodesTotal count the nodes an incremental
+	// computation re-estimated versus the tree total (zero when the
+	// request was satisfied without computing).
+	NodesEstimated int `json:"nodes_estimated,omitempty"`
+	NodesTotal     int `json:"nodes_total,omitempty"`
 }
 
 // Release runs a synchronous release: the call returns when the
@@ -299,7 +413,7 @@ func (c *Client) ImportRelease(ctx context.Context, id, hierarchy, algorithm str
 		Imported bool   `json:"imported"`
 	}
 	err := c.attempt(ctx, func() error {
-		return c.once(ctx, http.MethodPut, "/v1/release/"+url.PathEscape(id)+"?"+q.Encode(), buf.Bytes(), &out)
+		return c.once(ctx, http.MethodPut, "/v1/release/"+url.PathEscape(id)+"?"+q.Encode(), buf.Bytes(), &out, nil)
 	})
 	return out.Imported, err
 }
@@ -496,6 +610,27 @@ type Budget struct {
 	MaxEpsilonPerHierarchy float64 `json:"max_epsilon_per_hierarchy"`
 	// Enforced reports whether the daemon refuses over-budget releases.
 	Enforced bool `json:"enforced"`
+	// Versions breaks the spend down per immutable hierarchy version
+	// (empty against pre-event-log daemons).
+	Versions []VersionBudget `json:"versions,omitempty"`
+	// ContinualSpentEpsilon and ContinualRemainingEpsilon describe the
+	// continual-observation account, which sums spend across every
+	// version of the hierarchy's event log.
+	ContinualSpentEpsilon     float64 `json:"continual_spent_epsilon"`
+	ContinualRemainingEpsilon float64 `json:"continual_remaining_epsilon"`
+	// MaxEpsilonContinual is the daemon's continual bound (zero when
+	// unenforced).
+	MaxEpsilonContinual float64 `json:"max_epsilon_continual"`
+	// ContinualEnforced reports whether the continual bound refuses
+	// over-budget releases.
+	ContinualEnforced bool `json:"continual_enforced"`
+}
+
+// VersionBudget is one version's share of a hierarchy's privacy spend.
+type VersionBudget struct {
+	Version      int64   `json:"version"`
+	Fingerprint  string  `json:"fingerprint"`
+	SpentEpsilon float64 `json:"spent_epsilon"`
 }
 
 // Budget reads a hierarchy's privacy-budget position without spending

@@ -97,11 +97,15 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// APIError is a non-2xx daemon response that is not a budget refusal:
-// the HTTP status plus the server's error message.
+// APIError is a non-2xx daemon response that is not a budget or
+// version-conflict refusal: the HTTP status plus the server's error
+// message and machine-readable code.
 type APIError struct {
 	// StatusCode is the HTTP status of the refusing response.
 	StatusCode int
+	// Code is the server's machine-readable error code ("bad_request",
+	// "not_found", "rate_limited", ...). Empty against pre-code daemons.
+	Code string
 	// Message is the server's error text.
 	Message string
 	// RetryAfter is the server-suggested retry delay, when one was sent.
@@ -126,6 +130,10 @@ func (e *APIError) Temporary() bool {
 type BudgetError struct {
 	// Hierarchy is the id whose budget is exhausted.
 	Hierarchy string
+	// Code distinguishes the per-version bound ("budget") from the
+	// cross-version continual-observation bound ("continual_budget").
+	// Empty against pre-code daemons.
+	Code string
 	// RequestedEpsilon is what the refused release asked for.
 	RequestedEpsilon float64
 	// RemainingEpsilon is what the hierarchy can still afford.
@@ -140,6 +148,30 @@ type BudgetError struct {
 func (e *BudgetError) Error() string {
 	return fmt.Sprintf("client: privacy budget refused: %s (remaining %g of %g)",
 		e.Message, e.RemainingEpsilon, e.MaxEpsilonPerHierarchy)
+}
+
+// VersionConflictError is the daemon's 409 refusal of a conditional
+// event append: the If-Match fingerprint was no longer the head — a
+// concurrent writer won. Re-read the head (the error carries it),
+// rebase the delta, and retry explicitly; the client never retries a
+// conflict on its own.
+type VersionConflictError struct {
+	// Hierarchy is the log the append targeted.
+	Hierarchy string
+	// HeadVersion and HeadFingerprint identify the current head to
+	// rebase onto.
+	HeadVersion     int64
+	HeadFingerprint string
+	// Given is the stale fingerprint the caller sent.
+	Given string
+	// Message is the server's error text.
+	Message string
+}
+
+// Error implements error.
+func (e *VersionConflictError) Error() string {
+	return fmt.Sprintf("client: version conflict on %s: head is version %d (%s), not %s",
+		e.Hierarchy, e.HeadVersion, e.HeadFingerprint, e.Given)
 }
 
 // transportError marks a failure below the HTTP layer (dial, TLS,
@@ -179,6 +211,11 @@ func retryable(err error) bool {
 // an optional JSON body, an optional JSON out. Bodies are marshaled
 // once and replayed per attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doHeaders(ctx, method, path, in, out, nil)
+}
+
+// doHeaders is do with extra request headers (If-Match preconditions).
+func (c *Client) doHeaders(ctx context.Context, method, path string, in, out any, hdr map[string]string) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -187,7 +224,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	return c.attempt(ctx, func() error {
-		return c.once(ctx, method, path, body, out)
+		return c.once(ctx, method, path, body, out, hdr)
 	})
 }
 
@@ -236,7 +273,7 @@ func (c *Client) delay(attempt int, err error) time.Duration {
 
 // once is a single request/response cycle. path is joined to the base
 // URL verbatim, so callers control its escaping.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, hdr map[string]string) error {
 	u := strings.TrimSuffix(c.base.String(), "/") + path
 
 	var rd io.Reader
@@ -265,6 +302,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		}
 	}
 	req.Header.Set("User-Agent", c.userAgent)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -291,31 +331,52 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 }
 
 // responseError converts a non-2xx response into the matching typed
-// error: *BudgetError for a budget refusal, *APIError otherwise.
+// error: *BudgetError for a budget refusal, *VersionConflictError for a
+// failed If-Match append, *APIError otherwise. The server's
+// machine-readable code drives the mapping when present; the legacy
+// shape heuristics (a 429 carrying budget fields) keep working against
+// pre-code daemons.
 func (c *Client) responseError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	var budget struct {
+	var body struct {
 		Error                  string  `json:"error"`
+		Code                   string  `json:"code"`
 		Hierarchy              string  `json:"hierarchy"`
 		RequestedEpsilon       float64 `json:"requested_epsilon"`
 		RemainingEpsilon       float64 `json:"remaining_epsilon"`
 		MaxEpsilonPerHierarchy float64 `json:"max_epsilon_per_hierarchy"`
+		HeadVersion            int64   `json:"head_version"`
+		HeadFingerprint        string  `json:"head_fingerprint"`
+		Given                  string  `json:"given"`
 	}
 	message := strings.TrimSpace(string(raw))
-	if err := json.Unmarshal(raw, &budget); err == nil && budget.Error != "" {
-		message = budget.Error
-		if resp.StatusCode == http.StatusTooManyRequests && budget.Hierarchy != "" && budget.MaxEpsilonPerHierarchy > 0 {
+	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
+		message = body.Error
+		switch {
+		case body.Code == "budget" || body.Code == "continual_budget",
+			body.Code == "" && resp.StatusCode == http.StatusTooManyRequests &&
+				body.Hierarchy != "" && body.MaxEpsilonPerHierarchy > 0:
 			return &BudgetError{
-				Hierarchy:              budget.Hierarchy,
-				RequestedEpsilon:       budget.RequestedEpsilon,
-				RemainingEpsilon:       budget.RemainingEpsilon,
-				MaxEpsilonPerHierarchy: budget.MaxEpsilonPerHierarchy,
-				Message:                budget.Error,
+				Hierarchy:              body.Hierarchy,
+				Code:                   body.Code,
+				RequestedEpsilon:       body.RequestedEpsilon,
+				RemainingEpsilon:       body.RemainingEpsilon,
+				MaxEpsilonPerHierarchy: body.MaxEpsilonPerHierarchy,
+				Message:                body.Error,
+			}
+		case body.Code == "version_conflict" && resp.StatusCode == http.StatusConflict:
+			return &VersionConflictError{
+				Hierarchy:       body.Hierarchy,
+				HeadVersion:     body.HeadVersion,
+				HeadFingerprint: body.HeadFingerprint,
+				Given:           body.Given,
+				Message:         body.Error,
 			}
 		}
 	}
 	return &APIError{
 		StatusCode: resp.StatusCode,
+		Code:       body.Code,
 		Message:    message,
 		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 	}

@@ -1,0 +1,116 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hcoc"
+	"hcoc/client"
+	"hcoc/internal/engine"
+)
+
+// TestClientEvents drives the event-sourcing surface through the SDK
+// against the real server: delta appends with and without If-Match,
+// the version listing, version-pinned releases, and the typed conflict
+// error.
+func TestClientEvents(t *testing.T) {
+	ts := newDaemon(t, engine.Options{})
+	c := newClient(t, ts.URL, client.WithUserAgent("events-test"),
+		client.WithHTTPClient(http.DefaultClient))
+	ctx := context.Background()
+
+	h, err := c.UploadHierarchy(ctx, "US", testGroups())
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if h.Version != 1 || h.Fingerprint == "" {
+		t.Fatalf("snapshot = version %d fingerprint %q", h.Version, h.Fingerprint)
+	}
+
+	// A conditioned delta lands on the head it expected.
+	res, err := c.AppendEvents(ctx, h.ID, []client.Event{
+		client.DeltaEvent([]client.EventGroup{{Path: []string{"OR"}, Size: 2}}, nil,
+			[]client.EventDrift{{Path: []string{"CA"}, From: 1, To: 2, Count: 1}}),
+	}, h.Fingerprint)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if res.Hierarchy != h.ID || res.Applied != 1 || res.Head.Version != 2 || res.Head.Type != "delta" {
+		t.Fatalf("append result = %+v", res)
+	}
+
+	// A stale precondition is the typed conflict, nothing applied.
+	_, err = c.AppendEvents(ctx, h.ID, []client.Event{
+		client.DeltaEvent([]client.EventGroup{{Path: []string{"NV"}, Size: 1}}, nil, nil),
+	}, h.Fingerprint)
+	var conflict *client.VersionConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("stale append error = %v, want *VersionConflictError", err)
+	}
+	if conflict.Hierarchy != h.ID || conflict.HeadVersion != 2 ||
+		conflict.HeadFingerprint != res.Head.Fingerprint || conflict.Given != h.Fingerprint {
+		t.Fatalf("conflict = %+v", conflict)
+	}
+	if msg := conflict.Error(); !strings.Contains(msg, res.Head.Fingerprint) {
+		t.Fatalf("conflict message %q does not name the head", msg)
+	}
+
+	// A snapshot event rebases the whole hierarchy: version 3.
+	if _, err := c.AppendEvents(ctx, h.ID, []client.Event{
+		client.SnapshotEvent("US", []hcoc.Group{{Path: []string{"ID"}, Size: 4}}),
+	}, ""); err != nil {
+		t.Fatalf("snapshot append: %v", err)
+	}
+
+	versions, err := c.HierarchyVersions(ctx, h.ID)
+	if err != nil {
+		t.Fatalf("versions: %v", err)
+	}
+	if len(versions) != 3 {
+		t.Fatalf("listed %d versions, want 3", len(versions))
+	}
+	for i, want := range []string{"snapshot", "delta", "snapshot"} {
+		if versions[i].Version != int64(i+1) || versions[i].Type != want || versions[i].Fingerprint == "" {
+			t.Fatalf("version %d = %+v, want seq %d type %q", i, versions[i], i+1, want)
+		}
+	}
+
+	// Releases pin immutable versions; the budget breaks spend down by
+	// version.
+	rel1, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Version: 1, Epsilon: 1, K: 50, Seed: 7})
+	if err != nil {
+		t.Fatalf("pinned release: %v", err)
+	}
+	if rel1.Version != 1 || rel1.Fingerprint != h.Fingerprint || rel1.Incremental {
+		t.Fatalf("pinned release = %+v", rel1)
+	}
+	head, err := c.Release(ctx, client.ReleaseRequest{Hierarchy: h.ID, Epsilon: 1, K: 50, Seed: 7})
+	if err != nil {
+		t.Fatalf("head release: %v", err)
+	}
+	if head.Version != 3 || head.Release == rel1.Release {
+		t.Fatalf("head release = %+v, want version 3 under a new key", head)
+	}
+	budget, err := c.Budget(ctx, h.ID)
+	if err != nil {
+		t.Fatalf("budget: %v", err)
+	}
+	if len(budget.Versions) != 3 || budget.Versions[0].SpentEpsilon != 1 || budget.Versions[2].SpentEpsilon != 1 {
+		t.Fatalf("budget versions = %+v", budget.Versions)
+	}
+
+	// Unknown hierarchies surface as typed 404s on both endpoints.
+	if _, err := c.HierarchyVersions(ctx, "h-missing"); err == nil {
+		t.Fatal("versions of unknown hierarchy succeeded")
+	}
+	var ae *client.APIError
+	_, err = c.AppendEvents(ctx, "h-missing", []client.Event{
+		client.DeltaEvent([]client.EventGroup{{Path: []string{"X"}, Size: 1}}, nil, nil),
+	}, "")
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound || ae.Code != "not_found" {
+		t.Fatalf("append to unknown hierarchy = %v", err)
+	}
+}

@@ -2,7 +2,7 @@
 // hcoc-serve daemon and reports latency percentiles and an error
 // breakdown — the measuring stick for every serving-layer change.
 //
-// The workload is a weighted mix of the four serving operations:
+// The workload is a weighted mix of the five serving operations:
 //
 //	release  POST /v1/release with a seed drawn from a small space, so
 //	         a warmed daemon answers most of them from its cache tiers
@@ -11,6 +11,9 @@
 //	cross    POST /v1/query/batch with cross-release aggregates (emd,
 //	         delta, series, compare) spanning two warm releases of the
 //	         same hierarchy — the scan-sharing planner path
+//	delta    POST /v1/hierarchy/{id}/events appending a small delta
+//	         event — the incremental-ingestion write path; each append
+//	         advances the hierarchy's head version
 //
 // Two loop shapes are supported. The default closed loop runs
 // -concurrency workers issuing requests back to back — throughput
@@ -123,7 +126,7 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.duration, "duration", 30*time.Second, "how long to generate load")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers; the open loop bounds in-flight requests at 64x this")
 	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop request rate per second (0 = closed loop)")
-	fs.StringVar(&mix, "mix", "release=1,query=8,batch=1", "weighted operation mix (release/query/batch/cross)")
+	fs.StringVar(&mix, "mix", "release=1,query=8,batch=1", "weighted operation mix (release/query/batch/cross/delta)")
 	fs.IntVar(&cfg.batchSize, "batch-size", 16, "node queries per batch operation")
 	fs.Float64Var(&cfg.epsilon, "epsilon", 1, "epsilon per release request")
 	fs.IntVar(&cfg.k, "k", 1000, "public group-size bound for releases")
@@ -159,10 +162,11 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
-// parseMix reads "release=1,query=8,batch=1,cross=1" into weights;
-// omitted ops get weight 0, and at least one weight must be positive.
+// parseMix reads "release=1,query=8,batch=1,cross=1,delta=1" into
+// weights; omitted ops get weight 0, and at least one weight must be
+// positive.
 func parseMix(s string) (map[string]int, error) {
-	out := map[string]int{"release": 0, "query": 0, "batch": 0, "cross": 0}
+	out := map[string]int{"release": 0, "query": 0, "batch": 0, "cross": 0, "delta": 0}
 	total := 0
 	for _, part := range strings.Split(s, ",") {
 		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
@@ -170,7 +174,7 @@ func parseMix(s string) (map[string]int, error) {
 			return nil, fmt.Errorf("bad mix entry %q (want op=weight)", part)
 		}
 		if _, known := out[name]; !known {
-			return nil, fmt.Errorf("unknown op %q in mix (want release|query|batch|cross)", name)
+			return nil, fmt.Errorf("unknown op %q in mix (want release|query|batch|cross|delta)", name)
 		}
 		w, err := strconv.Atoi(val)
 		if err != nil || w < 0 {
@@ -691,7 +695,7 @@ func (w *worker) pickFor(tt *tenantTarget, rng *rand.Rand) string {
 		total += weight
 	}
 	n := rng.Intn(total)
-	for _, op := range []string{"release", "query", "batch", "cross"} {
+	for _, op := range []string{"release", "query", "batch", "cross", "delta"} {
 		if n -= w.cfg.mix[op]; n < 0 {
 			return op
 		}
@@ -726,6 +730,16 @@ func (w *worker) issue(parent context.Context, op string, tt *tenantTarget, rng 
 			K:         w.cfg.k,
 			Seed:      rng.Int63(),
 		})
+	case "delta":
+		// Each append adds one fresh group under a synthetic branch —
+		// a unique path, so every event is a real mutation and every
+		// append a new immutable version of the tenant's hierarchy.
+		_, err = w.c.AppendEvents(ctx, tt.hierarchy, []client.Event{
+			client.DeltaEvent([]client.EventGroup{{
+				Path: []string{"load", fmt.Sprintf("d%d", rng.Int63())},
+				Size: 1 + rng.Int63n(64),
+			}}, nil, nil),
+		}, "")
 	case "query":
 		_, err = w.c.Query(ctx, tt.release, tt.node(rng), client.QueryParams{
 			Quantiles: []float64{0.5, 0.9, 0.99},

@@ -26,9 +26,18 @@
 // Endpoints:
 //
 //	POST /v1/hierarchy        upload groups, build the region tree
+//	                          (recorded as a snapshot event; deprecated
+//	                          in favor of the event endpoint below)
 //	GET  /v1/hierarchy        list uploaded hierarchies
+//	POST /v1/hierarchy/{id}/events
+//	                          append delta events; each applied event is
+//	                          a new immutable version (If-Match guards
+//	                          against concurrent writers)
+//	GET  /v1/hierarchy/{id}/versions
+//	                          list a hierarchy's immutable versions
 //	POST /v1/release          run a topdown/bottomup release
-//	                          ("async": true => 202 + job id)
+//	                          ("async": true => 202 + job id;
+//	                          "version" pins a past hierarchy version)
 //	GET  /v1/release          list durable release artifacts
 //	GET  /v1/release/{id}     download a release artifact (zero-copy,
 //	                          strong ETag, byte ranges)
@@ -52,10 +61,12 @@
 // "=" also accepted as the separator). GET /v1/tenants reports the
 // per-tenant picture.
 //
-// SIGHUP re-syncs a shared store against its manifest and re-reads
-// -tenant-weights-file (and is otherwise ignored), so operators can
-// force a refresh or adjust tenant weights without a restart. The full
-// request/response contract is docs/openapi.yaml;
+// SIGHUP re-syncs a shared store against its manifest (event logs
+// included) and re-reads -tenant-weights-file (and is otherwise
+// ignored), so operators can force a refresh or adjust tenant weights
+// without a restart. The reload steps are independent and individually
+// logged: a malformed weights file cannot mask a failed store refresh
+// or vice versa. The full request/response contract is docs/openapi.yaml;
 // the Go SDK over it is the repository's client package. To shard this
 // surface across several daemons behind one front end, see
 // cmd/hcoc-gateway.
@@ -187,6 +198,7 @@ func main() {
 		cache   = flag.Int("cache", engine.DefaultCacheSize, "completed releases kept in the LRU cache")
 		cacheMB = flag.Int64("cache-mb", 0, "byte budget for the release cache in MiB, accounted by runs actually held (0 = count bound only); see the README memory-footprint section for sizing")
 		maxEps  = flag.Float64("max-epsilon-per-hierarchy", 0, "cumulative epsilon bound per hierarchy across all computed releases (0 = unenforced); cache/store hits are free, and with a durable store the spend survives restarts")
+		maxCont = flag.Float64("max-epsilon-continual", 0, "continual-observation epsilon bound per hierarchy, summed across every version of its event log (0 = unenforced); bounds the total privacy loss of continually re-releasing an evolving hierarchy")
 		peers   = flag.String("peers", "", "comma-separated peer hcoc-serve base URLs to ask for artifacts before recomputing (peer hits spend no local budget)")
 		peerTo  = flag.Duration("peer-timeout", serve.DefaultPeerTimeout, "bound on one whole peer-fetch sweep")
 		cfg     storeConfig
@@ -202,7 +214,7 @@ func main() {
 	flag.StringVar(&cfg.prefix, "s3-prefix", "", "key prefix inside the bucket (lets several stores share one bucket)")
 	flag.StringVar(&cfg.region, "s3-region", "", "signing region (default us-east-1)")
 	flag.Parse()
-	if err := run(*addr, *workers, *cache, *cacheMB<<20, *maxEps, cfg, splitPeers(*peers), *peerTo, qos); err != nil {
+	if err := run(*addr, *workers, *cache, *cacheMB<<20, *maxEps, *maxCont, cfg, splitPeers(*peers), *peerTo, qos); err != nil {
 		fmt.Fprintf(os.Stderr, "hcoc-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -219,7 +231,61 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func run(addr string, workers, cache int, cacheBytes int64, maxEps float64, cfg storeConfig, peers []string, peerTimeout time.Duration, qos qosConfig) error {
+// refreshSharedStore is the SIGHUP store step: re-sync a shared store
+// against its manifest so artifacts and budget spend written by peer
+// nodes become visible, then re-open the hierarchy event logs the
+// refresh may have brought in.
+func refreshSharedStore(st *store.Store, handler *serve.Server) error {
+	if err := st.Refresh(); err != nil {
+		return fmt.Errorf("store refresh: %w", err)
+	}
+	if err := handler.RefreshLogs(); err != nil {
+		return fmt.Errorf("event-log refresh: %w", err)
+	}
+	return nil
+}
+
+// reloadTenantWeights is the SIGHUP weights step: re-read the weights
+// file and install it, so a tenant's share can be adjusted without a
+// restart. Any failure leaves the running weights untouched.
+func reloadTenantWeights(eng *engine.Engine, path string) (int, error) {
+	w, err := loadWeights(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := eng.SetTenantWeights(w); err != nil {
+		return 0, err
+	}
+	return len(w), nil
+}
+
+// handleHUP services one SIGHUP: every applicable reload step runs and
+// logs its outcome individually — a malformed weights file cannot mask
+// a failed store refresh, nor the reverse.
+func handleHUP(st *store.Store, handler *serve.Server, eng *engine.Engine, weightsFile string, logf func(format string, args ...any)) {
+	acted := false
+	if st != nil && st.Shared() {
+		acted = true
+		if err := refreshSharedStore(st, handler); err != nil {
+			logf("hcoc-serve: SIGHUP store refresh failed: %v", err)
+		} else {
+			logf("hcoc-serve: SIGHUP refreshed shared store (%d releases)", st.Len())
+		}
+	}
+	if weightsFile != "" {
+		acted = true
+		if n, err := reloadTenantWeights(eng, weightsFile); err != nil {
+			logf("hcoc-serve: SIGHUP weights reload failed, keeping current: %v", err)
+		} else {
+			logf("hcoc-serve: SIGHUP reloaded tenant weights (%d tenants)", n)
+		}
+	}
+	if !acted {
+		logf("hcoc-serve: SIGHUP ignored (no shared store or weights file)")
+	}
+}
+
+func run(addr string, workers, cache int, cacheBytes int64, maxEps, maxCont float64, cfg storeConfig, peers []string, peerTimeout time.Duration, qos qosConfig) error {
 	var weights map[string]float64
 	if qos.weightsFile != "" {
 		var err error
@@ -251,7 +317,7 @@ func run(addr string, workers, cache int, cacheBytes int64, maxEps float64, cfg 
 		fmt.Printf("hcoc-serve: peer fetch enabled (%d peers)\n", len(peers))
 	}
 	eng := engine.New(opts)
-	handler, err := serve.NewServer(eng, st)
+	handler, err := serve.NewServer(eng, st, serve.WithContinualBudget(maxCont))
 	if err != nil {
 		return err
 	}
@@ -270,38 +336,16 @@ func run(addr string, workers, cache int, cacheBytes int64, maxEps float64, cfg 
 	defer stop()
 
 	// SIGHUP must never kill the daemon. It is the operator's "re-read
-	// your config now": on a shared store, re-sync the manifest so
-	// artifacts and budget spend written by peer nodes become visible;
-	// with -tenant-weights-file, re-read the weights so a tenant's share
-	// can be adjusted without a restart. A weights file that fails to
-	// parse leaves the running weights untouched.
+	// your config now"; handleHUP runs each reload step independently so
+	// one failing step cannot mask another.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
-			acted := false
-			if st != nil && st.Shared() {
-				acted = true
-				if err := st.Refresh(); err != nil {
-					fmt.Printf("hcoc-serve: SIGHUP store refresh failed: %v\n", err)
-				} else {
-					fmt.Printf("hcoc-serve: SIGHUP refreshed shared store (%d releases)\n", st.Len())
-				}
-			}
-			if qos.weightsFile != "" {
-				acted = true
-				if w, err := loadWeights(qos.weightsFile); err != nil {
-					fmt.Printf("hcoc-serve: SIGHUP weights reload failed, keeping current: %v\n", err)
-				} else if err := eng.SetTenantWeights(w); err != nil {
-					fmt.Printf("hcoc-serve: SIGHUP weights rejected, keeping current: %v\n", err)
-				} else {
-					fmt.Printf("hcoc-serve: SIGHUP reloaded tenant weights (%d tenants)\n", len(w))
-				}
-			}
-			if !acted {
-				fmt.Println("hcoc-serve: SIGHUP ignored (no shared store or weights file)")
-			}
+			handleHUP(st, handler, eng, qos.weightsFile, func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			})
 		}
 	}()
 

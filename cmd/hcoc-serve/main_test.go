@@ -1,12 +1,16 @@
 package main
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
+	"hcoc/internal/engine"
+	"hcoc/internal/serve"
 	"hcoc/internal/store/s3stub"
 )
 
@@ -70,14 +74,14 @@ func TestSplitPeers(t *testing.T) {
 }
 
 func TestRunRejectsBadStore(t *testing.T) {
-	err := run(":0", 0, 1, 0, 0, storeConfig{backend: "tape"}, nil, 0, qosConfig{})
+	err := run(":0", 0, 1, 0, 0, 0, storeConfig{backend: "tape"}, nil, 0, qosConfig{})
 	if err == nil {
 		t.Fatal("run with an unknown backend succeeded")
 	}
 }
 
 func TestRunRejectsBadWeightsFile(t *testing.T) {
-	err := run(":0", 0, 1, 0, 0, storeConfig{backend: "disk"}, nil, 0,
+	err := run(":0", 0, 1, 0, 0, 0, storeConfig{backend: "disk"}, nil, 0,
 		qosConfig{weightsFile: filepath.Join(t.TempDir(), "absent")})
 	if err == nil {
 		t.Fatal("run with a missing weights file succeeded")
@@ -127,5 +131,63 @@ h-ffff=2
 	}
 	if _, err := loadWeights(filepath.Join(dir, "absent")); err == nil {
 		t.Error("missing file did not error")
+	}
+}
+
+// TestHandleHUPIndependentSteps is the regression test for the SIGHUP
+// split: each reload step runs and logs on its own, so a malformed
+// weights file cannot mask the store refresh (or vice versa).
+func TestHandleHUPIndependentSteps(t *testing.T) {
+	srv := httptest.NewServer(s3stub.New("b"))
+	defer srv.Close()
+	st, err := (storeConfig{backend: "s3", endpoint: srv.URL, bucket: "b"}).open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := engine.New(engine.Options{CacheSize: 1, Store: st})
+	handler, err := serve.NewServer(eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []string
+	logf := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+
+	// A weights file that fails to parse must not stop the shared-store
+	// refresh: both steps report, in order, independently.
+	bad := filepath.Join(t.TempDir(), "weights")
+	if err := os.WriteFile(bad, []byte("h-abc notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	handleHUP(st, handler, eng, bad, logf)
+	if len(lines) != 2 {
+		t.Fatalf("handleHUP logged %d lines, want 2: %q", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "refreshed shared store") {
+		t.Errorf("store step = %q, want a refresh success", lines[0])
+	}
+	if !strings.Contains(lines[1], "weights reload failed") {
+		t.Errorf("weights step = %q, want a reload failure", lines[1])
+	}
+
+	// And a good weights file reloads even though nothing else applies.
+	good := filepath.Join(t.TempDir(), "weights")
+	if err := os.WriteFile(good, []byte("h-abc 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines = nil
+	handleHUP(nil, handler, eng, good, logf)
+	if len(lines) != 1 || !strings.Contains(lines[0], "reloaded tenant weights (1 tenants)") {
+		t.Fatalf("weights-only handleHUP logged %q", lines)
+	}
+
+	// Nothing to do is said out loud, not silently swallowed.
+	lines = nil
+	handleHUP(nil, handler, eng, "", logf)
+	if len(lines) != 1 || !strings.Contains(lines[0], "SIGHUP ignored") {
+		t.Fatalf("no-op handleHUP logged %q", lines)
 	}
 }

@@ -136,6 +136,27 @@ func ReleaseSparse(tree *Tree, opts Options) (SparseHistograms, error) {
 	return consistency.TopDownSparse(tree, opts.internal())
 }
 
+// ReleaseState is the opaque per-node intermediate state of a sparse
+// top-down release, retained so a later release of a slightly mutated
+// tree can reuse the untouched work bit-for-bit (see ReleaseSparseFrom).
+type ReleaseState = consistency.RecomputeState
+
+// ReleaseStats counts how much of an incremental release was actually
+// recomputed versus reused.
+type ReleaseStats = consistency.RecomputeStats
+
+// ReleaseSparseFrom is ReleaseSparse with incremental reuse: prev is
+// the state returned by an earlier call for a previous version of the
+// tree, and changed names every node path whose histogram or child set
+// differs from that version (a delta's touched leaves plus all their
+// ancestors). The release is bit-identical to ReleaseSparse(tree, opts)
+// — differentially tested — but skips DP estimation for untouched
+// nodes and matching for parents whose inputs are unchanged. A nil
+// prev performs a full release and just captures state.
+func ReleaseSparseFrom(tree *Tree, opts Options, prev *ReleaseState, changed map[string]bool) (SparseHistograms, *ReleaseState, ReleaseStats, error) {
+	return consistency.TopDownSparseFrom(tree, opts.internal(), prev, changed)
+}
+
 // ReleaseBottomUp runs the bottom-up baseline: all budget at the leaves,
 // parents as sums. It satisfies the same four output requirements but
 // typically has much higher error at upper levels (Section 6.2.2).

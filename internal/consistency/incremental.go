@@ -1,0 +1,228 @@
+package consistency
+
+import (
+	"fmt"
+
+	"hcoc/internal/estimator"
+	"hcoc/internal/hierarchy"
+	"hcoc/internal/histogram"
+	"hcoc/internal/noise"
+)
+
+// RecomputeState carries the per-node intermediate results of one
+// top-down sparse release — the original estimate runs and the
+// matched/merged updated runs — so a later release of a slightly
+// different tree can reuse the untouched parts bit-for-bit. The final
+// artifact alone cannot serve this role: back-substitution discards
+// rank order and variances, both of which matching consumes.
+//
+// State is immutable once returned; incremental recomputes alias the
+// prior state's run slices rather than copying them.
+type RecomputeState struct {
+	depth int
+	nodes map[string]*runState
+}
+
+// CostBytes estimates the resident memory of the state, for byte-
+// budgeted caches: 24 bytes per estimate run (size, count, variance),
+// 24 per updated run, plus per-node map and key overhead.
+func (s *RecomputeState) CostBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	const perNode = 120
+	var b int64
+	for path, st := range s.nodes {
+		b += perNode + int64(len(path)) + int64(len(st.hg)+len(st.upd))*24
+	}
+	return b
+}
+
+// Nodes reports how many nodes the state covers.
+func (s *RecomputeState) Nodes() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.nodes)
+}
+
+// RecomputeStats counts how much of the pipeline an incremental release
+// actually re-ran. NodesEstimated < NodesTotal is the proof that a
+// delta did not pay for a full rebuild: per-node DP estimation is the
+// expensive stage, and it is skipped exactly for the nodes whose data
+// the delta left untouched.
+type RecomputeStats struct {
+	// NodesEstimated counts nodes whose DP estimate was recomputed;
+	// NodesTotal is every node in the tree.
+	NodesEstimated, NodesTotal int
+	// ParentsMatched counts parents whose top-down matching re-ran;
+	// ParentsTotal is every internal node.
+	ParentsMatched, ParentsTotal int
+}
+
+// Full reports whether the release degenerated to a from-scratch
+// recompute (no prior state, depth change, or a delta touching
+// everything).
+func (st RecomputeStats) Full() bool {
+	return st.NodesEstimated >= st.NodesTotal
+}
+
+// updRunsEqual reports bitwise equality of two updated-run lists.
+// appendUpd compacts adjacent equal runs deterministically, so equal
+// inputs always produce the same run boundaries and this comparison
+// never sees false mismatches from representation drift.
+func updRunsEqual(a, b []updRun) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TopDownSparseFrom is TopDownSparse with reuse: it releases the tree
+// under opts, reusing from prev the per-node work whose inputs the
+// caller certifies unchanged. changed must contain the path of every
+// node whose histogram or child set differs from the tree prev was
+// computed for (for a delta touching a set of leaves, that is the
+// leaves plus all their ancestors). Nodes absent from changed are
+// trusted to be identical; nodes absent from prev are recomputed
+// regardless.
+//
+// The result is bit-identical to TopDownSparse(tree, opts) — the
+// differential suite pins this — because every reused quantity is a
+// deterministic function of inputs proven unchanged: estimation
+// depends only on (seed, path, histogram, level budget, method), and a
+// parent's matching only on its own estimate and updated runs and its
+// children's estimate runs. Matching re-runs for a parent whenever any
+// of those inputs was recomputed or its updated runs differ from
+// prev's; otherwise its children's updated runs are copied forward.
+//
+// A nil prev (or a depth change, which re-splits the per-level budget
+// and invalidates every estimate) degrades to a full recompute.
+func TopDownSparseFrom(tree *hierarchy.Tree, opts Options, prev *RecomputeState, changed map[string]bool) (SparseRelease, *RecomputeState, RecomputeStats, error) {
+	depth := tree.Depth()
+	var stats RecomputeStats
+	if err := opts.validate(depth); err != nil {
+		return nil, nil, stats, err
+	}
+	epsLevel := opts.Epsilon / float64(depth)
+	usable := prev != nil && prev.depth == depth
+
+	// Estimation pass: reuse hg runs for certified-unchanged nodes,
+	// re-estimate the rest level by level (the per-level method matters).
+	states := make(map[string]*runState)
+	estimated := make(map[string]bool)
+	for level, nodes := range tree.ByLevel {
+		stats.NodesTotal += len(nodes)
+		var todo []*hierarchy.Node
+		for _, n := range nodes {
+			if usable && !changed[n.Path] {
+				if ps, ok := prev.nodes[n.Path]; ok {
+					states[n.Path] = &runState{hg: ps.hg}
+					continue
+				}
+			}
+			states[n.Path] = &runState{}
+			estimated[n.Path] = true
+			todo = append(todo, n)
+		}
+		if len(todo) == 0 {
+			continue
+		}
+		m := opts.methodFor(level)
+		err := forEachNode(todo, opts.workerCount(len(todo)), func(n *hierarchy.Node) error {
+			runs, err := estimator.EstimateRuns(m, n.Hist,
+				estimator.Params{Epsilon: epsLevel, K: opts.K},
+				noise.New(nodeSeed(opts.Seed, n.Path)))
+			if err != nil {
+				return fmt.Errorf("consistency: node %q: %w", n.Path, err)
+			}
+			states[n.Path].hg = runs
+			return nil
+		})
+		if err != nil {
+			return nil, nil, stats, err
+		}
+	}
+	stats.NodesEstimated = len(estimated)
+
+	// Matching pass. updChanged tracks, per node, whether its updated
+	// runs differ from prev's — the induction variable that decides
+	// whether a parent further down must re-match.
+	updChanged := make(map[string]bool)
+	rootPath := tree.Root.Path
+	rs := states[rootPath]
+	rs.upd = make([]updRun, 0, len(rs.hg))
+	for _, r := range rs.hg {
+		rs.upd = append(rs.upd, updRun{val: r.Size, vr: r.Var, count: r.Count})
+	}
+	if usable {
+		ps, ok := prev.nodes[rootPath]
+		updChanged[rootPath] = !ok || !updRunsEqual(rs.upd, ps.upd)
+	} else {
+		updChanged[rootPath] = true
+	}
+
+	for level := 0; level < depth-1; level++ {
+		for _, parent := range tree.ByLevel[level] {
+			if len(parent.Children) == 0 {
+				continue
+			}
+			stats.ParentsTotal++
+			rerun := !usable || estimated[parent.Path] || updChanged[parent.Path]
+			if !rerun {
+				for _, c := range parent.Children {
+					if estimated[c.Path] {
+						rerun = true
+						break
+					}
+					if _, ok := prev.nodes[c.Path]; !ok {
+						rerun = true
+						break
+					}
+				}
+			}
+			if rerun {
+				stats.ParentsMatched++
+				if err := matchParentRuns(states, parent, opts.Merge); err != nil {
+					return nil, nil, stats, err
+				}
+				for _, c := range parent.Children {
+					if !usable {
+						updChanged[c.Path] = true
+						continue
+					}
+					ps, ok := prev.nodes[c.Path]
+					updChanged[c.Path] = !ok || !updRunsEqual(states[c.Path].upd, ps.upd)
+				}
+			} else {
+				// Every input to this parent's matching is bit-identical
+				// to prev's; its outputs are too — copy them forward.
+				for _, c := range parent.Children {
+					states[c.Path].upd = prev.nodes[c.Path].upd
+					updChanged[c.Path] = false
+				}
+			}
+		}
+	}
+
+	// Leaves and back-substitution, exactly as TopDownSparse.
+	out := make(SparseRelease, len(states))
+	for _, leaf := range tree.Leaves() {
+		out[leaf.Path] = updSparse(states[leaf.Path].upd)
+	}
+	for level := depth - 2; level >= 0; level-- {
+		for _, n := range tree.ByLevel[level] {
+			sum := histogram.Sparse{}
+			for _, c := range n.Children {
+				sum = sum.Add(out[c.Path])
+			}
+			out[n.Path] = sum
+		}
+	}
+	return out, &RecomputeState{depth: depth, nodes: states}, stats, nil
+}

@@ -169,6 +169,12 @@ type cached struct {
 	cost      int64         // CostBytes of release, fixed at admission
 	fromStore bool          // revived from the durable store, not computed
 	fromPeer  bool          // fetched from a ring peer, not computed
+
+	// incremental reports the computation reused a prior version's
+	// retained state; stats counts what it actually re-ran (zero for
+	// non-computations).
+	incremental bool
+	stats       hcoc.ReleaseStats
 }
 
 // call is one in-flight release computation. The computation runs in
@@ -214,6 +220,10 @@ type Engine struct {
 	mu       sync.Mutex
 	cache    *lruCache
 	inflight map[string]*call
+	// states retains the per-node intermediate state of recent TopDown
+	// computations, keyed by release key, so the next version of the
+	// same hierarchy can recompute only its changed subtrees.
+	states *stateCache
 
 	// Per-hierarchy privacy spend, guarded by mu. epsSpent is the true
 	// cumulative epsilon of every computation (including historical ones
@@ -239,6 +249,13 @@ type Engine struct {
 	evictions, releases                  uint64
 	queries, batches                     uint64
 	releaseTotal, lastDur                time.Duration
+
+	// incremental-recompute counters: computations that reused prior
+	// state, and the cumulative node/parent recompute tallies — the
+	// observable proof that deltas pay for subtrees, not trees.
+	incrReleases                 uint64
+	nodesEstimated, nodesTotal   uint64
+	parentsMatched, parentsTotal uint64
 }
 
 // New creates an engine with the given options. When Options.Store is
@@ -266,6 +283,7 @@ func New(opts Options) *Engine {
 		epsLimit:   opts.MaxEpsilonPerHierarchy,
 		cache:      newLRU(size, opts.CacheBytes),
 		inflight:   make(map[string]*call),
+		states:     newStateCache(0),
 		epsSpent:   make(map[string]float64),
 		accts:      make(map[string]*privacy.Accountant),
 		tenantReqs: make(map[string]*tenantCounters),
@@ -402,6 +420,13 @@ type Result struct {
 	Queued int
 	// QueueWait is the time the computation spent queued for a slot.
 	QueueWait time.Duration
+	// Incremental reports the computation reused a prior version's
+	// retained state (false for cache/store/peer hits and from-scratch
+	// computations); Stats counts what the computation re-ran.
+	Incremental bool
+	// Stats is the recompute accounting of the computation that produced
+	// the release (zero when no computation ran).
+	Stats hcoc.ReleaseStats
 }
 
 // Release satisfies a release request: from the cache if an identical
@@ -417,6 +442,11 @@ type Result struct {
 // (and, once it holds a compute slot, runs to completion and populates
 // the cache regardless — the work is already paid for).
 func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, alg Algorithm, opts hcoc.Options) (Result, error) {
+	return e.release(ctx, tree, treeFP, alg, opts, nil)
+}
+
+// release is the shared body of Release and ReleaseFrom.
+func (e *Engine) release(ctx context.Context, tree *hcoc.Tree, treeFP string, alg Algorithm, opts hcoc.Options, prev []PrevVersion) (Result, error) {
 	// Reject a methods list of the wrong length before keying:
 	// canonicalMethods collapses uniform lists to their broadcast
 	// spelling, which is only the same release when the list would have
@@ -452,7 +482,7 @@ func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, al
 		c = &call{done: make(chan struct{}), abandoned: make(chan struct{}), waiters: 1}
 		e.inflight[key] = c
 		e.misses++
-		go e.run(key, treeFP, c, tree, alg, opts)
+		go e.run(key, treeFP, c, tree, alg, opts, prev)
 	}
 	e.mu.Unlock()
 
@@ -466,14 +496,16 @@ func (e *Engine) Release(ctx context.Context, tree *hcoc.Tree, treeFP string, al
 		return Result{}, c.err
 	}
 	return Result{
-		Key:       key,
-		Release:   c.value.release,
-		StoreHit:  c.value.fromStore,
-		PeerHit:   c.value.fromPeer,
-		Deduped:   joined,
-		Duration:  c.value.duration,
-		Queued:    c.queued,
-		QueueWait: c.queueWait,
+		Key:         key,
+		Release:     c.value.release,
+		StoreHit:    c.value.fromStore,
+		PeerHit:     c.value.fromPeer,
+		Deduped:     joined,
+		Duration:    c.value.duration,
+		Queued:      c.queued,
+		QueueWait:   c.queueWait,
+		Incremental: c.value.incremental,
+		Stats:       c.value.stats,
 	}, nil
 }
 
@@ -499,7 +531,7 @@ func (e *Engine) leave(key string, c *call) {
 // run drives one detached release computation: durable-store lookup
 // first (free), then a compute slot, the budget charge, and the
 // computation itself, publishing the outcome to every waiter.
-func (e *Engine) run(key, treeFP string, c *call, tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) {
+func (e *Engine) run(key, treeFP string, c *call, tree *hcoc.Tree, alg Algorithm, opts hcoc.Options, prev []PrevVersion) {
 	if e.store != nil {
 		if v, ok := e.loadFromStore(key); ok {
 			e.finish(key, treeFP, c, v, nil)
@@ -546,7 +578,7 @@ func (e *Engine) run(key, treeFP string, c *call, tree *hcoc.Tree, alg Algorithm
 	c.queueWait = grant.Wait
 	e.mu.Unlock()
 
-	v, err := e.computeThrough(key, treeFP, tree, alg, opts)
+	v, err := e.computeThrough(key, treeFP, tree, alg, opts, prev)
 	grant.Release()
 	e.finish(key, treeFP, c, v, err)
 }
@@ -616,6 +648,13 @@ func (e *Engine) finish(key, treeFP string, c *call, v *cached, err error) {
 			e.releaseTotal += v.duration
 			e.lastDur = v.duration
 			tc.computed++
+			if v.incremental {
+				e.incrReleases++
+			}
+			e.nodesEstimated += uint64(v.stats.NodesEstimated)
+			e.nodesTotal += uint64(v.stats.NodesTotal)
+			e.parentsMatched += uint64(v.stats.ParentsMatched)
+			e.parentsTotal += uint64(v.stats.ParentsTotal)
 		}
 	} else if isOverload(err) {
 		tc.rejected++
@@ -645,7 +684,7 @@ func isOverload(err error) bool {
 // artifact write after a successful computation does not fail the
 // request: the release is computed, charged, cached, and served; only
 // durability of the artifact is lost (and counted).
-func (e *Engine) computeThrough(key, treeFP string, tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) (*cached, error) {
+func (e *Engine) computeThrough(key, treeFP string, tree *hcoc.Tree, alg Algorithm, opts hcoc.Options, prev []PrevVersion) (*cached, error) {
 	// Nonpositive epsilon never reaches the ledger; the release's own
 	// validation rejects it with the canonical error.
 	charged := opts.Epsilon > 0
@@ -665,7 +704,7 @@ func (e *Engine) computeThrough(key, treeFP string, tree *hcoc.Tree, alg Algorit
 			}
 		}
 	}
-	v, err := e.compute(tree, alg, opts)
+	v, state, err := e.compute(tree, alg, opts, prev)
 	if err != nil {
 		if charged {
 			e.refund(treeFP, opts.Epsilon)
@@ -680,6 +719,11 @@ func (e *Engine) computeThrough(key, treeFP string, tree *hcoc.Tree, alg Algorit
 			}
 		}
 		return nil, err
+	}
+	if state != nil {
+		e.mu.Lock()
+		e.states.add(key, state)
+		e.mu.Unlock()
 	}
 	if e.store != nil {
 		m := store.Meta{
@@ -848,27 +892,43 @@ func (e *Engine) fetchFromPeers(key, treeFP string, alg Algorithm) (*cached, boo
 
 // compute runs the selected release algorithm through the run-length
 // pipeline, applying the engine's default parallelism when the request
-// does not pin one.
-func (e *Engine) compute(tree *hcoc.Tree, alg Algorithm, opts hcoc.Options) (*cached, error) {
+// does not pin one. TopDown always runs through the state-capturing
+// incremental entry point — seeded with a prior version's state when a
+// candidate resolves, from scratch otherwise — so every computation
+// leaves state behind for the hierarchy's next version. The returned
+// state is nil for BottomUp.
+func (e *Engine) compute(tree *hcoc.Tree, alg Algorithm, opts hcoc.Options, prev []PrevVersion) (*cached, *hcoc.ReleaseState, error) {
 	if opts.Workers == 0 {
 		opts.Workers = e.workers
 	}
-	run := hcoc.ReleaseSparse
-	if alg == BottomUp {
-		run = hcoc.ReleaseBottomUpSparse
-	}
 	start := time.Now()
-	rel, err := run(tree, opts)
+	if alg == BottomUp {
+		rel, err := hcoc.ReleaseBottomUpSparse(tree, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &cached{
+			release:   rel,
+			epsilon:   opts.Epsilon,
+			algorithm: alg,
+			duration:  time.Since(start),
+			cost:      rel.CostBytes(),
+		}, nil, nil
+	}
+	prevState, changed := e.resolvePrev(alg, opts, prev)
+	rel, state, stats, err := hcoc.ReleaseSparseFrom(tree, opts, prevState, changed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return &cached{
-		release:   rel,
-		epsilon:   opts.Epsilon,
-		algorithm: alg,
-		duration:  time.Since(start),
-		cost:      rel.CostBytes(),
-	}, nil
+		release:     rel,
+		epsilon:     opts.Epsilon,
+		algorithm:   alg,
+		duration:    time.Since(start),
+		cost:        rel.CostBytes(),
+		incremental: prevState != nil && !stats.Full(),
+		stats:       stats,
+	}, state, nil
 }
 
 // lookup finds a completed release by key: LRU first, then the durable
@@ -1035,6 +1095,19 @@ type Metrics struct {
 	// ReleaseTotal is the cumulative computation time across Releases;
 	// LastRelease is the duration of the most recent one.
 	ReleaseTotal, LastRelease time.Duration
+	// IncrementalReleases counts computations that reused a prior
+	// version's retained state instead of recomputing every node.
+	IncrementalReleases uint64
+	// RecomputeNodesEstimated and RecomputeNodesTotal accumulate, across
+	// all computations, the nodes whose DP estimate was re-run versus
+	// the nodes the trees held; the gap is work that deltas avoided.
+	// RecomputeParentsMatched / RecomputeParentsTotal do the same for
+	// the matching stage.
+	RecomputeNodesEstimated, RecomputeNodesTotal   uint64
+	RecomputeParentsMatched, RecomputeParentsTotal uint64
+	// StateEntries and StateCostBytes describe the retained-state cache.
+	StateEntries   int
+	StateCostBytes int64
 }
 
 // HitRate is the fraction of release requests answered from the cache
@@ -1097,6 +1170,14 @@ func (e *Engine) Metrics() Metrics {
 		EpsilonLimit:      e.epsLimit,
 		ReleaseTotal:      e.releaseTotal,
 		LastRelease:       e.lastDur,
+
+		IncrementalReleases:     e.incrReleases,
+		RecomputeNodesEstimated: e.nodesEstimated,
+		RecomputeNodesTotal:     e.nodesTotal,
+		RecomputeParentsMatched: e.parentsMatched,
+		RecomputeParentsTotal:   e.parentsTotal,
+		StateEntries:            e.states.len(),
+		StateCostBytes:          e.states.costBytes(),
 	}
 }
 

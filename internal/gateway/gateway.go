@@ -222,6 +222,8 @@ func (g *Gateway) routeTable() []routeEntry {
 	return []routeEntry{
 		{serve.Route{Method: "POST", Pattern: "/v1/hierarchy"}, g.handleHierarchy},
 		{serve.Route{Method: "GET", Pattern: "/v1/hierarchy"}, g.handleListHierarchies},
+		{serve.Route{Method: "POST", Pattern: "/v1/hierarchy/{id}/events"}, g.handleAppendEvents},
+		{serve.Route{Method: "GET", Pattern: "/v1/hierarchy/{id}/versions"}, g.handleVersions},
 		{serve.Route{Method: "POST", Pattern: "/v1/release"}, g.handleRelease},
 		{serve.Route{Method: "GET", Pattern: "/v1/release"}, g.handleListReleases},
 		{serve.Route{Method: "GET", Pattern: "/v1/release/{id}"}, g.handleGetRelease},
@@ -262,18 +264,36 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeClientError translates an SDK error from a backend into the
-// gateway's response: budget refusals and API errors pass through with
-// their status and body, a dead cluster is 503, and anything else
-// (transport failures after exhausting every replica) is 502.
+// gateway's response: budget refusals, version conflicts and API
+// errors pass through with their status, machine-readable code and
+// body, a dead cluster is 503, and anything else (transport failures
+// after exhausting every replica) is 502.
 func writeClientError(w http.ResponseWriter, err error) {
 	var be *client.BudgetError
 	if errors.As(err, &be) {
+		code := be.Code
+		if code == "" {
+			code = "budget"
+		}
 		serve.WriteJSON(w, http.StatusTooManyRequests, map[string]any{
 			"error":                     be.Message,
+			"code":                      code,
 			"hierarchy":                 be.Hierarchy,
 			"requested_epsilon":         be.RequestedEpsilon,
 			"remaining_epsilon":         be.RemainingEpsilon,
 			"max_epsilon_per_hierarchy": be.MaxEpsilonPerHierarchy,
+		})
+		return
+	}
+	var vce *client.VersionConflictError
+	if errors.As(err, &vce) {
+		serve.WriteJSON(w, http.StatusConflict, map[string]any{
+			"error":            vce.Message,
+			"code":             "version_conflict",
+			"hierarchy":        vce.Hierarchy,
+			"head_version":     vce.HeadVersion,
+			"head_fingerprint": vce.HeadFingerprint,
+			"given":            vce.Given,
 		})
 		return
 	}
@@ -282,7 +302,11 @@ func writeClientError(w http.ResponseWriter, err error) {
 		if ae.RetryAfter > 0 {
 			w.Header().Set("Retry-After", strconv.Itoa(int(ae.RetryAfter.Seconds())))
 		}
-		serve.WriteError(w, ae.StatusCode, "%s", ae.Message)
+		code := ae.Code
+		if code == "" {
+			code = serve.ErrorCode(ae.StatusCode)
+		}
+		serve.WriteErrorCode(w, ae.StatusCode, code, "%s", ae.Message)
 		return
 	}
 	if errors.Is(err, cluster.ErrNoBackends) {

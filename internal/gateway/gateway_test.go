@@ -463,6 +463,8 @@ func TestGatewayRoutesStable(t *testing.T) {
 	want := []string{
 		"POST /v1/hierarchy",
 		"GET /v1/hierarchy",
+		"POST /v1/hierarchy/{id}/events",
+		"GET /v1/hierarchy/{id}/versions",
 		"POST /v1/release",
 		"GET /v1/release",
 		"GET /v1/release/{id}",

@@ -114,6 +114,107 @@ func (g *Gateway) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 	writeClientError(w, errs[len(errs)-1])
 }
 
+// appendEventsRequest mirrors the backend event-append body.
+type appendEventsRequest struct {
+	Events []client.Event `json:"events"`
+}
+
+// handleAppendEvents fans an event append out to all R ring owners of
+// the hierarchy in parallel, so every replica's event log advances to
+// the same head. The caller's If-Match precondition forwards verbatim
+// to each owner: a stale fingerprint conflicts identically everywhere,
+// and against divergent replicas the first success answers while the
+// conflicting owners surface in the next append. One success is enough
+// to answer; zero successes prefer an authoritative refusal (conflict,
+// validation) over whichever transport error came last.
+func (g *Gateway) handleAppendEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req appendEventsRequest
+	if !serve.DecodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Events) == 0 {
+		serve.WriteError(w, http.StatusBadRequest, "no events in request")
+		return
+	}
+	ifMatch := strings.Trim(r.Header.Get("If-Match"), `"`)
+	owners := g.cluster.Owners(hierarchyFP(id))
+	if len(owners) == 0 {
+		writeClientError(w, cluster.ErrNoBackends)
+		return
+	}
+	g.mu.Lock()
+	g.fanouts++
+	g.mu.Unlock()
+
+	var wg sync.WaitGroup
+	results := make([]client.AppendResult, len(owners))
+	errs := make([]error, len(owners))
+	for i, u := range owners {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			c := g.client(u)
+			if c == nil {
+				errs[i] = fmt.Errorf("backend %s left the cluster", u)
+				return
+			}
+			start := time.Now()
+			res, err := c.AppendEvents(r.Context(), id, req.Events, ifMatch)
+			g.record(u, time.Since(start), err)
+			g.reportHealth(u, err)
+			results[i], errs[i] = res, err
+		}(i, u)
+	}
+	wg.Wait()
+	for i := range owners {
+		if errs[i] == nil {
+			serve.WriteJSON(w, http.StatusOK, results[i])
+			return
+		}
+	}
+	for _, err := range errs {
+		if terminal(err) {
+			writeClientError(w, err)
+			return
+		}
+	}
+	writeClientError(w, errs[len(errs)-1])
+}
+
+// versionsResponse mirrors the backend version-listing body.
+type versionsResponse struct {
+	Hierarchy string                    `json:"hierarchy"`
+	Root      string                    `json:"root,omitempty"`
+	Head      int64                     `json:"head"`
+	Versions  []client.HierarchyVersion `json:"versions"`
+}
+
+// handleVersions reads the version history from the hierarchy's
+// primary, failing over down the replica order.
+func (g *Gateway) handleVersions(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	order := g.routeHierarchy(hierarchyFP(id))
+	var versions []client.HierarchyVersion
+	err := g.forward(order, func(c *client.Client, u string) error {
+		vs, err := c.HierarchyVersions(r.Context(), id)
+		if err != nil {
+			return err
+		}
+		versions = vs
+		return nil
+	})
+	if err != nil {
+		writeClientError(w, err)
+		return
+	}
+	resp := versionsResponse{Hierarchy: id, Versions: versions}
+	if n := len(versions); n > 0 {
+		resp.Head = versions[n-1].Version
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
 // scatter fans op across every live backend in parallel and
 // concatenates the successful results (op closures carry their own
 // request context). All-failed returns the last error; a dead cluster
@@ -218,6 +319,7 @@ type releaseRequest struct {
 	Merge     string   `json:"merge"`
 	Seed      int64    `json:"seed"`
 	Workers   int      `json:"workers"`
+	Version   int64    `json:"version"`
 	Async     bool     `json:"async"`
 }
 
@@ -246,6 +348,7 @@ func (g *Gateway) handleRelease(w http.ResponseWriter, r *http.Request) {
 		Merge:     req.Merge,
 		Seed:      req.Seed,
 		Workers:   req.Workers,
+		Version:   req.Version,
 	}
 
 	if req.Async {

@@ -256,15 +256,29 @@ func toQueryResponse(rep engine.NodeReport) queryResponse {
 	return resp
 }
 
-// budgetStatusResponse is the body of GET /v1/budget/{id}: the
-// hierarchy's cumulative privacy spend and, when a bound is configured,
-// what remains under it.
+// versionBudget is one version's share of a hierarchy's privacy spend.
+type versionBudget struct {
+	Version      int64   `json:"version"`
+	Fingerprint  string  `json:"fingerprint"`
+	SpentEpsilon float64 `json:"spent_epsilon"`
+}
+
+// budgetStatusResponse is the body of GET /v1/budget/{id}. The
+// top-level spent/remaining fields describe the head version under the
+// per-version -max-epsilon-per-hierarchy bound; versions breaks the
+// spend down per immutable version; the continual_* fields report the
+// cross-version continual-observation account.
 type budgetStatusResponse struct {
-	Hierarchy              string  `json:"hierarchy"`
-	SpentEpsilon           float64 `json:"spent_epsilon"`
-	RemainingEpsilon       float64 `json:"remaining_epsilon"`
-	MaxEpsilonPerHierarchy float64 `json:"max_epsilon_per_hierarchy"`
-	Enforced               bool    `json:"enforced"`
+	Hierarchy                 string          `json:"hierarchy"`
+	SpentEpsilon              float64         `json:"spent_epsilon"`
+	RemainingEpsilon          float64         `json:"remaining_epsilon"`
+	MaxEpsilonPerHierarchy    float64         `json:"max_epsilon_per_hierarchy"`
+	Enforced                  bool            `json:"enforced"`
+	Versions                  []versionBudget `json:"versions"`
+	ContinualSpentEpsilon     float64         `json:"continual_spent_epsilon"`
+	ContinualRemainingEpsilon float64         `json:"continual_remaining_epsilon"`
+	MaxEpsilonContinual       float64         `json:"max_epsilon_continual"`
+	ContinualEnforced         bool            `json:"continual_enforced"`
 }
 
 // hierarchyID strips the "h-" prefix hierarchy ids are served with.
@@ -276,23 +290,33 @@ func hierarchyID(id string) string {
 }
 
 // handleBudget reports a hierarchy's privacy-budget position without
-// spending anything: what past computations cost, what remains under
-// -max-epsilon-per-hierarchy, and whether the bound is enforced at all.
+// spending anything: what past computations cost (per version and
+// across all versions), what remains under the per-version and
+// continual-observation bounds, and whether each bound is enforced.
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
-	fp := hierarchyID(r.PathValue("id"))
-	s.mu.RLock()
-	_, known := s.trees["h-"+fp]
-	s.mu.RUnlock()
-	if !known {
-		WriteError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", "h-"+fp)
+	l, ok := s.logs.Get(hierarchyID(r.PathValue("id")))
+	if !ok {
+		WriteError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", r.PathValue("id"))
 		return
 	}
-	spent, remaining, limit, enforced := s.eng.BudgetStatus(fp)
-	WriteJSON(w, http.StatusOK, budgetStatusResponse{
-		Hierarchy:              "h-" + fp,
+	head := l.Head()
+	spent, remaining, limit, enforced := s.eng.BudgetStatus(head.Fingerprint)
+	resp := budgetStatusResponse{
+		Hierarchy:              "h-" + l.ID(),
 		SpentEpsilon:           spent,
 		RemainingEpsilon:       remaining,
 		MaxEpsilonPerHierarchy: limit,
 		Enforced:               enforced,
-	})
+	}
+	for _, v := range l.Versions() {
+		vs, _, _, _ := s.eng.BudgetStatus(v.Fingerprint)
+		resp.Versions = append(resp.Versions, versionBudget{
+			Version:      v.Seq,
+			Fingerprint:  v.Fingerprint,
+			SpentEpsilon: vs,
+		})
+	}
+	resp.ContinualSpentEpsilon, resp.ContinualRemainingEpsilon, resp.ContinualEnforced = s.continualStatus(l)
+	resp.MaxEpsilonContinual = s.contLimit
+	WriteJSON(w, http.StatusOK, resp)
 }

@@ -135,12 +135,14 @@ func TestOpenAPIExampleDrift(t *testing.T) {
 		"cache_hit", "store_hit", "deduped", "duration_ms",
 		"kth_largest", "topcoded", "cost_bytes",
 		"retry_after_seconds", "queue_wait_ms", "compute_slots",
+		"head_version", "head_fingerprint", "continual_spent_epsilon",
+		"max_epsilon_continual", "nodes_estimated",
 	} {
 		if !strings.Contains(spec, field) {
 			t.Errorf("spec lost field %q", field)
 		}
 	}
-	for _, status := range []string{`"202"`, `"413"`, `"415"`, `"429"`, `"503"`, `"507"`} {
+	for _, status := range []string{`"202"`, `"409"`, `"413"`, `"415"`, `"429"`, `"503"`, `"507"`} {
 		if !strings.Contains(spec, status+":") {
 			t.Errorf("spec lost status %s", status)
 		}
@@ -162,6 +164,8 @@ func TestRoutesStable(t *testing.T) {
 	want := []string{
 		"POST /v1/hierarchy",
 		"GET /v1/hierarchy",
+		"POST /v1/hierarchy/{id}/events",
+		"GET /v1/hierarchy/{id}/versions",
 		"POST /v1/release",
 		"GET /v1/release",
 		"GET /v1/release/{id}",

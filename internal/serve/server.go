@@ -19,6 +19,8 @@ import (
 
 	"hcoc"
 	"hcoc/internal/engine"
+	"hcoc/internal/eventlog"
+	"hcoc/internal/privacy"
 	"hcoc/internal/store"
 )
 
@@ -32,10 +34,11 @@ const maxBodyBytes = 1 << 30
 const maxHierarchies = 128
 
 // Server is the HTTP front end over the release engine. Hierarchies are
-// uploaded once and addressed by content fingerprint; releases are
-// cached and addressed by release key. With a durable store, both
-// survive restarts: hierarchies and completed releases are reloaded
-// from disk on boot.
+// event logs: established by a snapshot, evolved by appended deltas,
+// addressed by the content fingerprint of their first snapshot. Every
+// applied event is a new immutable version, and releases, queries, and
+// downloads can pin one. With a durable store the logs survive
+// restarts: events are replayed from disk on boot.
 type Server struct {
 	eng     *engine.Engine
 	st      *store.Store // nil = memory only
@@ -43,36 +46,68 @@ type Server struct {
 	mux     *http.ServeMux
 	maxBody int64
 
-	mu       sync.RWMutex
-	trees    map[string]*storedTree
+	logs     *eventlog.Manager
 	maxTrees int
+
+	// Continual-observation budget: one accountant per event log,
+	// bounding the cumulative epsilon spent across every version of the
+	// hierarchy — the privacy cost of watching it evolve. Zero limit
+	// means unenforced.
+	contLimit float64
+	contMu    sync.Mutex
+	continual map[string]*privacy.Accountant
 }
 
-type storedTree struct {
-	tree *hcoc.Tree
-	fp   string
+// ServerOption configures optional server behavior.
+type ServerOption func(*Server)
+
+// WithContinualBudget bounds the cumulative epsilon spent across all
+// versions of each hierarchy (the continual-observation budget of an
+// evolving dataset), on top of the engine's per-version bound. Zero or
+// negative disables enforcement.
+func WithContinualBudget(epsilon float64) ServerOption {
+	return func(s *Server) {
+		if epsilon > 0 {
+			s.contLimit = epsilon
+		}
+	}
 }
 
 // NewServer wires the routes over an engine and an optional durable
-// store. With a store, persisted hierarchies are rebuilt immediately so
-// releases and queries work across restarts without re-uploading.
-func NewServer(eng *engine.Engine, st *store.Store) (*Server, error) {
+// store. With a store, persisted event logs are replayed immediately —
+// and pre-event-log hierarchy snapshots migrated into single-snapshot
+// logs — so releases and queries work across restarts without
+// re-uploading.
+func NewServer(eng *engine.Engine, st *store.Store, opts ...ServerOption) (*Server, error) {
 	s := &Server{
-		eng:      eng,
-		st:       st,
-		jobs:     engine.NewJobs(0),
-		mux:      http.NewServeMux(),
-		maxBody:  maxBodyBytes,
-		trees:    make(map[string]*storedTree),
-		maxTrees: maxHierarchies,
+		eng:       eng,
+		st:        st,
+		jobs:      engine.NewJobs(0),
+		mux:       http.NewServeMux(),
+		maxBody:   maxBodyBytes,
+		maxTrees:  maxHierarchies,
+		continual: make(map[string]*privacy.Accountant),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	for _, rt := range s.routeTable() {
 		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
 	}
-	if err := s.loadHierarchies(); err != nil {
+	logs, err := eventlog.OpenManager(st)
+	if err != nil {
 		return nil, err
 	}
+	s.logs = logs
 	return s, nil
+}
+
+// RefreshLogs re-reads the store manifest for event logs appended by
+// other writers on a shared backend: new logs are opened and known logs
+// catch up to their durable head. Wired to SIGHUP alongside the store's
+// own Refresh.
+func (s *Server) RefreshLogs() error {
+	return s.logs.Refresh()
 }
 
 // Route is one registered endpoint: an HTTP method and a net/http mux
@@ -93,6 +128,8 @@ func (s *Server) routeTable() []routeEntry {
 	return []routeEntry{
 		{Route{"POST", "/v1/hierarchy"}, s.handleHierarchy},
 		{Route{"GET", "/v1/hierarchy"}, s.handleListHierarchies},
+		{Route{"POST", "/v1/hierarchy/{id}/events"}, s.handleAppendEvents},
+		{Route{"GET", "/v1/hierarchy/{id}/versions"}, s.handleVersions},
 		{Route{"POST", "/v1/release"}, s.handleRelease},
 		{Route{"GET", "/v1/release"}, s.handleListReleases},
 		{Route{"GET", "/v1/release/{id}"}, s.handleGetRelease},
@@ -118,40 +155,83 @@ func (s *Server) Routes() []Route {
 	return out
 }
 
-// loadHierarchies warm-starts the uploaded-tree table from the store.
-// A persisted hierarchy whose rebuilt tree no longer matches its
-// fingerprint is corrupt and refuses the boot rather than silently
-// serving a different dataset.
-func (s *Server) loadHierarchies() error {
-	if s.st == nil {
+// continualFor returns (lazily creating and warm-starting) the
+// continual-observation accountant of one event log. On first touch
+// the accountant is seeded with the epsilon already spent against every
+// version fingerprint of the log — spend recorded by this process or
+// replayed from the store manifest — so a restart cannot reset the
+// continual budget. Returns nil when the bound is unenforced. Caller
+// holds contMu (the Accountant itself is not concurrency-safe).
+func (s *Server) continualFor(l *eventlog.Log) *privacy.Accountant {
+	if s.contLimit <= 0 {
 		return nil
 	}
-	recs, err := s.st.Hierarchies()
+	if acct, ok := s.continual[l.ID()]; ok {
+		return acct
+	}
+	acct, err := privacy.NewAccountant(s.contLimit)
 	if err != nil {
-		return err
+		return nil
 	}
-	for i, rec := range recs {
-		if len(s.trees) >= s.maxTrees {
-			// Loudly name what is being left behind: these hierarchies
-			// stay on disk (with their artifacts and budget spend) but
-			// are unreachable until the cap is raised.
-			fmt.Printf("hcoc-serve: hierarchy table full (%d); %d persisted hierarchies not loaded:\n", s.maxTrees, len(recs)-i)
-			for _, dropped := range recs[i:] {
-				fmt.Printf("hcoc-serve:   not loaded: h-%s\n", dropped.Fingerprint)
-			}
-			break
-		}
-		tree, err := hcoc.BuildHierarchy(rec.Root, rec.Groups)
-		if err != nil {
-			return fmt.Errorf("rebuilding hierarchy %s: %w", rec.Fingerprint, err)
-		}
-		fp := engine.FingerprintTree(tree)
-		if fp != rec.Fingerprint {
-			return fmt.Errorf("hierarchy %s rebuilt with fingerprint %s; data dir is corrupt", rec.Fingerprint, fp)
-		}
-		s.trees["h-"+fp] = &storedTree{tree: tree, fp: fp}
+	var spent float64
+	for _, v := range l.Versions() {
+		vs, _, _, _ := s.eng.BudgetStatus(v.Fingerprint)
+		spent += vs
 	}
-	return nil
+	if spent > 0 {
+		// Historical spend may already exceed a newly lowered limit;
+		// clamp so the accountant still refuses new work.
+		if spent > acct.Remaining() {
+			spent = acct.Remaining()
+		}
+		_ = acct.Spend("warm-start", spent)
+	}
+	s.continual[l.ID()] = acct
+	return acct
+}
+
+// chargeContinual debits a release's epsilon against the log's
+// continual budget before the engine runs. ok=false means the bound
+// would be exceeded; remaining reports what the log could still afford.
+// charged=false means the bound is unenforced (nothing to refund).
+func (s *Server) chargeContinual(l *eventlog.Log, epsilon float64) (charged, ok bool, remaining float64) {
+	s.contMu.Lock()
+	defer s.contMu.Unlock()
+	acct := s.continualFor(l)
+	if acct == nil {
+		return false, true, 0
+	}
+	if err := acct.Spend("release", epsilon); err != nil {
+		return false, false, acct.Remaining()
+	}
+	return true, true, acct.Remaining()
+}
+
+// refundContinual returns a charge for a request that drew no noise —
+// a cache/store/peer hit, a dedup onto an in-flight computation (the
+// computing request carries the charge), or a failed release.
+func (s *Server) refundContinual(l *eventlog.Log, epsilon float64) {
+	s.contMu.Lock()
+	defer s.contMu.Unlock()
+	if acct, ok := s.continual[l.ID()]; ok {
+		_ = acct.Refund("release", epsilon)
+	}
+}
+
+// continualStatus reports a log's continual spend and remaining budget
+// without charging anything.
+func (s *Server) continualStatus(l *eventlog.Log) (spent, remaining float64, enforced bool) {
+	s.contMu.Lock()
+	defer s.contMu.Unlock()
+	acct := s.continualFor(l)
+	if acct == nil {
+		for _, v := range l.Versions() {
+			vs, _, _, _ := s.eng.BudgetStatus(v.Fingerprint)
+			spent += vs
+		}
+		return spent, 0, false
+	}
+	return acct.Spent(), acct.Remaining(), true
 }
 
 // ServeHTTP implements http.Handler. Request bodies are bounded (and,
@@ -214,9 +294,39 @@ func isArtifactDownload(r *http.Request) bool {
 		strings.HasPrefix(r.URL.Path, "/v1/release/")
 }
 
-// errorResponse is the JSON shape of every non-2xx response.
+// errorResponse is the JSON shape of every non-2xx response: a human
+// message plus a machine-readable code clients can branch on without
+// parsing prose.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// ErrorCode maps an HTTP status to its default machine-readable error
+// code. Handlers with something more specific to say (budget,
+// overload, version_conflict) use WriteErrorCode or a typed body
+// instead. Exported for the gateway tier.
+func ErrorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "version_conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusUnsupportedMediaType:
+		return "unsupported_media"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInsufficientStorage:
+		return "insufficient_storage"
+	default:
+		return "internal"
+	}
 }
 
 // WriteJSON writes v as an indented JSON response. Exported for the
@@ -229,10 +339,17 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// WriteError writes the canonical {"error": "..."} body every non-2xx
-// response carries. Exported for the gateway tier.
+// WriteError writes the canonical {"error", "code"} body every non-2xx
+// response carries, deriving the code from the status. Exported for
+// the gateway tier.
 func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
-	WriteJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	WriteErrorCode(w, status, ErrorCode(status), format, args...)
+}
+
+// WriteErrorCode is WriteError with an explicit machine-readable code,
+// for handlers whose failure is more specific than the status implies.
+func WriteErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	WriteJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // DecodeJSON parses a POST body into v, writing the precise failure
@@ -278,15 +395,24 @@ type hierarchyRequest struct {
 	Groups []groupRecord `json:"groups"`
 }
 
-// hierarchyResponse describes an uploaded hierarchy.
+// hierarchyResponse describes a hierarchy (an event log) at its head
+// version.
 type hierarchyResponse struct {
-	ID     string `json:"id"`
-	Depth  int    `json:"depth"`
-	Nodes  int    `json:"nodes"`
-	Groups int64  `json:"groups"`
-	People int64  `json:"people"`
+	ID          string `json:"id"`
+	Depth       int    `json:"depth"`
+	Nodes       int    `json:"nodes"`
+	Groups      int64  `json:"groups"`
+	People      int64  `json:"people"`
+	Version     int64  `json:"version"`
+	Fingerprint string `json:"fingerprint"`
 }
 
+// handleHierarchy is the legacy snapshot upload, kept as a deprecated
+// alias: the body becomes the log's snapshot event. The log id is the
+// snapshot tree's fingerprint — the same content address this endpoint
+// always handed out — so re-uploads stay idempotent, and an existing
+// log keeps any deltas already appended (the upload does NOT reset it;
+// version reports the log's current head).
 func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 	var req hierarchyRequest
 	if !DecodeJSON(w, r, &req) {
@@ -312,61 +438,229 @@ func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "building hierarchy: %v", err)
 		return
 	}
-
 	fp := engine.FingerprintTree(tree)
-	id := "h-" + fp
-	s.mu.Lock()
-	// Content-addressed: re-uploading the same groups is idempotent.
-	if _, ok := s.trees[id]; !ok {
-		if len(s.trees) >= s.maxTrees {
-			s.mu.Unlock()
-			WriteError(w, http.StatusInsufficientStorage,
-				"hierarchy store is full (%d); re-use an uploaded hierarchy or restart the server", s.maxTrees)
-			return
-		}
-		s.trees[id] = &storedTree{tree: tree, fp: fp}
+	if _, ok := s.logs.Get(fp); !ok && s.logs.Len() >= s.maxTrees {
+		WriteError(w, http.StatusInsufficientStorage,
+			"hierarchy store is full (%d); re-use an uploaded hierarchy or restart the server", s.maxTrees)
+		return
 	}
-	s.mu.Unlock()
-
-	// Persist the upload so a restart can rebuild the tree; a storage
-	// failure degrades durability, not the upload itself.
-	if s.st != nil {
-		if err := s.st.PutHierarchy(fp, req.Root, groups); err != nil {
-			fmt.Printf("hcoc-serve: persisting hierarchy %s: %v\n", fp, err)
-		}
+	l, _, err := s.logs.Create(req.Root, groups)
+	if err != nil {
+		WriteError(w, http.StatusInternalServerError, "establishing event log: %v", err)
+		return
 	}
 
-	WriteJSON(w, http.StatusOK, hierarchyResponse{
-		ID:     id,
-		Depth:  tree.Depth(),
-		Nodes:  len(tree.Nodes()),
-		Groups: tree.Root.G(),
-		People: tree.Root.Hist.People(),
-	})
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", fmt.Sprintf("</v1/hierarchy/h-%s/events>; rel=\"successor-version\"", l.ID()))
+	WriteJSON(w, http.StatusOK, logResponse(l))
+}
+
+// logResponse renders a log's head-version summary.
+func logResponse(l *eventlog.Log) hierarchyResponse {
+	head := l.Head()
+	tree := l.HeadTree()
+	return hierarchyResponse{
+		ID:          "h-" + l.ID(),
+		Depth:       tree.Depth(),
+		Nodes:       len(tree.Nodes()),
+		Groups:      tree.Root.G(),
+		People:      tree.Root.Hist.People(),
+		Version:     head.Seq,
+		Fingerprint: head.Fingerprint,
+	}
 }
 
 func (s *Server) handleListHierarchies(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	out := make([]hierarchyResponse, 0, len(s.trees))
-	for id, st := range s.trees {
-		out = append(out, hierarchyResponse{
-			ID:     id,
-			Depth:  st.tree.Depth(),
-			Nodes:  len(st.tree.Nodes()),
-			Groups: st.tree.Root.G(),
-			People: st.tree.Root.Hist.People(),
-		})
+	logs := s.logs.Logs()
+	out := make([]hierarchyResponse, 0, len(logs))
+	for _, l := range logs {
+		out = append(out, logResponse(l))
 	}
-	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	WriteJSON(w, http.StatusOK, out)
+}
+
+// driftRecord is the wire shape of one count-drift entry in a delta
+// event: count groups at path move from size from to size to.
+type driftRecord struct {
+	Path  []string `json:"path"`
+	From  int64    `json:"from"`
+	To    int64    `json:"to"`
+	Count int64    `json:"count"`
+}
+
+// eventRecord is the wire shape of one hierarchy event. Type selects
+// which fields apply: "snapshot" uses root+groups, "delta" uses
+// add/remove/drift.
+type eventRecord struct {
+	Type   string        `json:"type"`
+	Root   string        `json:"root,omitempty"`
+	Groups []groupRecord `json:"groups,omitempty"`
+	Add    []groupRecord `json:"add,omitempty"`
+	Remove []groupRecord `json:"remove,omitempty"`
+	Drift  []driftRecord `json:"drift,omitempty"`
+}
+
+// appendEventsRequest is the body of POST /v1/hierarchy/{id}/events.
+type appendEventsRequest struct {
+	Events []eventRecord `json:"events"`
+}
+
+// versionInfo is the wire shape of one immutable hierarchy version.
+type versionInfo struct {
+	Version     int64     `json:"version"`
+	Fingerprint string    `json:"fingerprint"`
+	CreatedAt   time.Time `json:"created_at"`
+	Type        string    `json:"type"`
+	Nodes       int       `json:"nodes"`
+	Groups      int64     `json:"groups"`
+}
+
+func toVersionInfo(v eventlog.Version) versionInfo {
+	return versionInfo{
+		Version:     v.Seq,
+		Fingerprint: v.Fingerprint,
+		CreatedAt:   v.CreatedAt,
+		Type:        v.Type,
+		Nodes:       v.Nodes,
+		Groups:      v.Groups,
+	}
+}
+
+// appendEventsResponse reports where the log's head landed after the
+// appends.
+type appendEventsResponse struct {
+	Hierarchy string      `json:"hierarchy"`
+	Applied   int         `json:"applied"`
+	Head      versionInfo `json:"head"`
+}
+
+// conflictResponse is the 409 body of a failed If-Match precondition:
+// the head the caller must rebase onto.
+type conflictResponse struct {
+	Error           string `json:"error"`
+	Code            string `json:"code"`
+	Hierarchy       string `json:"hierarchy"`
+	HeadVersion     int64  `json:"head_version"`
+	HeadFingerprint string `json:"head_fingerprint"`
+	Given           string `json:"given"`
+}
+
+// eventFromRecord lowers a wire event into the log's type.
+func eventFromRecord(rec eventRecord) eventlog.Event {
+	conv := func(gs []groupRecord) []eventlog.Group {
+		if len(gs) == 0 {
+			return nil
+		}
+		out := make([]eventlog.Group, len(gs))
+		for i, g := range gs {
+			out[i] = eventlog.Group{Path: g.Path, Size: g.Size}
+		}
+		return out
+	}
+	ev := eventlog.Event{
+		Type:   rec.Type,
+		Root:   rec.Root,
+		Groups: conv(rec.Groups),
+		Add:    conv(rec.Add),
+		Remove: conv(rec.Remove),
+	}
+	for _, d := range rec.Drift {
+		ev.Drift = append(ev.Drift, eventlog.Drift{Path: d.Path, From: d.From, To: d.To, Count: d.Count})
+	}
+	return ev
+}
+
+// handleAppendEvents appends delta events to a hierarchy's log. Each
+// applied event is a new immutable version; the response names the
+// resulting head. An If-Match header (the expected head fingerprint,
+// quoted or bare) makes the first append conditional: a stale value is
+// a 409 with the current head, and nothing is applied. Events apply in
+// order, one at a time — an invalid event fails the request at that
+// index, keeping the versions the earlier events already produced.
+func (s *Server) handleAppendEvents(w http.ResponseWriter, r *http.Request) {
+	l, ok := s.logs.Get(hierarchyID(r.PathValue("id")))
+	if !ok {
+		WriteError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", r.PathValue("id"))
+		return
+	}
+	var req appendEventsRequest
+	if !DecodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Events) == 0 {
+		WriteError(w, http.StatusBadRequest, "no events in request")
+		return
+	}
+	ifMatch := strings.Trim(r.Header.Get("If-Match"), `"`)
+	var head eventlog.Version
+	for i, rec := range req.Events {
+		ev := eventFromRecord(rec)
+		match := ""
+		if i == 0 {
+			match = ifMatch
+		}
+		v, err := l.Append(ev, match)
+		if err != nil {
+			var conflict *eventlog.ConflictError
+			if errors.As(err, &conflict) {
+				WriteJSON(w, http.StatusConflict, conflictResponse{
+					Error:           err.Error(),
+					Code:            "version_conflict",
+					Hierarchy:       "h-" + l.ID(),
+					HeadVersion:     conflict.Head.Seq,
+					HeadFingerprint: conflict.Head.Fingerprint,
+					Given:           conflict.Given,
+				})
+				return
+			}
+			WriteError(w, http.StatusBadRequest, "event %d (after %d applied): %v", i, i, err)
+			return
+		}
+		head = v
+	}
+	WriteJSON(w, http.StatusOK, appendEventsResponse{
+		Hierarchy: "h-" + l.ID(),
+		Applied:   len(req.Events),
+		Head:      toVersionInfo(head),
+	})
+}
+
+// versionsResponse is the body of GET /v1/hierarchy/{id}/versions.
+type versionsResponse struct {
+	Hierarchy string        `json:"hierarchy"`
+	Root      string        `json:"root"`
+	Head      int64         `json:"head"`
+	Versions  []versionInfo `json:"versions"`
+}
+
+// handleVersions lists a hierarchy's immutable versions, oldest first.
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	l, ok := s.logs.Get(hierarchyID(r.PathValue("id")))
+	if !ok {
+		WriteError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", r.PathValue("id"))
+		return
+	}
+	vs := l.Versions()
+	out := versionsResponse{
+		Hierarchy: "h-" + l.ID(),
+		Root:      l.Root(),
+		Head:      vs[len(vs)-1].Seq,
+		Versions:  make([]versionInfo, len(vs)),
+	}
+	for i, v := range vs {
+		out.Versions[i] = toVersionInfo(v)
+	}
 	WriteJSON(w, http.StatusOK, out)
 }
 
 // releaseRequest is the body of POST /v1/release. With "async": true
 // the request returns 202 Accepted immediately with a job id; poll
-// GET /v1/jobs/{id} for completion.
+// GET /v1/jobs/{id} for completion. Version pins which immutable
+// hierarchy version is released; 0 (or absent) means the current head.
 type releaseRequest struct {
 	Hierarchy string   `json:"hierarchy"`
+	Version   int64    `json:"version"`
 	Algorithm string   `json:"algorithm"`
 	Epsilon   float64  `json:"epsilon"`
 	K         int      `json:"k"`
@@ -378,24 +672,36 @@ type releaseRequest struct {
 }
 
 // releaseResponse describes how a release request was satisfied.
+// Incremental reports that the computation reused retained state from a
+// prior version's release, recomputing only the changed subtrees; the
+// nodes_estimated/nodes_total pair says how much work that saved. The
+// artifact is bit-identical either way.
 type releaseResponse struct {
-	Release    string  `json:"release"`
-	Hierarchy  string  `json:"hierarchy"`
-	Algorithm  string  `json:"algorithm"`
-	Epsilon    float64 `json:"epsilon"`
-	Nodes      int     `json:"nodes"`
-	CacheHit   bool    `json:"cache_hit"`
-	StoreHit   bool    `json:"store_hit"`
-	PeerHit    bool    `json:"peer_hit"`
-	Deduped    bool    `json:"deduped"`
-	DurationMS float64 `json:"duration_ms"`
+	Release        string  `json:"release"`
+	Hierarchy      string  `json:"hierarchy"`
+	Version        int64   `json:"version"`
+	Fingerprint    string  `json:"fingerprint"`
+	Algorithm      string  `json:"algorithm"`
+	Epsilon        float64 `json:"epsilon"`
+	Nodes          int     `json:"nodes"`
+	CacheHit       bool    `json:"cache_hit"`
+	StoreHit       bool    `json:"store_hit"`
+	PeerHit        bool    `json:"peer_hit"`
+	Deduped        bool    `json:"deduped"`
+	Incremental    bool    `json:"incremental"`
+	NodesEstimated int     `json:"nodes_estimated"`
+	NodesTotal     int     `json:"nodes_total"`
+	DurationMS     float64 `json:"duration_ms"`
 }
 
 // budgetResponse is the 429 body when a release would exceed the
 // per-hierarchy epsilon bound; remaining_epsilon tells the client what
-// it could still afford.
+// it could still afford. Code distinguishes the per-version bound
+// ("budget") from the cross-version continual-observation bound
+// ("continual_budget").
 type budgetResponse struct {
 	Error                  string  `json:"error"`
+	Code                   string  `json:"code"`
 	Hierarchy              string  `json:"hierarchy"`
 	RequestedEpsilon       float64 `json:"requested_epsilon"`
 	RemainingEpsilon       float64 `json:"remaining_epsilon"`
@@ -406,6 +712,7 @@ type budgetResponse struct {
 // its bound; retry_after_seconds mirrors the Retry-After header.
 type overloadResponse struct {
 	Error             string `json:"error"`
+	Code              string `json:"code"`
 	Hierarchy         string `json:"hierarchy"`
 	QueueDepth        int    `json:"queue_depth"`
 	RetryAfterSeconds int    `json:"retry_after_seconds"`
@@ -420,6 +727,7 @@ func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
 	if errors.As(err, &be) {
 		WriteJSON(w, http.StatusTooManyRequests, budgetResponse{
 			Error:                  err.Error(),
+			Code:                   "budget",
 			Hierarchy:              "h-" + be.Hierarchy,
 			RequestedEpsilon:       be.Requested,
 			RemainingEpsilon:       be.Remaining,
@@ -436,6 +744,7 @@ func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		WriteJSON(w, http.StatusTooManyRequests, overloadResponse{
 			Error:             err.Error(),
+			Code:              "overload",
 			Hierarchy:         "h-" + ov.Tenant,
 			QueueDepth:        ov.QueueDepth,
 			RetryAfterSeconds: secs,
@@ -443,6 +752,35 @@ func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
 		return
 	}
 	WriteError(w, http.StatusInternalServerError, "release failed: %v", err)
+}
+
+// prevCandidates names the versions whose retained release state could
+// seed an incremental recompute of target, nearest first. The walk
+// stops at a snapshot boundary (everything changed — no reuse) and
+// after a handful of candidates: state for versions further back has
+// almost certainly been evicted, and each candidate's changed set costs
+// memory to carry.
+func prevCandidates(l *eventlog.Log, target int64) []engine.PrevVersion {
+	var out []engine.PrevVersion
+	for seq := target - 1; seq >= 1 && len(out) < 8; seq-- {
+		changed, ok := l.ChangedSince(seq, target)
+		if !ok {
+			break
+		}
+		v, ok := l.Version(seq)
+		if !ok {
+			break
+		}
+		out = append(out, engine.PrevVersion{TreeFP: v.Fingerprint, Changed: changed})
+	}
+	return out
+}
+
+// freeResult reports that a release request drew no new noise — the
+// engine answered from a cache/store/peer tier or coalesced onto an
+// in-flight computation that carries the spend.
+func freeResult(res engine.Result) bool {
+	return res.CacheHit || res.StoreHit || res.PeerHit || res.Deduped
 }
 
 func parseMethods(names []string) ([]hcoc.Method, error) {
@@ -478,11 +816,18 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !DecodeJSON(w, r, &req) {
 		return
 	}
-	s.mu.RLock()
-	st, ok := s.trees[req.Hierarchy]
-	s.mu.RUnlock()
+	l, ok := s.logs.Get(hierarchyID(req.Hierarchy))
 	if !ok {
 		WriteError(w, http.StatusNotFound, "unknown hierarchy %q; POST /v1/hierarchy first", req.Hierarchy)
+		return
+	}
+	if req.Version < 0 {
+		WriteError(w, http.StatusBadRequest, "version must be nonnegative, got %d (0 selects the head)", req.Version)
+		return
+	}
+	tree, ver, err := l.Tree(req.Version)
+	if err != nil {
+		WriteError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	alg, err := engine.ParseAlgorithm(req.Algorithm)
@@ -518,13 +863,40 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		Workers: req.Workers,
 	}
 
+	// Charge the continual-observation budget up front — before the
+	// engine can draw noise — and refund when the request turns out to
+	// be free (a hit or a dedup) or fails.
+	charged, ok, remaining := s.chargeContinual(l, req.Epsilon)
+	if !ok {
+		WriteJSON(w, http.StatusTooManyRequests, budgetResponse{
+			Error: fmt.Sprintf("hierarchy h-%s has spent its continual-observation budget: requested %g, %g of %g remains",
+				l.ID(), req.Epsilon, remaining, s.contLimit),
+			Code:                   "continual_budget",
+			Hierarchy:              "h-" + l.ID(),
+			RequestedEpsilon:       req.Epsilon,
+			RemainingEpsilon:       remaining,
+			MaxEpsilonPerHierarchy: s.contLimit,
+		})
+		return
+	}
+
+	prev := prevCandidates(l, ver.Seq)
+
 	if req.Async {
 		// Detach from the request: the job runs under the background
-		// context and outlives this connection.
+		// context and outlives this connection. The refund moves into
+		// the job body — only it knows how the request was satisfied.
 		job, err := s.jobs.Submit(func() (engine.Result, error) {
-			return s.eng.Release(context.Background(), st.tree, st.fp, alg, opts)
+			res, err := s.eng.ReleaseFrom(context.Background(), tree, ver.Fingerprint, alg, opts, prev)
+			if charged && (err != nil || freeResult(res)) {
+				s.refundContinual(l, req.Epsilon)
+			}
+			return res, err
 		})
 		if err != nil {
+			if charged {
+				s.refundContinual(l, req.Epsilon)
+			}
 			WriteError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
@@ -538,7 +910,10 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.eng.Release(r.Context(), st.tree, st.fp, alg, opts)
+	res, err := s.eng.ReleaseFrom(r.Context(), tree, ver.Fingerprint, alg, opts, prev)
+	if charged && (err != nil || freeResult(res)) {
+		s.refundContinual(l, req.Epsilon)
+	}
 	if err != nil {
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
 			return // client went away
@@ -547,16 +922,21 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	WriteJSON(w, http.StatusOK, releaseResponse{
-		Release:    "r-" + res.Key,
-		Hierarchy:  req.Hierarchy,
-		Algorithm:  alg.String(),
-		Epsilon:    req.Epsilon,
-		Nodes:      len(res.Release),
-		CacheHit:   res.CacheHit,
-		StoreHit:   res.StoreHit,
-		PeerHit:    res.PeerHit,
-		Deduped:    res.Deduped,
-		DurationMS: float64(res.Duration.Microseconds()) / 1000,
+		Release:        "r-" + res.Key,
+		Hierarchy:      "h-" + l.ID(),
+		Version:        ver.Seq,
+		Fingerprint:    ver.Fingerprint,
+		Algorithm:      alg.String(),
+		Epsilon:        req.Epsilon,
+		Nodes:          len(res.Release),
+		CacheHit:       res.CacheHit,
+		StoreHit:       res.StoreHit,
+		PeerHit:        res.PeerHit,
+		Deduped:        res.Deduped,
+		Incremental:    res.Incremental,
+		NodesEstimated: res.Stats.NodesEstimated,
+		NodesTotal:     res.Stats.NodesTotal,
+		DurationMS:     float64(res.Duration.Microseconds()) / 1000,
 	})
 }
 
@@ -628,11 +1008,45 @@ type releaseListEntry struct {
 // handleListReleases lists the durable artifacts: what survives a
 // restart. Without a data dir the list is empty — in-memory cache
 // entries are intentionally excluded, they are an eviction away from
-// gone.
+// gone. ?hierarchy= narrows the list to one event log (artifacts of
+// every version); adding ?version= narrows to one pinned version.
 func (s *Server) handleListReleases(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter map[string]bool // version fingerprints; nil = unfiltered
+	if hid := hierarchyID(q.Get("hierarchy")); hid != "" {
+		l, ok := s.logs.Get(hid)
+		if !ok {
+			WriteError(w, http.StatusNotFound, "unknown hierarchy %q", q.Get("hierarchy"))
+			return
+		}
+		filter = make(map[string]bool)
+		if raw := q.Get("version"); raw != "" {
+			seq, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil || seq < 0 {
+				WriteError(w, http.StatusBadRequest, "bad version %q (want a nonnegative integer)", raw)
+				return
+			}
+			v, ok := l.Version(seq)
+			if !ok {
+				WriteError(w, http.StatusNotFound, "hierarchy h-%s has no version %d (head is %d)", l.ID(), seq, l.Head().Seq)
+				return
+			}
+			filter[v.Fingerprint] = true
+		} else {
+			for _, v := range l.Versions() {
+				filter[v.Fingerprint] = true
+			}
+		}
+	} else if q.Get("version") != "" {
+		WriteError(w, http.StatusBadRequest, "version filter requires a hierarchy filter")
+		return
+	}
 	out := []releaseListEntry{}
 	if s.st != nil {
 		for _, m := range s.st.List() {
+			if filter != nil && !filter[m.Hierarchy] {
+				continue
+			}
 			out = append(out, releaseListEntry{
 				Release:    "r-" + m.Key,
 				Hierarchy:  "h-" + m.Hierarchy,
@@ -849,12 +1263,64 @@ func ParseQueryParams(w http.ResponseWriter, q url.Values) (quantiles []float64,
 	return quantiles, kth, topCode, true
 }
 
+// resolveReleaseKey maps a (hierarchy, version) pair to the most recent
+// durable release artifact of that pinned version. Pinned queries stay
+// byte-stable as the hierarchy keeps moving: the version's fingerprint
+// is immutable, and the artifacts it names never change.
+func (s *Server) resolveReleaseKey(w http.ResponseWriter, hierarchy, version string) (string, bool) {
+	l, ok := s.logs.Get(hierarchyID(hierarchy))
+	if !ok {
+		WriteError(w, http.StatusNotFound, "unknown hierarchy %q", hierarchy)
+		return "", false
+	}
+	var seq int64
+	if version != "" {
+		v, err := strconv.ParseInt(version, 10, 64)
+		if err != nil || v < 0 {
+			WriteError(w, http.StatusBadRequest, "bad version %q (want a nonnegative integer)", version)
+			return "", false
+		}
+		seq = v
+	}
+	ver, ok := l.Version(seq)
+	if !ok {
+		WriteError(w, http.StatusNotFound, "hierarchy h-%s has no version %d (head is %d)", l.ID(), seq, l.Head().Seq)
+		return "", false
+	}
+	var key string
+	var latest time.Time
+	if s.st != nil {
+		for _, m := range s.st.List() {
+			if m.Hierarchy == ver.Fingerprint && (key == "" || m.CreatedAt.After(latest)) {
+				key, latest = m.Key, m.CreatedAt
+			}
+		}
+	}
+	if key == "" {
+		WriteError(w, http.StatusNotFound,
+			"no durable release for hierarchy h-%s version %d; POST /v1/release with \"version\": %d first",
+			l.ID(), ver.Seq, ver.Seq)
+		return "", false
+	}
+	return key, true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	node := r.PathValue("node")
 	q := r.URL.Query()
 	key := releaseID(q.Get("release"))
+	if key == "" && q.Get("hierarchy") != "" {
+		// Version-pinned addressing: ?hierarchy=&version= resolves to the
+		// latest durable artifact of that immutable version (version
+		// absent or 0 = current head).
+		resolved, ok := s.resolveReleaseKey(w, q.Get("hierarchy"), q.Get("version"))
+		if !ok {
+			return
+		}
+		key = resolved
+	}
 	if key == "" {
-		WriteError(w, http.StatusBadRequest, "missing release query parameter")
+		WriteError(w, http.StatusBadRequest, "missing release query parameter (or hierarchy+version)")
 		return
 	}
 	quantiles, kth, topCode, ok := ParseQueryParams(w, q)
@@ -959,9 +1425,7 @@ type healthzResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	hierarchies := len(s.trees)
-	s.mu.RUnlock()
+	hierarchies := s.logs.Len()
 	WriteJSON(w, http.StatusOK, healthzResponse{
 		Status:      "ok",
 		Instance:    s.eng.ID(),
@@ -974,9 +1438,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // exposition format, dependency-free.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.eng.Metrics()
-	s.mu.RLock()
-	hierarchies := len(s.trees)
-	s.mu.RUnlock()
+	logs := s.logs.Logs()
+	hierarchies := len(logs)
+	var versions int64
+	for _, l := range logs {
+		versions += l.Head().Seq
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	put := func(name, help string, value any) {
@@ -1015,7 +1482,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("hcoc_batch_queries_total", "Batch query requests served, each one engine pass.", m.Batches)
 	put("hcoc_release_seconds_total", "Cumulative release computation time.", m.ReleaseTotal.Seconds())
 	put("hcoc_release_seconds_last", "Duration of the most recent release computation.", m.LastRelease.Seconds())
-	put("hcoc_hierarchies", "Hierarchies currently uploaded.", hierarchies)
+	put("hcoc_hierarchies", "Hierarchies (event logs) currently loaded.", hierarchies)
+	put("hcoc_hierarchy_versions", "Immutable hierarchy versions across all event logs.", versions)
+	put("hcoc_incremental_releases_total", "Release computations that reused retained state from a prior version.", m.IncrementalReleases)
+	put("hcoc_recompute_nodes_estimated_total", "Nodes re-estimated across incremental-capable computations.", m.RecomputeNodesEstimated)
+	put("hcoc_recompute_nodes_total", "Nodes visited across incremental-capable computations.", m.RecomputeNodesTotal)
+	put("hcoc_recompute_parents_matched_total", "Parent rerun-matching passes executed across incremental-capable computations.", m.RecomputeParentsMatched)
+	put("hcoc_recompute_parents_total", "Parent nodes visited across incremental-capable computations.", m.RecomputeParentsTotal)
+	put("hcoc_release_states", "Per-release recompute states currently retained.", m.StateEntries)
+	put("hcoc_release_state_cost_bytes", "Estimated resident bytes of retained recompute states.", m.StateCostBytes)
+	put("hcoc_epsilon_limit_continual", "Configured continual-observation epsilon bound per hierarchy (0 = unenforced).", s.contLimit)
 
 	// Compute scheduler: pool state, the read priority lane, and one
 	// labeled series set per tenant.

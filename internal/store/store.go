@@ -34,6 +34,11 @@ const (
 	// computation's epsilon was already recorded by a KindCharge entry.
 	// The empty string decodes as KindRelease.
 	KindRelease = "release"
+	// KindEvent indexes one appended hierarchy event chunk: Hierarchy is
+	// the event log's id and Seq the chunk's 1-based sequence number.
+	// Event entries are discovery and provenance — replay reads the
+	// chunk objects under events/<log>/ — and are spend-neutral.
+	KindEvent = "event"
 )
 
 // Meta is one manifest entry. KindRelease entries carry artifact
@@ -58,6 +63,9 @@ type Meta struct {
 	DurationMS float64 `json:"duration_ms"`
 	// CreatedAt is when the artifact was stored.
 	CreatedAt time.Time `json:"created_at"`
+	// Seq is the 1-based event sequence number of a KindEvent entry
+	// (zero otherwise).
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // storedGroup is the on-disk shape of one group in a hierarchy file,
@@ -95,10 +103,11 @@ func hierarchyKey(fp string) string { return "hierarchies/" + fp + ".json" }
 type Store struct {
 	b BlobStore
 
-	mu    sync.Mutex
-	metas map[string]Meta // latest entry per key
-	order []string        // keys in first-appearance manifest order
-	spent map[string]float64
+	mu     sync.Mutex
+	metas  map[string]Meta // latest entry per key
+	order  []string        // keys in first-appearance manifest order
+	spent  map[string]float64
+	events map[string]int64 // event log id -> highest appended Seq
 }
 
 // Open creates (if needed) and loads a local-disk store rooted at dir,
@@ -123,11 +132,11 @@ func Open(dir string) (*Store, error) {
 // Close closes it.
 func OpenBackend(b BlobStore) (*Store, error) {
 	s := &Store{b: b}
-	metas, order, spent, err := s.loadManifest()
+	metas, order, spent, events, err := s.loadManifest()
 	if err != nil {
 		return nil, err
 	}
-	s.metas, s.order, s.spent = metas, order, spent
+	s.metas, s.order, s.spent, s.events = metas, order, spent, events
 	return s, nil
 }
 
@@ -141,12 +150,13 @@ func (s *Store) Shared() bool { return s.b.Shared() }
 // loadManifest replays the backend's manifest log into fresh index
 // maps. It tolerates a torn final line (crash mid-append) and rejects
 // corruption anywhere else.
-func (s *Store) loadManifest() (metas map[string]Meta, order []string, spent map[string]float64, err error) {
+func (s *Store) loadManifest() (metas map[string]Meta, order []string, spent map[string]float64, events map[string]int64, err error) {
 	metas = make(map[string]Meta)
 	spent = make(map[string]float64)
+	events = make(map[string]int64)
 	r, err := s.b.ManifestReader()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	defer r.Close()
 
@@ -159,7 +169,7 @@ func (s *Store) loadManifest() (metas map[string]Meta, order []string, spent map
 		// A parse failure is only tolerated on the final line (torn
 		// append); seeing another line after one means real corruption.
 		if pendingErr != nil {
-			return nil, nil, nil, pendingErr
+			return nil, nil, nil, nil, pendingErr
 		}
 		raw := strings.TrimSpace(sc.Text())
 		if raw == "" {
@@ -175,6 +185,10 @@ func (s *Store) loadManifest() (metas map[string]Meta, order []string, spent map
 			spent[m.Hierarchy] += m.Epsilon
 		case KindRefund:
 			spent[m.Hierarchy] -= m.Epsilon
+		case KindEvent:
+			if m.Seq > events[m.Hierarchy] {
+				events[m.Hierarchy] = m.Seq
+			}
 		default: // KindRelease / legacy empty
 			if _, ok := metas[m.Key]; !ok {
 				order = append(order, m.Key)
@@ -183,9 +197,9 @@ func (s *Store) loadManifest() (metas map[string]Meta, order []string, spent map
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, nil, fmt.Errorf("store: reading manifest: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("store: reading manifest: %w", err)
 	}
-	return metas, order, spent, nil
+	return metas, order, spent, events, nil
 }
 
 // Refresh re-reads the whole manifest log and atomically swaps the
@@ -193,12 +207,12 @@ func (s *Store) loadManifest() (metas map[string]Meta, order []string, spent map
 // other processes since boot; replaying from scratch (rather than
 // re-recording on top of the live index) keeps charge totals exact.
 func (s *Store) Refresh() error {
-	metas, order, spent, err := s.loadManifest()
+	metas, order, spent, events, err := s.loadManifest()
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.metas, s.order, s.spent = metas, order, spent
+	s.metas, s.order, s.spent, s.events = metas, order, spent, events
 	s.mu.Unlock()
 	return nil
 }
@@ -210,6 +224,10 @@ func (s *Store) record(m Meta) {
 		s.spent[m.Hierarchy] += m.Epsilon
 	case KindRefund:
 		s.spent[m.Hierarchy] -= m.Epsilon
+	case KindEvent:
+		if m.Seq > s.events[m.Hierarchy] {
+			s.events[m.Hierarchy] = m.Seq
+		}
 	default: // KindRelease / legacy empty
 		if _, ok := s.metas[m.Key]; !ok {
 			s.order = append(s.order, m.Key)
@@ -379,6 +397,44 @@ func (s *Store) EpsilonByHierarchy() map[string]float64 {
 	}
 	return out
 }
+
+// AppendEvent durably records one appended hierarchy event chunk in the
+// manifest: Hierarchy is the event log id and Seq the chunk's 1-based
+// sequence number. Call it AFTER the chunk object itself is durable —
+// the manifest entry is discovery, the chunk is truth; a crash between
+// the two leaves an unindexed-but-replayable chunk, never a dangling
+// index entry.
+func (s *Store) AppendEvent(m Meta) error {
+	if m.Hierarchy == "" {
+		return fmt.Errorf("store: event entry needs a hierarchy id")
+	}
+	if m.Seq <= 0 {
+		return fmt.Errorf("store: event seq must be positive, got %d", m.Seq)
+	}
+	m.Kind = KindEvent
+	if m.Key == "" {
+		m.Key = fmt.Sprintf("event/%s/%d", m.Hierarchy, m.Seq)
+	}
+	return s.appendEntry(m)
+}
+
+// EventLogs returns the highest appended event sequence per event log
+// id, replayed from KindEvent manifest entries — the discovery index a
+// warm start uses to find logs to replay.
+func (s *Store) EventLogs() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.events))
+	for id, seq := range s.events {
+		out[id] = seq
+	}
+	return out
+}
+
+// Blob exposes the underlying blob backend for subsystems — the event
+// log — that persist their own objects alongside releases while sharing
+// the store's manifest for discovery.
+func (s *Store) Blob() BlobStore { return s.b }
 
 // PutHierarchy persists an uploaded hierarchy's group records so a warm
 // start can rebuild the tree. The write is atomic and idempotent:
